@@ -1,0 +1,546 @@
+//! The per-node Data Vortex API handle.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dv_core::packet::{Packet, PacketHeader, GROUP_COUNTERS, PAYLOAD_BYTES};
+use dv_core::time::{self, Time};
+use dv_core::trace::State;
+use dv_core::{NodeId, Word};
+use dv_sim::SimCtx;
+
+use crate::world::DvWorld;
+
+/// Group counters used by the in-house FastBarrier (regular counters; the
+/// *intrinsic* barrier uses the two reserved ones in hardware).
+pub const FAST_BARRIER_GC: [u8; 2] = [3, 4];
+/// Group counter used by the blocking `read_word` convenience call.
+pub const QUERY_GC: u8 = (GROUP_COUNTERS - 1) as u8;
+
+/// How packets cross the PCIe bus from host memory to the VIC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendMode {
+    /// Programmed-I/O writes straight from host memory. With
+    /// `cached_headers`, headers were staged in DV memory earlier and only
+    /// payloads cross the bus.
+    DirectWrite {
+        /// Headers pre-cached in the sending VIC's DV memory.
+        cached_headers: bool,
+    },
+    /// DMA from host memory (descriptor setup amortized over the batch).
+    /// With `cached_headers`, only payloads cross the bus.
+    Dma {
+        /// Headers pre-cached in the sending VIC's DV memory.
+        cached_headers: bool,
+    },
+}
+
+impl SendMode {
+    /// The three modes measured in Figure 3, in plot order.
+    pub const FIGURE3: [SendMode; 3] = [
+        SendMode::DirectWrite { cached_headers: false },
+        SendMode::DirectWrite { cached_headers: true },
+        SendMode::Dma { cached_headers: true },
+    ];
+}
+
+/// Host-side cost of queuing a DMA descriptor batch (the CPU returns as
+/// soon as the doorbell rings; the transfer itself overlaps).
+const DMA_ENQUEUE: Time = time::ns(250);
+/// Host-side cost of popping one surprise packet from the drain buffer.
+const FIFO_POP: Time = time::ns(40);
+/// Words of DV memory mirrored to host memory by the VIC's idle-cycle
+/// reverse bus-master push (the "status page"). Sized to hold the
+/// coordination slots of every protocol in this workspace up to 256-node
+/// clusters (8 KiB of push traffic, well within idle-cycle budgets).
+pub const STATUS_PAGE_WORDS: usize = 1024;
+/// Cost of polling the pushed status page (a local read + fence).
+const STATUS_POLL: Time = time::ns(120);
+
+/// One node's view of the Data Vortex system.
+pub struct DvCtx {
+    world: Arc<DvWorld>,
+    node: NodeId,
+    fast_barrier_parity: Cell<usize>,
+}
+
+impl DvCtx {
+    /// Create the handle for `node`.
+    pub fn new(world: Arc<DvWorld>, node: NodeId) -> Self {
+        Self { world, node, fast_barrier_parity: Cell::new(0) }
+    }
+
+    /// This node's id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Cluster size.
+    pub fn nodes(&self) -> usize {
+        self.world.nodes()
+    }
+
+    /// The shared world (for tests and benchmarks).
+    pub fn world(&self) -> &Arc<DvWorld> {
+        &self.world
+    }
+
+    /// Convenience: a DV-memory write header from this node.
+    pub fn header_to(&self, dest: NodeId, address: u32, gc: u8) -> PacketHeader {
+        PacketHeader::dv_memory(self.node, dest, address, gc)
+    }
+
+    // ------------------------------------------------------------------
+    // Packet transmission
+    // ------------------------------------------------------------------
+
+    /// Send a batch of packets (possibly to many destinations). Returns
+    /// the estimated delivery time of the last packet.
+    ///
+    /// Blocking semantics follow the hardware: direct writes occupy the
+    /// CPU for the whole PCIe transfer; DMA returns after descriptor
+    /// enqueue and overlaps with computation.
+    pub fn send_packets(&self, ctx: &SimCtx, packets: Vec<Packet>, mode: SendMode) -> Time {
+        if packets.is_empty() {
+            return ctx.now();
+        }
+        let t0 = ctx.now();
+        let n = packets.len() as u64;
+        let pcie = &self.world.pcie[self.node];
+        let vic_ready = match mode {
+            SendMode::DirectWrite { cached_headers } => {
+                let (_, end) = pcie.pio_send(ctx.now(), n, cached_headers);
+                // The CPU performs the stores itself.
+                ctx.wait_until(end);
+                end
+            }
+            SendMode::Dma { cached_headers } => {
+                let bytes =
+                    n * if cached_headers { PAYLOAD_BYTES } else { 2 * PAYLOAD_BYTES };
+                let (_, end) = pcie.dma_to_vic(ctx.now(), bytes);
+                ctx.delay(DMA_ENQUEUE);
+                end
+            }
+        };
+
+        // Group by destination, deterministic order.
+        let mut groups: HashMap<NodeId, Vec<Packet>> = HashMap::new();
+        for p in packets {
+            groups.entry(p.header.dest).or_default().push(p);
+        }
+        let mut dests: Vec<NodeId> = groups.keys().copied().collect();
+        dests.sort_unstable();
+
+        let mut last = vic_ready;
+        ctx.with_kernel(|k| {
+            for dst in dests {
+                let batch = groups.remove(&dst).unwrap();
+                last = last.max(self.world.transmit(k, self.node, dst, batch, vic_ready));
+            }
+        });
+        self.world.tracer.span(self.node, State::Send, t0, ctx.now());
+        last
+    }
+
+    /// Write `words` into `dest`'s DV memory starting at `address`; each
+    /// arriving word decrements `gc` on the destination VIC.
+    pub fn write_remote(
+        &self,
+        ctx: &SimCtx,
+        dest: NodeId,
+        address: u32,
+        words: &[Word],
+        gc: u8,
+        mode: SendMode,
+    ) -> Time {
+        let packets = words
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| {
+                Packet::new(PacketHeader::dv_memory(self.node, dest, address + i as u32, gc), w)
+            })
+            .collect();
+        self.send_packets(ctx, packets, mode)
+    }
+
+    /// Bulk write: many contiguous block writes (possibly to many
+    /// destinations) in **one** PCIe crossing — the scatter primitive the
+    /// paper's FFT uses ("a partial row of points can be loaded in the
+    /// VIC's memory and scattered to many destination nodes very
+    /// efficiently"). Costs are identical to sending one packet per word;
+    /// only the bookkeeping is batched.
+    pub fn write_blocks(
+        &self,
+        ctx: &SimCtx,
+        blocks: Vec<crate::world::BlockWrite>,
+        mode: SendMode,
+    ) -> Time {
+        let total_words: u64 = blocks.iter().map(|b| b.words.len() as u64).sum();
+        if total_words == 0 {
+            return ctx.now();
+        }
+        let t0 = ctx.now();
+        let pcie = &self.world.pcie[self.node];
+        let vic_ready = match mode {
+            SendMode::DirectWrite { cached_headers } => {
+                let (_, end) = pcie.pio_send(ctx.now(), total_words, cached_headers);
+                ctx.wait_until(end);
+                end
+            }
+            SendMode::Dma { cached_headers } => {
+                let bytes = total_words
+                    * if cached_headers { PAYLOAD_BYTES } else { 2 * PAYLOAD_BYTES };
+                let (_, end) = pcie.dma_to_vic(ctx.now(), bytes);
+                ctx.delay(DMA_ENQUEUE);
+                end
+            }
+        };
+        let mut groups: HashMap<NodeId, Vec<crate::world::BlockWrite>> = HashMap::new();
+        for b in blocks {
+            groups.entry(b.dest).or_default().push(b);
+        }
+        let mut dests: Vec<NodeId> = groups.keys().copied().collect();
+        dests.sort_unstable();
+        let mut last = vic_ready;
+        ctx.with_kernel(|k| {
+            for dst in dests {
+                let batch = groups.remove(&dst).unwrap();
+                last = last.max(self.world.transmit_blocks(k, self.node, dst, batch, vic_ready));
+            }
+        });
+        self.world.tracer.span(self.node, State::Send, t0, ctx.now());
+        last
+    }
+
+    /// Send `words` to `dest`'s surprise FIFO.
+    pub fn send_fifo(
+        &self,
+        ctx: &SimCtx,
+        dest: NodeId,
+        words: &[Word],
+        gc: u8,
+        mode: SendMode,
+    ) -> Time {
+        let packets = words
+            .iter()
+            .map(|&w| Packet::new(PacketHeader::fifo(self.node, dest, gc), w))
+            .collect();
+        self.send_packets(ctx, packets, mode)
+    }
+
+    // ------------------------------------------------------------------
+    // Group counters
+    // ------------------------------------------------------------------
+
+    /// Preset one of this node's group counters (a PIO write).
+    pub fn gc_set_local(&self, ctx: &SimCtx, gc: u8, expected: u64) {
+        ctx.delay(self.world.config.pcie.pio_write_latency);
+        let vic = Arc::clone(&self.world.vics[self.node]);
+        ctx.with_kernel(|k| vic.lock().set_counter(k, gc, expected));
+    }
+
+    /// Set a *remote* group counter with a control packet — subject to the
+    /// set/decrement race of Section III when data packets overtake it.
+    pub fn gc_set_remote(&self, ctx: &SimCtx, dest: NodeId, gc: u8, expected: u64, mode: SendMode) {
+        let pkt = Packet::new(PacketHeader::gc_set(self.node, dest, gc), expected);
+        self.send_packets(ctx, vec![pkt], mode);
+    }
+
+    /// Current value of a local group counter (free: the VIC pushes
+    /// zero-counter lists to host memory during idle PCIe cycles, so
+    /// polling does not pay a PCIe read).
+    pub fn gc_value(&self, gc: u8) -> i64 {
+        self.world.vics[self.node].lock().counter(gc).value()
+    }
+
+    /// Block until a local group counter reaches zero, or until `deadline`
+    /// (if given). Returns `true` on zero, `false` on timeout — the
+    /// timeout path is how real programs survive the set/decrement race.
+    pub fn gc_wait_zero(&self, ctx: &SimCtx, gc: u8, deadline: Option<Time>) -> bool {
+        let t0 = ctx.now();
+        let ok = loop {
+            {
+                let vic = self.world.vics[self.node].lock();
+                let counter = vic.counter(gc);
+                if counter.is_zero() {
+                    break true;
+                }
+                if deadline.is_some_and(|d| ctx.now() >= d) {
+                    break false;
+                }
+                counter.waiters().register(ctx);
+            }
+            if let Some(d) = deadline {
+                ctx.with_kernel(|k| {
+                    let w = k.waker_for(ctx.pid());
+                    k.wake_at(d, w);
+                });
+            }
+            ctx.park();
+        };
+        if ctx.now() > t0 {
+            self.world.tracer.span(self.node, State::Wait, t0, ctx.now());
+        }
+        ok
+    }
+
+    // ------------------------------------------------------------------
+    // Queries (return-header packets)
+    // ------------------------------------------------------------------
+
+    /// Fire a query: read `dest`'s DV memory at `remote_addr` and deliver
+    /// the value to `reply_to`'s DV memory at `reply_addr` (decrementing
+    /// `reply_gc` there). Non-blocking.
+    #[allow(clippy::too_many_arguments)] // mirrors the wire-level header fields
+    pub fn query_to(
+        &self,
+        ctx: &SimCtx,
+        dest: NodeId,
+        remote_addr: u32,
+        reply_to: NodeId,
+        reply_addr: u32,
+        reply_gc: u8,
+        mode: SendMode,
+    ) {
+        let return_header = PacketHeader::dv_memory(dest, reply_to, reply_addr, reply_gc);
+        let pkt = Packet::new(
+            PacketHeader::query(self.node, dest, remote_addr),
+            return_header.encode(),
+        );
+        self.send_packets(ctx, vec![pkt], mode);
+    }
+
+    /// Blocking remote read: query `dest` and wait for the reply in our
+    /// own DV memory (uses [`QUERY_GC`] and DV-memory slot 0 of the last
+    /// page as a scratch reply slot).
+    pub fn read_word(&self, ctx: &SimCtx, dest: NodeId, remote_addr: u32) -> Word {
+        let reply_addr = (dv_vic::DvMemory::words() - 1) as u32;
+        self.gc_set_local(ctx, QUERY_GC, 1);
+        self.query_to(
+            ctx,
+            dest,
+            remote_addr,
+            self.node,
+            reply_addr,
+            QUERY_GC,
+            SendMode::DirectWrite { cached_headers: false },
+        );
+        let ok = self.gc_wait_zero(ctx, QUERY_GC, None);
+        debug_assert!(ok);
+        // Fetch the landed value across PCIe.
+        let (_, end) = self.world.pcie[self.node].pio_read(ctx.now(), 1);
+        ctx.wait_until(end);
+        self.world.vics[self.node].lock().memory.read(reply_addr)
+    }
+
+    // ------------------------------------------------------------------
+    // Local DV memory
+    // ------------------------------------------------------------------
+
+    /// Host write into this node's own DV memory (PIO for small runs, DMA
+    /// beyond 64 words).
+    pub fn write_local(&self, ctx: &SimCtx, address: u32, words: &[Word]) {
+        let n = words.len() as u64;
+        let pcie = &self.world.pcie[self.node];
+        let end = if n <= 64 {
+            pcie.pio_send(ctx.now(), n, true).1
+        } else {
+            pcie.dma_to_vic(ctx.now(), n * PAYLOAD_BYTES).1
+        };
+        ctx.wait_until(end);
+        self.world.vics[self.node].lock().memory.write_range(address, words);
+    }
+
+    /// Host read from this node's own DV memory. PIO reads are non-posted
+    /// PCIe round trips (~µs each), so anything beyond a couple of words
+    /// goes through the 8×-faster DMA path, as the paper's API encourages.
+    pub fn read_local(&self, ctx: &SimCtx, address: u32, n: usize) -> Vec<Word> {
+        let pcie = &self.world.pcie[self.node];
+        let end = if n <= 2 {
+            pcie.pio_read(ctx.now(), n as u64).1
+        } else {
+            pcie.dma_from_vic(ctx.now(), n as u64 * PAYLOAD_BYTES).1
+        };
+        ctx.wait_until(end);
+        let mut out = vec![0; n];
+        self.world.vics[self.node].lock().memory.read_range(address, &mut out);
+        out
+    }
+
+    /// Poll the host-side shadow of the VIC's *status page* (the first
+    /// [`STATUS_PAGE_WORDS`] words of DV memory). The VIC pushes this page
+    /// to host memory during idle PCIe cycles via reverse bus-master DMA —
+    /// the mechanism Section III describes for checking end-of-transmission
+    /// state "without incurring the latency of an explicit PCIe read" —
+    /// so a poll costs only a local memory fence, not a PCIe round trip.
+    pub fn peek_local(&self, ctx: &SimCtx, address: u32, n: usize) -> Vec<Word> {
+        assert!(
+            (address as usize + n) <= STATUS_PAGE_WORDS,
+            "peek_local only covers the pushed status page (first {STATUS_PAGE_WORDS} words)"
+        );
+        ctx.delay(STATUS_POLL);
+        let mut out = vec![0; n];
+        self.world.vics[self.node].lock().memory.read_range(address, &mut out);
+        out
+    }
+
+    /// Stage packet headers in DV memory for later cached sends. Costs one
+    /// host write of `headers.len()` words; returns when staged.
+    pub fn cache_headers(&self, ctx: &SimCtx, address: u32, headers: &[PacketHeader]) {
+        let words: Vec<Word> = headers.iter().map(|h| h.encode()).collect();
+        self.write_local(ctx, address, &words);
+    }
+
+    // ------------------------------------------------------------------
+    // Surprise FIFO
+    // ------------------------------------------------------------------
+
+    /// Non-blocking pop of one surprise packet.
+    pub fn fifo_try_recv(&self, ctx: &SimCtx) -> Option<Word> {
+        let popped = self.world.vics[self.node].lock().fifo.pop();
+        popped.map(|(_, w)| {
+            ctx.delay(FIFO_POP);
+            w
+        })
+    }
+
+    /// Blocking pop of one surprise packet.
+    pub fn fifo_recv(&self, ctx: &SimCtx) -> Word {
+        loop {
+            {
+                let mut vic = self.world.vics[self.node].lock();
+                if let Some((_, w)) = vic.fifo.pop() {
+                    drop(vic);
+                    ctx.delay(FIFO_POP);
+                    return w;
+                }
+                vic.fifo.waiters().register(ctx);
+            }
+            ctx.park();
+        }
+    }
+
+    /// Blocking pop with a deadline.
+    pub fn fifo_recv_deadline(&self, ctx: &SimCtx, deadline: Time) -> Option<Word> {
+        loop {
+            {
+                let mut vic = self.world.vics[self.node].lock();
+                if let Some((_, w)) = vic.fifo.pop() {
+                    drop(vic);
+                    ctx.delay(FIFO_POP);
+                    return Some(w);
+                }
+                if ctx.now() >= deadline {
+                    return None;
+                }
+                vic.fifo.waiters().register(ctx);
+            }
+            ctx.with_kernel(|k| {
+                let w = k.waker_for(ctx.pid());
+                k.wake_at(deadline, w);
+            });
+            ctx.park();
+        }
+    }
+
+    /// Drain up to `max` buffered surprise packets in one host transfer
+    /// (the background-DMA circular buffer of Section III).
+    pub fn fifo_drain(&self, ctx: &SimCtx, max: usize) -> Vec<Word> {
+        let mut out = Vec::new();
+        {
+            let mut vic = self.world.vics[self.node].lock();
+            while out.len() < max {
+                match vic.fifo.pop() {
+                    Some((_, w)) => out.push(w),
+                    None => break,
+                }
+            }
+        }
+        if !out.is_empty() {
+            let (_, end) = self.world.pcie[self.node]
+                .dma_from_vic(ctx.now(), out.len() as u64 * PAYLOAD_BYTES);
+            ctx.wait_until(end);
+        }
+        out
+    }
+
+    /// Packets dropped by this node's FIFO due to overflow.
+    pub fn fifo_dropped(&self) -> u64 {
+        self.world.vics[self.node].lock().fifo.dropped()
+    }
+
+    // ------------------------------------------------------------------
+    // Barriers
+    // ------------------------------------------------------------------
+
+    /// The API's intrinsic whole-system barrier: hardware group-counter
+    /// wave through the switch, nearly independent of node count
+    /// (Figure 4, "Data Vortex").
+    pub fn barrier(&self, ctx: &SimCtx) {
+        let t0 = ctx.now();
+        ctx.delay(self.world.config.dv.barrier_setup);
+        let n = self.world.nodes();
+        let my_epoch;
+        let complete = {
+            let mut b = self.world.barrier.lock();
+            my_epoch = b.epoch;
+            b.count += 1;
+            if b.count == n {
+                b.count = 0;
+                b.epoch += 1;
+                let release_at = ctx.now() + self.world.config.dv.barrier_hw;
+                let ws = std::mem::take(&mut b.waiters);
+                Some((release_at, ws))
+            } else {
+                None
+            }
+        };
+        match complete {
+            Some((release_at, ws)) => {
+                ctx.with_kernel(|k| k.call_at(release_at, move |k| ws.wake_all(k)));
+                ctx.wait_until(release_at);
+            }
+            None => loop {
+                {
+                    let b = self.world.barrier.lock();
+                    if b.epoch != my_epoch {
+                        break;
+                    }
+                    b.waiters.register(ctx);
+                }
+                ctx.park();
+            },
+        }
+        self.world.tracer.span(self.node, State::Barrier, t0, ctx.now());
+    }
+
+    /// The in-house "FastBarrier" of Section V: all-to-all group-counter
+    /// decrements on two alternating regular counters. Slightly more work
+    /// per node (p−1 packets over PCIe) but no dependence on the reserved
+    /// hardware counters.
+    pub fn fast_barrier(&self, ctx: &SimCtx) {
+        let t0 = ctx.now();
+        let n = self.world.nodes();
+        if n == 1 {
+            return;
+        }
+        let parity = self.fast_barrier_parity.get();
+        self.fast_barrier_parity.set(parity ^ 1);
+        let gc = FAST_BARRIER_GC[parity];
+        // Signal everyone (including the local counter via self-send —
+        // the API explicitly supports sending to your own VIC).
+        let packets: Vec<Packet> = (0..n)
+            .filter(|&d| d != self.node)
+            .map(|d| Packet::new(PacketHeader::dv_memory(self.node, d, 0, gc), 0))
+            .collect();
+        self.send_packets(ctx, packets, SendMode::DirectWrite { cached_headers: true });
+        let ok = self.gc_wait_zero(ctx, gc, None);
+        debug_assert!(ok, "fast barrier counter must reach zero");
+        // Re-arm this parity for its next use (safe: nobody can re-enter
+        // the same parity before every node passed the *other* one).
+        let vic = Arc::clone(&self.world.vics[self.node]);
+        ctx.with_kernel(|k| vic.lock().set_counter(k, gc, (n - 1) as u64));
+        self.world.tracer.span(self.node, State::Barrier, t0, ctx.now());
+    }
+}

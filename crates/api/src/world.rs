@@ -1,0 +1,206 @@
+//! Shared state of a Data Vortex cluster run: VICs, pipes, switch model.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dv_core::config::MachineConfig;
+use dv_core::packet::{Packet, PACKET_BYTES, PAYLOAD_BYTES};
+use dv_core::time::Time;
+use dv_core::trace::Tracer;
+use dv_core::{NodeId, Word};
+use dv_sim::{Kernel, Pipe, WaitSet};
+use dv_switch::SwitchModel;
+use dv_vic::{PciePath, Vic};
+
+/// State of the hardware barrier engine (implemented with the two reserved
+/// group counters on the real system; modeled centrally here).
+pub struct BarrierState {
+    /// Completed barrier epochs.
+    pub epoch: u64,
+    /// Arrivals in the current epoch.
+    pub count: usize,
+    /// Processes parked in the current epoch.
+    pub waiters: WaitSet,
+}
+
+/// Shared world of one simulated Data Vortex cluster.
+pub struct DvWorld {
+    /// Machine parameters.
+    pub config: MachineConfig,
+    /// One VIC per node.
+    pub vics: Vec<Arc<Mutex<Vic>>>,
+    /// One PCIe path per node.
+    pub pcie: Vec<PciePath>,
+    /// Calibrated switch latency model.
+    pub switch: SwitchModel,
+    /// Per-VIC injection pipes at the port rate.
+    pub inject: Vec<Pipe>,
+    /// Per-VIC ejection pipes at the port rate.
+    pub eject: Vec<Pipe>,
+    /// Packets currently inside the switch (for the load-dependent
+    /// deflection penalty).
+    in_flight: AtomicI64,
+    /// Hardware barrier engine.
+    pub barrier: Mutex<BarrierState>,
+    /// Trace recorder.
+    pub tracer: Arc<Tracer>,
+    nodes: usize,
+}
+
+impl DvWorld {
+    /// Build a world of `nodes` nodes.
+    pub fn new(nodes: usize, config: MachineConfig, tracer: Arc<Tracer>) -> Arc<Self> {
+        assert!(nodes >= 1);
+        let mut config = config;
+        // Grow the switch if the requested cluster exceeds its ports.
+        while config.dv.ports() < nodes {
+            config.dv.height *= 2;
+        }
+        let switch = SwitchModel::from_params(&config.dv);
+        let link = config.dv.link_gbps;
+        Arc::new(Self {
+            vics: (0..nodes).map(|n| Arc::new(Mutex::new(Vic::new(n, &config.dv)))).collect(),
+            pcie: (0..nodes).map(|_| PciePath::new(config.pcie.clone())).collect(),
+            inject: (0..nodes).map(|_| Pipe::new(link)).collect(),
+            eject: (0..nodes).map(|_| Pipe::new(link)).collect(),
+            in_flight: AtomicI64::new(0),
+            barrier: Mutex::new(BarrierState { epoch: 0, count: 0, waiters: WaitSet::new() }),
+            tracer,
+            switch,
+            config,
+            nodes,
+        })
+    }
+
+    /// Cluster size.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Instantaneous switch load estimate in `[0, 1]`: in-flight packets
+    /// over the number of switching cells.
+    pub fn load(&self) -> f64 {
+        let cells = self.switch.topology().nodes() as f64;
+        (self.in_flight.load(Ordering::Relaxed).max(0) as f64 / cells).min(1.0)
+    }
+
+    /// Transmit a batch of packets, all bound for the same destination,
+    /// that become available at the source VIC at `ready`. Handles
+    /// injection/ejection pipe occupancy, switch traversal, functional
+    /// delivery, and query replies. Returns the delivery time of the
+    /// batch's last packet.
+    ///
+    /// Out-of-order arrival: the network does not preserve packet order;
+    /// the model delivers a batch contiguously but different batches (and
+    /// replies) interleave freely, and the paper-level semantics "order of
+    /// arrival is not guaranteed" is part of the API contract (see the
+    /// group-counter race tests).
+    pub fn transmit(
+        self: &Arc<Self>,
+        kernel: &mut Kernel,
+        src: NodeId,
+        dst: NodeId,
+        packets: Vec<Packet>,
+        ready: Time,
+    ) -> Time {
+        debug_assert!(packets.iter().all(|p| p.header.dest == dst));
+        let n = packets.len() as u64;
+        if n == 0 {
+            return ready;
+        }
+        let word_time = self.config.dv.word_time();
+        // Serialize onto the source port.
+        let (inj_start, inj_end) = self.inject[src].reserve_duration(ready, n * word_time);
+        // Switch traversal of the head packet at the current load.
+        let load = self.load();
+        let traversal = self.switch.traversal(src, dst, load);
+        // Ejection port serializes arrivals at the destination.
+        let head_at_dst = inj_start + traversal;
+        let (_, eject_end) = self.eject[dst].reserve_duration(head_at_dst, n * word_time);
+        let eject_end = eject_end.max(inj_end + traversal);
+
+        // Load accounting: in the switch from injection until ejection.
+        self.in_flight.fetch_add(n as i64, Ordering::Relaxed);
+        let world = Arc::clone(self);
+        self.tracer.message(src, dst, inj_start, eject_end, n * PACKET_BYTES);
+        kernel.call_at(eject_end, move |k| {
+            world.in_flight.fetch_sub(n as i64, Ordering::Relaxed);
+            let mut replies: Vec<Packet> = Vec::new();
+            {
+                let mut vic = world.vics[dst].lock();
+                for pkt in packets {
+                    if let Some(reply) = vic.deliver(k, k.now(), pkt) {
+                        replies.push(reply);
+                    }
+                }
+            }
+            if !replies.is_empty() {
+                // Replies are formed by the VIC itself (no host or PCIe
+                // involvement) and re-enter the switch from `dst`.
+                for reply in replies {
+                    let rdst = reply.header.dest;
+                    let now = k.now();
+                    world.transmit(k, dst, rdst, vec![reply], now);
+                }
+            }
+        });
+        eject_end
+    }
+
+    /// Host-side PCIe + network cost for a batch in one call; returns the
+    /// time the batch is fully delivered. `by_dest` groups per-destination
+    /// packet runs.
+    pub fn wire_bytes(packets: usize, cached_headers: bool) -> u64 {
+        packets as u64 * if cached_headers { PAYLOAD_BYTES } else { PACKET_BYTES }
+    }
+
+    /// Bulk-transmission fast path: a set of contiguous DV-memory block
+    /// writes, all bound for `dst`, available at the source VIC at
+    /// `ready`. Pipe/switch costs are identical to the per-packet path
+    /// (one network packet per word); delivery applies whole blocks.
+    pub fn transmit_blocks(
+        self: &Arc<Self>,
+        kernel: &mut Kernel,
+        src: NodeId,
+        dst: NodeId,
+        blocks: Vec<BlockWrite>,
+        ready: Time,
+    ) -> Time {
+        let n: u64 = blocks.iter().map(|b| b.words.len() as u64).sum();
+        if n == 0 {
+            return ready;
+        }
+        let word_time = self.config.dv.word_time();
+        let (inj_start, inj_end) = self.inject[src].reserve_duration(ready, n * word_time);
+        let traversal = self.switch.traversal(src, dst, self.load());
+        let head_at_dst = inj_start + traversal;
+        let (_, eject_end) = self.eject[dst].reserve_duration(head_at_dst, n * word_time);
+        let eject_end = eject_end.max(inj_end + traversal);
+
+        self.in_flight.fetch_add(n as i64, Ordering::Relaxed);
+        self.tracer.message(src, dst, inj_start, eject_end, n * PACKET_BYTES);
+        let world = Arc::clone(self);
+        kernel.call_at(eject_end, move |k| {
+            world.in_flight.fetch_sub(n as i64, Ordering::Relaxed);
+            let mut vic = world.vics[dst].lock();
+            for b in &blocks {
+                vic.deliver_block(k, b.address, &b.words, b.gc);
+            }
+        });
+        eject_end
+    }
+}
+
+/// One contiguous remote DV-memory write (part of a bulk batch).
+pub struct BlockWrite {
+    /// Destination VIC.
+    pub dest: NodeId,
+    /// First word address at the destination.
+    pub address: u32,
+    /// Group counter decremented per word at the destination.
+    pub gc: u8,
+    /// The words to write.
+    pub words: Vec<Word>,
+}

@@ -1,0 +1,4 @@
+//! Data Vortex collectives — re-exported from [`dv_api::coll`] (they moved
+//! into the API crate so `dv-kernels` can build on them as well).
+
+pub use dv_api::coll::*;

@@ -1,0 +1,275 @@
+//! SNAP on the Data Vortex — the paper's "best-effort" port.
+//!
+//! "We performed a best-effort porting by first replacing the MPI
+//! primitives with equivalent Data Vortex API functions where possible ...
+//! We then added an aggregation scheme to minimize the number of PCIe
+//! transfers per message; this improved performance considerably."
+//! (Section VII.) The structure of the sweep is untouched; boundary faces
+//! travel as DV-memory block writes into a small ring of chunk slots, with
+//! group counters for arrival and status-page credits for flow control.
+//! The resulting speedup is modest (~1.19× in Figure 9) — the sweep is a
+//! regular, already-aggregated pattern that conventional networks also
+//! handle well.
+
+use dv_api::world::BlockWrite;
+use dv_api::SendMode;
+use dv_core::config::ComputeParams;
+use dv_kernels::util::{charge, charge_mem_bytes};
+
+use super::mpi::SnapRunResult;
+use super::{octant_dirs, LocalSweep, SnapConfig};
+
+/// Ring depth: in-flight chunks per direction.
+const SLOTS: usize = 4;
+/// Group counters for the y-face ring.
+const Y_GC: [u8; SLOTS] = [40, 41, 42, 43];
+/// Group counters for the z-face ring.
+const Z_GC: [u8; SLOTS] = [44, 45, 46, 47];
+/// Status-page progress slots: each grid neighbor publishes its global
+/// consumed-sequence count into the slot matching its position relative
+/// to me (flow-control credits that survive octant changes).
+const PROG_FROM_YM: u32 = 210;
+const PROG_FROM_YP: u32 = 211;
+const PROG_FROM_ZM: u32 = 212;
+const PROG_FROM_ZP: u32 = 213;
+/// DV-memory base of the face rings.
+const RING_BASE: u32 = 2048;
+
+/// One entry of the flattened sweep schedule.
+struct SeqEntry {
+    g: usize,
+    o: usize,
+    range: (usize, usize),
+    first_of_octant: bool,
+}
+
+/// Run one full sweep on the Data Vortex.
+pub fn run(cfg: SnapConfig) -> SnapRunResult {
+    let nodes = cfg.nodes();
+    let (elapsed, results) = dv_api::DvCluster::new(nodes).run(move |dv, ctx| {
+        let me = dv.node();
+        let compute = ComputeParams::default();
+        let (cy, cz) = cfg.coords(me);
+        let (_, nyl, nzl) = cfg.local();
+        let y_words = (cfg.chunk * nzl) as u64;
+        let z_words = (cfg.chunk * nyl) as u64;
+        // Slot-major layout: a chunk's y-face and z-face are contiguous,
+        // so both drain to host in one DMA read.
+        let slot_words = (y_words + z_words) as u32;
+        let y_slot = |s: usize| RING_BASE + (s % SLOTS) as u32 * slot_words;
+        let mut local = LocalSweep::new(&cfg);
+
+        // Flatten the whole sweep into one global sequence so the ring
+        // counters and credits pipeline *across* octants and groups, like
+        // the MPI sweep does.
+        let mut schedule = Vec::new();
+        for g in 0..cfg.groups {
+            for o in 0..8 {
+                for (i, range) in LocalSweep::chunk_ranges(&cfg, o).into_iter().enumerate() {
+                    schedule.push(SeqEntry { g, o, range, first_of_octant: i == 0 });
+                }
+            }
+        }
+        let up_down = |o: usize| {
+            let (_, ry, rz) = octant_dirs(o);
+            let ystep: isize = if ry { -1 } else { 1 };
+            let zstep: isize = if rz { -1 } else { 1 };
+            (
+                cfg.node_at(cy as isize - ystep, cz as isize),
+                cfg.node_at(cy as isize + ystep, cz as isize),
+                cfg.node_at(cy as isize, cz as isize - zstep),
+                cfg.node_at(cy as isize, cz as isize + zstep),
+            )
+        };
+        let expected = |seq: usize| -> (u64, u64) {
+            match schedule.get(seq) {
+                None => (0, 0),
+                Some(e) => {
+                    let (y_up, _, z_up, _) = up_down(e.o);
+                    let cx = (e.range.1 - e.range.0) as u64;
+                    (
+                        if y_up.is_some() { cx * nzl as u64 } else { 0 },
+                        if z_up.is_some() { cx * nyl as u64 } else { 0 },
+                    )
+                }
+            }
+        };
+
+        // Arm the first window of slots, then one fence before any data.
+        for s in 0..SLOTS {
+            let (ey, ez) = expected(s);
+            dv.gc_set_local(ctx, Y_GC[s], ey);
+            dv.gc_set_local(ctx, Z_GC[s], ez);
+        }
+        dv.fast_barrier(ctx);
+
+        let mut xin = vec![0.0; nyl * nzl];
+        for (seq, entry) in schedule.iter().enumerate() {
+            let (y_up, y_dn, z_up, z_dn) = up_down(entry.o);
+            if entry.first_of_octant {
+                xin.iter_mut().for_each(|v| *v = 0.0);
+            }
+            let range = entry.range;
+            let cx = range.1 - range.0;
+            let slot = seq % SLOTS;
+
+            // Wait for upstream faces, re-arm the slot for seq+SLOTS,
+            // drain both faces with one DMA read.
+            if y_up.is_some() {
+                assert!(dv.gc_wait_zero(ctx, Y_GC[slot], None));
+            }
+            if z_up.is_some() {
+                assert!(dv.gc_wait_zero(ctx, Z_GC[slot], None));
+            }
+            let (ey, ez) = expected(seq + SLOTS);
+            dv.gc_set_local(ctx, Y_GC[slot], ey);
+            dv.gc_set_local(ctx, Z_GC[slot], ez);
+            let (yface, zface): (Vec<f64>, Vec<f64>) = if y_up.is_some() || z_up.is_some() {
+                let raw = dv.read_local(ctx, y_slot(seq), slot_words as usize);
+                let y = if y_up.is_some() {
+                    raw[..cx * nzl].iter().map(|&b| f64::from_bits(b)).collect()
+                } else {
+                    vec![0.0; cx * nzl]
+                };
+                let z = if z_up.is_some() {
+                    raw[y_words as usize..y_words as usize + cx * nyl]
+                        .iter()
+                        .map(|&b| f64::from_bits(b))
+                        .collect()
+                } else {
+                    vec![0.0; cx * nyl]
+                };
+                (y, z)
+            } else {
+                (vec![0.0; cx * nzl], vec![0.0; cx * nyl])
+            };
+
+            // Publish my progress (consumed through seq) to every grid
+            // neighbor's matching credit slot — one PIO batch. This is
+            // what lets an upstream of a *future* octant know how far I
+            // am without any barrier.
+            let mut posts = Vec::new();
+            for (n, slot_addr) in [
+                (cfg.node_at(cy as isize - 1, cz as isize), PROG_FROM_YP),
+                (cfg.node_at(cy as isize + 1, cz as isize), PROG_FROM_YM),
+                (cfg.node_at(cy as isize, cz as isize - 1), PROG_FROM_ZP),
+                (cfg.node_at(cy as isize, cz as isize + 1), PROG_FROM_ZM),
+            ] {
+                if let Some(n) = n {
+                    posts.push(BlockWrite {
+                        dest: n,
+                        address: slot_addr,
+                        gc: dv_core::packet::SCRATCH_GC,
+                        words: vec![seq as u64 + 1],
+                    });
+                }
+            }
+            dv.write_blocks(ctx, posts, SendMode::DirectWrite { cached_headers: true });
+
+            let (oy, oz) = local.sweep_chunk(&cfg, entry.g, entry.o, range, &mut xin, &yface, &zface);
+            charge(
+                ctx,
+                (cx * nyl * nzl * cfg.angles) as u64,
+                compute.stencil_mcups * 1e6,
+            );
+
+            // Send downstream faces — never more than SLOTS chunks ahead
+            // of the consumer (credit flow control via progress slots).
+            let (_, ry, rz) = octant_dirs(entry.o);
+            let mut outgoing = Vec::new();
+            if let Some(n) = y_dn {
+                let prog_slot = if ry { PROG_FROM_YM } else { PROG_FROM_YP };
+                while seq + 1 > dv.peek_local(ctx, prog_slot, 1)[0] as usize + SLOTS {
+                    ctx.delay(dv_core::time::us(1));
+                }
+                charge_mem_bytes(ctx, &compute, 8 * oy.len() as u64);
+                outgoing.push(BlockWrite {
+                    dest: n,
+                    address: y_slot(seq),
+                    gc: Y_GC[slot],
+                    words: oy.iter().map(|v| v.to_bits()).collect(),
+                });
+            }
+            if let Some(n) = z_dn {
+                let prog_slot = if rz { PROG_FROM_ZM } else { PROG_FROM_ZP };
+                while seq + 1 > dv.peek_local(ctx, prog_slot, 1)[0] as usize + SLOTS {
+                    ctx.delay(dv_core::time::us(1));
+                }
+                charge_mem_bytes(ctx, &compute, 8 * oz.len() as u64);
+                outgoing.push(BlockWrite {
+                    dest: n,
+                    address: y_slot(seq) + y_words as u32,
+                    gc: Z_GC[slot],
+                    words: oz.iter().map(|v| v.to_bits()).collect(),
+                });
+            }
+            if !outgoing.is_empty() {
+                // The aggregation the paper added: both faces in one PCIe
+                // batch; small latency-critical faces by direct write.
+                let words: u64 = outgoing.iter().map(|b| b.words.len() as u64).sum();
+                let mode = if words <= 128 {
+                    SendMode::DirectWrite { cached_headers: true }
+                } else {
+                    SendMode::Dma { cached_headers: true }
+                };
+                dv.write_blocks(ctx, outgoing, mode);
+            }
+        }
+        dv.fast_barrier(ctx);
+        local.phi
+    });
+    SnapRunResult { elapsed, fields: results }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snap::{assemble_phi, SerialSnap};
+
+    #[test]
+    fn dv_snap_matches_serial_exactly() {
+        let cfg = SnapConfig::test_small();
+        let r = run(cfg);
+        let mut serial = SerialSnap::new(cfg);
+        serial.sweep_all();
+        assert_eq!(assemble_phi(&cfg, &r.fields), serial.phi);
+    }
+
+    #[test]
+    fn dv_and_mpi_snap_agree_bitwise() {
+        let cfg =
+            SnapConfig { n: (12, 8, 4), grid: (2, 2), groups: 2, angles: 2, chunk: 4, sigma: 0.6 };
+        let dv = run(cfg);
+        let mpi = super::super::mpi::run(cfg);
+        assert_eq!(assemble_phi(&cfg, &dv.fields), assemble_phi(&cfg, &mpi.fields));
+    }
+
+    #[test]
+    fn dv_speedup_is_modest() {
+        // Figure 9: the best-effort port wins, but only a little (1.19x in
+        // the paper). Accept anything in [1.0, 2.0) here.
+        let cfg =
+            SnapConfig { n: (16, 8, 8), grid: (2, 2), groups: 2, angles: 8, chunk: 4, sigma: 0.7 };
+        let dv = run(cfg);
+        let mpi = super::super::mpi::run(cfg);
+        let speedup = mpi.elapsed as f64 / dv.elapsed as f64;
+        assert!(speedup > 0.95, "speedup {speedup}");
+        assert!(speedup < 2.5, "suspiciously large SNAP speedup {speedup}");
+    }
+}
+
+#[cfg(test)]
+mod probe {
+    use super::*;
+    use dv_core::time::as_us_f64;
+
+    #[test]
+    #[ignore = "diagnostic probe"]
+    fn snap_breakdown() {
+        let cfg =
+            SnapConfig { n: (16, 8, 8), grid: (2, 2), groups: 2, angles: 8, chunk: 4, sigma: 0.7 };
+        let dv = run(cfg);
+        let mpi = super::super::mpi::run(cfg);
+        println!("dv {} us   mpi {} us", as_us_f64(dv.elapsed), as_us_f64(mpi.elapsed));
+    }
+}

@@ -1,0 +1,5 @@
+//! The pluggable distributed-transpose engine — re-exported from
+//! [`dv_kernels::transpose`] (it moved into the kernels crate so the 2-D
+//! FFT kernel can share it with the vorticity application).
+
+pub use dv_kernels::transpose::*;

@@ -1,0 +1,138 @@
+//! Criterion micro-benchmarks of the hot substrates.
+//!
+//! These measure the *simulator's* own performance (real wall time), not
+//! simulated metrics: the DES engine, the cycle-accurate switch, and the
+//! serial computational kernels the benchmarks execute for real.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use dv_core::rng::{HpccStream, SplitMix64};
+use dv_kernels::fft::{fft_in_place, Complex};
+use dv_kernels::graph::{kronecker_edges, Csr, GraphConfig};
+use dv_sim::{Port, Sim};
+use dv_switch::{SwitchSim, Topology};
+
+fn bench_des_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("event_schedule_drain_10k", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            sim.spawn("p", |ctx| {
+                for _ in 0..10_000 {
+                    ctx.delay(100);
+                }
+            });
+            sim.run()
+        });
+    });
+    g.throughput(Throughput::Elements(2_000));
+    g.bench_function("port_send_recv_2k", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            let port: Port<u64> = Port::new();
+            let (p1, p2) = (port.clone(), port.clone());
+            sim.spawn("recv", move |ctx| {
+                for _ in 0..2_000 {
+                    let _ = p1.recv(ctx);
+                }
+            });
+            sim.spawn("send", move |ctx| {
+                for i in 0..2_000 {
+                    p2.send_delayed(ctx, 500, i);
+                    ctx.delay(100);
+                }
+            });
+            sim.run()
+        });
+    });
+    g.finish();
+}
+
+fn bench_switch_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("switch");
+    g.bench_function("uniform_load_1k_cycles", |b| {
+        b.iter_batched(
+            || {
+                let mut sw = SwitchSim::new(Topology::new(8, 4));
+                let mut rng = SplitMix64::new(7);
+                for p in 0..32 {
+                    for _ in 0..8 {
+                        sw.enqueue(p, rng.next_below(32) as usize, 0);
+                    }
+                }
+                sw
+            },
+            |mut sw| {
+                for _ in 0..1_000 {
+                    let _ = sw.step();
+                }
+                sw.ejected()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_fft_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft");
+    for log_n in [10u32, 14] {
+        let n = 1usize << log_n;
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(format!("radix2_2^{log_n}"), |b| {
+            let mut rng = SplitMix64::new(1);
+            let data: Vec<Complex> =
+                (0..n).map(|_| Complex::new(rng.next_f64(), rng.next_f64())).collect();
+            b.iter_batched(
+                || data.clone(),
+                |mut d| {
+                    fft_in_place(&mut d);
+                    d[0]
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_graph_substrate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("graph");
+    let cfg = GraphConfig { scale: 14, edgefactor: 8, seed: 3 };
+    g.throughput(Throughput::Elements(cfg.edges() as u64));
+    g.bench_function("kronecker_scale14", |b| {
+        b.iter(|| kronecker_edges(&cfg).len());
+    });
+    let edges = kronecker_edges(&cfg);
+    g.bench_function("csr_build_scale14", |b| {
+        b.iter(|| Csr::build(cfg.vertices(), &edges).vertices());
+    });
+    g.finish();
+}
+
+fn bench_hpcc_stream(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rng");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("hpcc_stream_100k", |b| {
+        b.iter(|| {
+            let mut s = HpccStream::starting_at(12345);
+            let mut acc = 0u64;
+            for _ in 0..100_000 {
+                acc ^= s.next_u64();
+            }
+            acc
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_des_engine,
+    bench_switch_cycle,
+    bench_fft_kernel,
+    bench_graph_substrate,
+    bench_hpcc_stream
+);
+criterion_main!(benches);

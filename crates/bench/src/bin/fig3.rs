@@ -1,0 +1,51 @@
+//! Figure 3: ping-pong bandwidth vs message size.
+//!
+//! Prints both panels: (a) absolute GB/s and (b) percent of the nominal
+//! peak (Data Vortex 4.4 GB/s, InfiniBand 6.8 GB/s) for the four curves
+//! `DWr/NoCached`, `DWr/Cached`, `DMA/Cached`, `MPI`.
+
+use dv_api::SendMode;
+use dv_bench::{f2, quick, table};
+use dv_kernels::pingpong::{dv_pingpong, mpi_pingpong};
+
+fn main() {
+    let max_log = if quick() { 14 } else { 18 };
+    let sizes: Vec<usize> = (0..=max_log).step_by(2).map(|l| 1usize << l).collect();
+    let reps = |words: usize| if words >= 1 << 14 { 1 } else { 4 };
+
+    let mut rows_abs = Vec::new();
+    let mut rows_pct = Vec::new();
+    for &words in &sizes {
+        let r = reps(words);
+        let nc = dv_pingpong(words, r, SendMode::DirectWrite { cached_headers: false });
+        let ca = dv_pingpong(words, r, SendMode::DirectWrite { cached_headers: true });
+        let dm = dv_pingpong(words, r, SendMode::Dma { cached_headers: true });
+        let mp = mpi_pingpong(words, r);
+        let bw = [nc.bandwidth_gbps(), ca.bandwidth_gbps(), dm.bandwidth_gbps(), mp.bandwidth_gbps()];
+        rows_abs.push(vec![
+            words.to_string(),
+            f2(bw[0]),
+            f2(bw[1]),
+            f2(bw[2]),
+            f2(bw[3]),
+        ]);
+        rows_pct.push(vec![
+            words.to_string(),
+            f2(bw[0] / 4.4 * 100.0),
+            f2(bw[1] / 4.4 * 100.0),
+            f2(bw[2] / 4.4 * 100.0),
+            f2(bw[3] / 6.8 * 100.0),
+        ]);
+    }
+
+    println!("Figure 3a — ping-pong bandwidth (GB/s)\n");
+    println!(
+        "{}",
+        table(&["words", "DWr/NoCached", "DWr/Cached", "DMA/Cached", "MPI"], &rows_abs)
+    );
+    println!("Figure 3b — percent of nominal peak (DV 4.4, IB 6.8 GB/s)\n");
+    println!(
+        "{}",
+        table(&["words", "DWr/NoCached", "DWr/Cached", "DMA/Cached", "MPI"], &rows_pct)
+    );
+}

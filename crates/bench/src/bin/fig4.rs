@@ -1,0 +1,26 @@
+//! Figure 4: global barrier latency vs node count.
+
+use dv_bench::{f3, quick, table};
+use dv_core::time::as_us_f64;
+use dv_kernels::barrier::{barrier_latency, BarrierKind};
+
+fn main() {
+    let reps = if quick() { 100 } else { 1000 };
+    let mut rows = Vec::new();
+    for nodes in [2usize, 4, 8, 16, 32] {
+        let dv = barrier_latency(BarrierKind::DvIntrinsic, nodes, reps);
+        let fast = barrier_latency(BarrierKind::DvFast, nodes, reps);
+        let mpi = barrier_latency(BarrierKind::Mpi, nodes, reps);
+        rows.push(vec![
+            nodes.to_string(),
+            f3(as_us_f64(dv)),
+            f3(as_us_f64(fast)),
+            f3(as_us_f64(mpi)),
+        ]);
+    }
+    println!("Figure 4 — global barrier latency (µs, mean of {reps} barriers)\n");
+    println!(
+        "{}",
+        table(&["nodes", "Data Vortex", "FastBarrier", "Infiniband"], &rows)
+    );
+}

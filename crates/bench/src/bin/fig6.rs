@@ -1,0 +1,30 @@
+//! Figure 6: GUPS — updates per second per node (6a) and aggregate (6b).
+
+use dv_bench::{f2, quick, table};
+use dv_kernels::gups::{dv, mpi, GupsConfig};
+
+fn main() {
+    let cfg = if quick() {
+        GupsConfig { table_per_node: 1 << 11, updates_per_node: 1 << 13, bucket: 1024, stream_offset: 0 }
+    } else {
+        // HPCC convention: updates = 4 × table size.
+        GupsConfig { table_per_node: 1 << 13, updates_per_node: 4 << 13, bucket: 1024, stream_offset: 0 }
+    };
+    let mut rows_per = Vec::new();
+    let mut rows_agg = Vec::new();
+    for nodes in [4usize, 8, 16, 32] {
+        let d = dv::run(cfg, nodes);
+        let m = mpi::run(cfg, nodes);
+        assert_eq!(d.checksum, m.checksum, "backends disagree on the table");
+        rows_per.push(vec![nodes.to_string(), f2(d.mups_per_node()), f2(m.mups_per_node())]);
+        rows_agg.push(vec![nodes.to_string(), f2(d.mups_total()), f2(m.mups_total())]);
+    }
+    println!(
+        "Figure 6a — GUPS per processing element (MUPS), table 2^{} words/node, {} updates/node\n",
+        cfg.table_per_node.trailing_zeros(),
+        cfg.updates_per_node
+    );
+    println!("{}", table(&["nodes", "Data Vortex", "Infiniband"], &rows_per));
+    println!("Figure 6b — aggregate GUPS (MUPS)\n");
+    println!("{}", table(&["nodes", "Data Vortex", "Infiniband"], &rows_agg));
+}

@@ -1,0 +1,25 @@
+//! Figure 7: distributed 1-D FFT, aggregate GFLOPS vs node count.
+//!
+//! The paper transforms 2³³ points on real hardware; the simulated
+//! cluster uses 2²⁰ (2¹⁶ with `--quick`) — the curves' *shape* (DV above
+//! MPI, gap widening with node count) is the reproduction target.
+
+use dv_bench::{f2, quick, table};
+use dv_kernels::fft::{dv, mpi};
+
+fn main() {
+    let n: usize = if quick() { 1 << 16 } else { 1 << 20 };
+    let mut rows = Vec::new();
+    for nodes in [2usize, 4, 8, 16, 32] {
+        let d = dv::run(n, nodes, false);
+        let m = mpi::run(n, nodes, false);
+        rows.push(vec![
+            nodes.to_string(),
+            f2(d.gflops()),
+            f2(m.gflops()),
+            f2(d.gflops() / m.gflops()),
+        ]);
+    }
+    println!("Figure 7 — FFT-1D aggregate GFLOPS, N = 2^{}\n", n.trailing_zeros());
+    println!("{}", table(&["nodes", "Data Vortex", "Infiniband", "DV/IB"], &rows));
+}

@@ -1,0 +1,71 @@
+//! Supplementary: cycle-accurate Data Vortex switch characterization.
+//!
+//! Reproduces the methodology of the robustness studies the paper cites
+//! (refs [14][15]): offered-load sweeps per traffic pattern, reporting
+//! accepted throughput, latency, and deflections, plus the topology
+//! summary of Figure 1 and the analytic-model calibration.
+
+use dv_bench::{f2, f3, quick, table};
+use dv_core::config::DvParams;
+use dv_switch::traffic::{Arrival, LoadSweep, Pattern};
+use dv_switch::{SwitchModel, Topology};
+
+fn main() {
+    let topo = Topology::new(8, 4);
+    println!(
+        "Data Vortex switch: H={} A={} -> C={} cylinders, {} ports, {} switching nodes\n",
+        topo.height,
+        topo.angles,
+        topo.cylinders(),
+        topo.ports(),
+        topo.nodes()
+    );
+
+    let measure = if quick() { 1_000 } else { 5_000 };
+    let loads = [0.1, 0.3, 0.5, 0.7, 0.9];
+    for pattern in [Pattern::Uniform, Pattern::Hotspot, Pattern::Tornado, Pattern::BitReverse] {
+        let mut sweep = LoadSweep::new(topo.clone());
+        sweep.pattern = pattern;
+        sweep.measure = measure;
+        let mut rows = Vec::new();
+        for &l in &loads {
+            let p = sweep.run(l);
+            rows.push(vec![
+                f2(p.offered),
+                f3(p.accepted),
+                f2(p.latency_mean),
+                f2(p.total_latency_mean),
+                format!("<2^{}", p.total_latency_p99_log2 + 1),
+                f3(p.deflections_mean),
+            ]);
+        }
+        println!("pattern: {pattern:?} (Bernoulli arrivals)\n");
+        println!(
+            "{}",
+            table(
+                &["offered", "accepted", "switch lat (cyc)", "total lat (cyc)", "p99 lat", "deflections"],
+                &rows
+            )
+        );
+    }
+
+    // Bursty traffic (the Yang & Bergman study).
+    let mut sweep = LoadSweep::new(topo.clone());
+    sweep.arrival = Arrival::Bursty { mean_burst: 8.0 };
+    sweep.measure = measure;
+    let mut rows = Vec::new();
+    for &l in &loads {
+        let p = sweep.run(l);
+        rows.push(vec![f2(p.offered), f3(p.accepted), f2(p.total_latency_mean), f3(p.deflections_mean)]);
+    }
+    println!("pattern: Uniform, bursty arrivals (mean burst 8)\n");
+    println!("{}", table(&["offered", "accepted", "total lat (cyc)", "deflections"], &rows));
+
+    // Analytic model calibration against the cycle simulator.
+    let mut model = SwitchModel::from_params(&DvParams::default());
+    let calibrated = model.calibrate(7);
+    println!(
+        "analytic model: calibrated saturation deflection penalty = {:.2} hops (paper: \"statistically by two hops\")",
+        calibrated
+    );
+}

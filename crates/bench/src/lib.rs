@@ -1,0 +1,82 @@
+//! # dv-bench — regenerates every figure of the paper's evaluation
+//!
+//! One binary per figure (the paper's evaluation has no numbered tables;
+//! its results are Figures 3–9):
+//!
+//! | binary | paper figure | content |
+//! |---|---|---|
+//! | `fig3` | Fig. 3a/3b | ping-pong bandwidth vs message size, 4 curves |
+//! | `fig4` | Fig. 4 | barrier latency vs node count, 3 curves |
+//! | `fig5` | Fig. 5 | Extrae-style trace of MPI GUPS (full + zoom) |
+//! | `fig6` | Fig. 6a/6b | GUPS per node and aggregate vs node count |
+//! | `fig7` | Fig. 7 | FFT-1D aggregate GFLOPS vs node count |
+//! | `fig8` | Fig. 8 | Graph500 BFS harmonic-mean GTEPS vs node count |
+//! | `fig9` | Fig. 9 | application speedups (SNAP / Vorticity / Heat) |
+//! | `switch_study` | (supplementary) | cycle-accurate switch load sweeps |
+//! | `ablate_aggregation` | (ablation) | GUPS with source aggregation on/off |
+//!
+//! All binaries accept `--quick` for reduced problem sizes. Criterion
+//! micro-benchmarks of the hot substrates live in `benches/micro.rs`.
+
+use std::fmt::Write as _;
+
+/// Render an aligned text table (markdown-flavored).
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+        let _ = write!(out, "|");
+        for (c, w) in cells.iter().zip(widths) {
+            let _ = write!(out, " {c:>w$} |");
+        }
+        let _ = writeln!(out);
+    };
+    fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(), &widths, &mut out);
+    let _ = write!(out, "|");
+    for w in &widths {
+        let _ = write!(out, "{}|", "-".repeat(w + 2));
+    }
+    let _ = writeln!(out);
+    for row in rows {
+        fmt_row(row, &widths, &mut out);
+    }
+    out
+}
+
+/// True when `--quick` was passed (CI-friendly sizes).
+pub fn quick() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Format a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Format a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = table(
+            &["name", "value"],
+            &[vec!["a".into(), "1.0".into()], vec!["long-name".into(), "2".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines the same width.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        assert!(lines[0].contains("name") && lines[3].contains("long-name"));
+    }
+}

@@ -1,0 +1,184 @@
+//! Online statistics used by the benchmark harnesses.
+
+/// Streaming mean/variance/min/max via Welford's algorithm.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Fold in one sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample, or `NaN` when empty.
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or `NaN` when empty.
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+}
+
+/// Harmonic mean of a slice of positive rates — Graph500 reports the
+/// harmonic mean of TEPS across search roots.
+pub fn harmonic_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let denom: f64 = xs.iter().map(|&x| 1.0 / x).sum();
+    xs.len() as f64 / denom
+}
+
+/// Histogram over power-of-two buckets; bucket `i` counts samples in
+/// `[2^i, 2^(i+1))` with bucket 0 also catching zero.
+#[derive(Debug, Clone)]
+pub struct Log2Histogram {
+    buckets: Vec<u64>,
+    total: u64,
+}
+
+impl Log2Histogram {
+    /// Histogram with `buckets` power-of-two buckets; samples beyond the
+    /// last bucket clamp into it.
+    pub fn new(buckets: usize) -> Self {
+        Self { buckets: vec![0; buckets.max(1)], total: 0 }
+    }
+
+    /// Count one sample.
+    pub fn push(&mut self, x: u64) {
+        let idx = if x <= 1 { 0 } else { (63 - x.leading_zeros()) as usize };
+        let idx = idx.min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Raw bucket counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The smallest `x` such that at least `q` (0..=1) of samples are
+    /// `< 2^x` — a coarse quantile in log₂ space.
+    pub fn quantile_log2(&self, q: f64) -> usize {
+        let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return i;
+            }
+        }
+        self.buckets.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_closed_form() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Population variance is 4.0; sample variance = 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_stats_are_sane() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert!(s.min().is_nan());
+    }
+
+    #[test]
+    fn harmonic_mean_known_values() {
+        assert!((harmonic_mean(&[1.0, 2.0, 4.0]) - 12.0 / 7.0).abs() < 1e-12);
+        assert!((harmonic_mean(&[5.0]) - 5.0).abs() < 1e-12);
+        assert!(harmonic_mean(&[]).is_nan());
+        // Harmonic mean is dominated by the slowest sample.
+        assert!(harmonic_mean(&[100.0, 0.01]) < 0.03);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Log2Histogram::new(8);
+        for x in [0, 1, 2, 3, 4, 8, 1000, u64::MAX] {
+            h.push(x);
+        }
+        assert_eq!(h.total(), 8);
+        assert_eq!(h.buckets()[0], 2); // 0 and 1
+        assert_eq!(h.buckets()[1], 2); // 2 and 3
+        assert_eq!(h.buckets()[2], 1); // 4
+        assert_eq!(h.buckets()[3], 1); // 8
+        assert_eq!(h.buckets()[7], 2); // clamped large values
+        assert_eq!(h.quantile_log2(0.25), 0);
+        assert_eq!(h.quantile_log2(1.0), 7);
+    }
+}

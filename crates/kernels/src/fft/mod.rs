@@ -1,0 +1,223 @@
+//! Fast Fourier Transform: serial kernel + distributed 1-D algorithm.
+//!
+//! The serial kernel is a real iterative radix-2 decimation-in-time FFT
+//! (bit-reversal permutation + butterfly passes). The distributed 1-D
+//! transform ([`plan::FftPlan`], [`mpi`], [`dv`]) uses the classic
+//! transpose ("four-step") algorithm the paper's FFT benchmark is built
+//! on, whose communication cost is two distributed matrix transpositions —
+//! "the multiple matrix transpose operations (butterflies) that need to be
+//! performed at each stage" (Section VI).
+
+pub mod dv;
+pub mod mpi;
+pub mod plan;
+pub mod twod;
+
+/// A complex number (inline, `repr` irrelevant — nothing aliases it).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Construct.
+    #[inline]
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Zero.
+    #[inline]
+    pub fn zero() -> Self {
+        Self { re: 0.0, im: 0.0 }
+    }
+
+    /// `e^{-2πi k / n}` — the FFT twiddle factor (negative exponent:
+    /// forward transform).
+    #[inline]
+    pub fn twiddle(k: usize, n: usize) -> Self {
+        let angle = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
+        Self { re: angle.cos(), im: angle.sin() }
+    }
+
+    /// Complex multiply.
+    #[inline]
+    pub fn mul(self, o: Self) -> Self {
+        Self { re: self.re * o.re - self.im * o.im, im: self.re * o.im + self.im * o.re }
+    }
+
+    /// Complex add.
+    #[inline]
+    pub fn add(self, o: Self) -> Self {
+        Self { re: self.re + o.re, im: self.im + o.im }
+    }
+
+    /// Complex subtract.
+    #[inline]
+    pub fn sub(self, o: Self) -> Self {
+        Self { re: self.re - o.re, im: self.im - o.im }
+    }
+
+    /// Squared magnitude.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+/// In-place iterative radix-2 FFT. `data.len()` must be a power of two.
+pub fn fft_in_place(data: &mut [Complex]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    // Butterfly passes.
+    let mut len = 2;
+    while len <= n {
+        let half = len / 2;
+        // Precompute the stride-1 twiddle for this stage and walk it.
+        let step = Complex::twiddle(1, len);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..half {
+                let a = data[start + k];
+                let b = data[start + k + half].mul(w);
+                data[start + k] = a.add(b);
+                data[start + k + half] = a.sub(b);
+                w = w.mul(step);
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Inverse FFT (unnormalized conjugate method, then scaled by 1/n).
+pub fn ifft_in_place(data: &mut [Complex]) {
+    for c in data.iter_mut() {
+        c.im = -c.im;
+    }
+    fft_in_place(data);
+    let n = data.len() as f64;
+    for c in data.iter_mut() {
+        c.re /= n;
+        c.im = -c.im / n;
+    }
+}
+
+/// O(n²) reference DFT for validation.
+pub fn naive_dft(data: &[Complex]) -> Vec<Complex> {
+    let n = data.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::zero();
+            for (j, &x) in data.iter().enumerate() {
+                acc = acc.add(x.mul(Complex::twiddle(k * j % n, n)));
+            }
+            acc
+        })
+        .collect()
+}
+
+/// The FLOP count convention of the HPCC FFT benchmark: `5 N log2 N`.
+pub fn fft_flops(n: u64) -> u64 {
+    5 * n * (63 - n.leading_zeros() as u64)
+}
+
+/// Max elementwise distance between two complex slices.
+pub fn max_error(a: &[Complex], b: &[Complex]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x.sub(*y).norm_sq().sqrt()).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dv_core::rng::SplitMix64;
+
+    fn random_signal(n: usize, seed: u64) -> Vec<Complex> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n).map(|_| Complex::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5)).collect()
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        for n in [1usize, 2, 4, 8, 64, 256] {
+            let x = random_signal(n, 42);
+            let mut y = x.clone();
+            fft_in_place(&mut y);
+            let reference = naive_dft(&x);
+            assert!(max_error(&y, &reference) < 1e-9 * n as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut x = vec![Complex::zero(); 16];
+        x[0] = Complex::new(1.0, 0.0);
+        fft_in_place(&mut x);
+        for c in &x {
+            assert!((c.re - 1.0).abs() < 1e-12 && c.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_single_tone_is_a_spike() {
+        let n = 64;
+        let k0 = 5;
+        let x: Vec<Complex> = (0..n)
+            .map(|j| {
+                let ang = 2.0 * std::f64::consts::PI * (k0 * j) as f64 / n as f64;
+                Complex::new(ang.cos(), ang.sin())
+            })
+            .collect();
+        let mut y = x.clone();
+        fft_in_place(&mut y);
+        for (k, c) in y.iter().enumerate() {
+            let expect = if k == k0 { n as f64 } else { 0.0 };
+            assert!((c.re - expect).abs() < 1e-9 && c.im.abs() < 1e-9, "k={k}: {c:?}");
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        let x = random_signal(128, 7);
+        let mut y = x.clone();
+        fft_in_place(&mut y);
+        ifft_in_place(&mut y);
+        assert!(max_error(&x, &y) < 1e-10);
+    }
+
+    #[test]
+    fn parseval_energy_is_conserved() {
+        let x = random_signal(256, 9);
+        let e_time: f64 = x.iter().map(|c| c.norm_sq()).sum();
+        let mut y = x;
+        fft_in_place(&mut y);
+        let e_freq: f64 = y.iter().map(|c| c.norm_sq()).sum::<f64>() / 256.0;
+        assert!((e_time - e_freq).abs() < 1e-9 * e_time);
+    }
+
+    #[test]
+    fn flop_convention() {
+        assert_eq!(fft_flops(8), 5 * 8 * 3);
+        assert_eq!(fft_flops(1 << 20), 5 * (1 << 20) * 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let mut x = vec![Complex::zero(); 12];
+        fft_in_place(&mut x);
+    }
+}

@@ -1,0 +1,410 @@
+//! Graph500-style BFS over Kronecker graphs (Figure 8).
+//!
+//! The benchmark follows the Graph500 recipe the paper uses: an R-MAT /
+//! Kronecker generator with the standard (A,B,C) = (0.57, 0.19, 0.19)
+//! parameters and edge factor 16, vertex scrambling for load balance, a
+//! level-synchronized distributed BFS from random roots, and parent-tree
+//! validation. Performance is reported as traversed edges per second
+//! (TEPS), harmonically averaged over roots.
+//!
+//! Graph *construction* is performed outside the timed region (Graph500
+//! reports construction separately; the paper's metrics come from the
+//! search phase only).
+
+pub mod dv;
+pub mod mpi;
+
+use dv_core::rng::SplitMix64;
+
+/// Standard Graph500 Kronecker parameters.
+pub const RMAT_A: f64 = 0.57;
+/// See [`RMAT_A`].
+pub const RMAT_B: f64 = 0.19;
+/// See [`RMAT_A`].
+pub const RMAT_C: f64 = 0.19;
+
+/// Generation config.
+#[derive(Debug, Clone, Copy)]
+pub struct GraphConfig {
+    /// log2 of the vertex count.
+    pub scale: u32,
+    /// Average edges per vertex (Graph500 default: 16).
+    pub edgefactor: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl GraphConfig {
+    /// Small test graph.
+    pub fn test_small() -> Self {
+        Self { scale: 10, edgefactor: 8, seed: 0x5EED }
+    }
+
+    /// Vertices (2^scale).
+    pub fn vertices(&self) -> usize {
+        1 << self.scale
+    }
+
+    /// Generated edge count.
+    pub fn edges(&self) -> usize {
+        self.edgefactor << self.scale
+    }
+}
+
+/// Bijective vertex scrambler (multiply by an odd constant, xor-fold):
+/// spreads the R-MAT hub vertices across owners, like Graph500's vertex
+/// permutation.
+pub fn scramble(v: u64, scale: u32) -> u64 {
+    let mask = (1u64 << scale) - 1;
+    let mut x = (v.wrapping_mul(0x9E3779B97F4A7C15) ^ (v >> 17)) & mask;
+    x ^= x >> (scale / 2).max(1);
+    x & mask
+}
+
+/// Generate the Kronecker edge list (deterministic in the seed).
+pub fn kronecker_edges(cfg: &GraphConfig) -> Vec<(u32, u32)> {
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut edges = Vec::with_capacity(cfg.edges());
+    for _ in 0..cfg.edges() {
+        let mut u = 0u64;
+        let mut v = 0u64;
+        for bit in 0..cfg.scale {
+            let r = rng.next_f64();
+            let (ub, vb) = if r < RMAT_A {
+                (0, 0)
+            } else if r < RMAT_A + RMAT_B {
+                (0, 1)
+            } else if r < RMAT_A + RMAT_B + RMAT_C {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u |= ub << bit;
+            v |= vb << bit;
+        }
+        edges.push((scramble(u, cfg.scale) as u32, scramble(v, cfg.scale) as u32));
+    }
+    edges
+}
+
+/// Compressed sparse row adjacency (undirected: both directions stored).
+#[derive(Debug, Clone)]
+pub struct Csr {
+    /// Row offsets (`vertices + 1` entries).
+    pub offsets: Vec<usize>,
+    /// Flattened neighbor lists.
+    pub targets: Vec<u32>,
+}
+
+impl Csr {
+    /// Build from an edge list over `n` vertices; self-loops dropped,
+    /// multi-edges kept (Graph500 semantics).
+    pub fn build(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut degree = vec![0usize; n];
+        for &(u, v) in edges {
+            if u != v {
+                degree[u as usize] += 1;
+                degree[v as usize] += 1;
+            }
+        }
+        let mut offsets = vec![0usize; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + degree[i];
+        }
+        let mut targets = vec![0u32; offsets[n]];
+        let mut cursor = offsets.clone();
+        for &(u, v) in edges {
+            if u != v {
+                targets[cursor[u as usize]] = v;
+                cursor[u as usize] += 1;
+                targets[cursor[v as usize]] = u;
+                cursor[v as usize] += 1;
+            }
+        }
+        Self { offsets, targets }
+    }
+
+    /// Vertex count.
+    pub fn vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Neighbors of `v`.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.targets[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: u32) -> usize {
+        self.neighbors(v).len()
+    }
+}
+
+/// Serial BFS; returns (`parents`, `levels`) with `-1` for unreached.
+pub fn serial_bfs(csr: &Csr, root: u32) -> (Vec<i64>, Vec<i64>) {
+    let n = csr.vertices();
+    let mut parents = vec![-1i64; n];
+    let mut levels = vec![-1i64; n];
+    parents[root as usize] = root as i64;
+    levels[root as usize] = 0;
+    let mut frontier = vec![root];
+    let mut level = 0i64;
+    while !frontier.is_empty() {
+        level += 1;
+        let mut next = Vec::new();
+        for &u in &frontier {
+            for &v in csr.neighbors(u) {
+                if parents[v as usize] < 0 {
+                    parents[v as usize] = u as i64;
+                    levels[v as usize] = level;
+                    next.push(v);
+                }
+            }
+        }
+        frontier = next;
+    }
+    (parents, levels)
+}
+
+/// Graph500-style validation of a BFS parent array against the graph:
+/// * the root is its own parent;
+/// * every tree edge exists in the graph;
+/// * levels implied by the tree match a reference BFS's levels exactly
+///   (levels are unique even though trees are not);
+/// * exactly the reference's reachable set is visited.
+pub fn validate_bfs(csr: &Csr, root: u32, parents: &[i64]) -> Result<(), String> {
+    let n = csr.vertices();
+    if parents.len() != n {
+        return Err("parent array length mismatch".into());
+    }
+    if parents[root as usize] != root as i64 {
+        return Err("root is not its own parent".into());
+    }
+    let (_, ref_levels) = serial_bfs(csr, root);
+    // Compute levels by chasing parents (with cycle guard).
+    let mut levels = vec![-1i64; n];
+    levels[root as usize] = 0;
+    for v0 in 0..n {
+        if parents[v0] < 0 || levels[v0] >= 0 {
+            continue;
+        }
+        // Walk up to a labeled ancestor.
+        let mut chain = Vec::new();
+        let mut v = v0;
+        while levels[v] < 0 {
+            chain.push(v);
+            if chain.len() > n {
+                return Err("cycle in parent tree".into());
+            }
+            let p = parents[v];
+            if p < 0 {
+                return Err(format!("visited vertex {v} has unvisited ancestor"));
+            }
+            v = p as usize;
+        }
+        let mut lvl = levels[v];
+        for &u in chain.iter().rev() {
+            lvl += 1;
+            levels[u] = lvl;
+        }
+    }
+    for v in 0..n {
+        match (parents[v] >= 0, ref_levels[v] >= 0) {
+            (true, false) => return Err(format!("vertex {v} visited but unreachable")),
+            (false, true) => return Err(format!("vertex {v} reachable but unvisited")),
+            (false, false) => continue,
+            (true, true) => {}
+        }
+        if levels[v] != ref_levels[v] {
+            return Err(format!(
+                "vertex {v}: tree level {} != BFS level {}",
+                levels[v], ref_levels[v]
+            ));
+        }
+        if v != root as usize {
+            let p = parents[v] as u32;
+            if !csr.neighbors(p).contains(&(v as u32)) {
+                return Err(format!("tree edge ({p},{v}) not in graph"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Partition: vertex `v` is owned by node `v mod p` at local index
+/// `v / p` (cyclic — spreads scrambled hubs evenly).
+#[derive(Debug, Clone, Copy)]
+pub struct VertexPart {
+    /// Node count.
+    pub nodes: usize,
+}
+
+impl VertexPart {
+    /// Owner of vertex `v`.
+    #[inline]
+    pub fn owner(&self, v: u32) -> usize {
+        v as usize % self.nodes
+    }
+    /// Local index of `v` at its owner.
+    #[inline]
+    pub fn local(&self, v: u32) -> usize {
+        v as usize / self.nodes
+    }
+    /// Global id of local index `l` on `node`.
+    #[inline]
+    pub fn global(&self, node: usize, l: usize) -> u32 {
+        (l * self.nodes + node) as u32
+    }
+    /// Number of vertices owned by `node` out of `n` total.
+    pub fn count(&self, node: usize, n: usize) -> usize {
+        if node >= n {
+            0
+        } else {
+            (n - node - 1) / self.nodes + 1
+        }
+    }
+}
+
+/// Build each node's local CSR (adjacency of owned vertices, neighbor ids
+/// global).
+pub fn partition_csr(csr: &Csr, part: VertexPart) -> Vec<Csr> {
+    let n = csr.vertices();
+    (0..part.nodes)
+        .map(|node| {
+            let mut offsets = vec![0usize];
+            let mut targets = Vec::new();
+            let mut l = 0;
+            loop {
+                let v = part.global(node, l);
+                if (v as usize) >= n {
+                    break;
+                }
+                targets.extend_from_slice(csr.neighbors(v));
+                offsets.push(targets.len());
+                l += 1;
+            }
+            Csr { offsets, targets }
+        })
+        .collect()
+}
+
+/// Pick `count` random roots with non-zero degree (Graph500 requirement).
+pub fn pick_roots(csr: &Csr, count: usize, seed: u64) -> Vec<u32> {
+    let mut rng = SplitMix64::new(seed);
+    let mut roots = Vec::new();
+    let n = csr.vertices() as u64;
+    while roots.len() < count {
+        let v = rng.next_below(n) as u32;
+        if csr.degree(v) > 0 && !roots.contains(&v) {
+            roots.push(v);
+        }
+    }
+    roots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> (GraphConfig, Csr) {
+        let cfg = GraphConfig::test_small();
+        let edges = kronecker_edges(&cfg);
+        let csr = Csr::build(cfg.vertices(), &edges);
+        (cfg, csr)
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let cfg = GraphConfig::test_small();
+        assert_eq!(kronecker_edges(&cfg), kronecker_edges(&cfg));
+    }
+
+    #[test]
+    fn generator_has_power_law_skew() {
+        let (_, csr) = small();
+        let mut degrees: Vec<usize> = (0..csr.vertices()).map(|v| csr.degree(v as u32)).collect();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        let mean = degrees.iter().sum::<usize>() as f64 / degrees.len() as f64;
+        // Hubs far above the mean are the R-MAT signature.
+        assert!(degrees[0] as f64 > 5.0 * mean, "max {} mean {mean}", degrees[0]);
+    }
+
+    #[test]
+    fn scramble_is_bijective() {
+        let scale = 10;
+        let mut seen = vec![false; 1 << scale];
+        for v in 0..1u64 << scale {
+            let s = scramble(v, scale) as usize;
+            assert!(!seen[s], "collision at {v}");
+            seen[s] = true;
+        }
+    }
+
+    #[test]
+    fn csr_degrees_sum_to_twice_edges() {
+        let (cfg, csr) = small();
+        let self_loops =
+            kronecker_edges(&cfg).iter().filter(|(u, v)| u == v).count();
+        let total: usize = (0..csr.vertices()).map(|v| csr.degree(v as u32)).sum();
+        assert_eq!(total, 2 * (cfg.edges() - self_loops));
+    }
+
+    #[test]
+    fn serial_bfs_levels_are_consistent() {
+        let (_, csr) = small();
+        let root = pick_roots(&csr, 1, 7)[0];
+        let (parents, levels) = serial_bfs(&csr, root);
+        assert!(validate_bfs(&csr, root, &parents).is_ok());
+        // Every edge spans at most one level.
+        for v in 0..csr.vertices() as u32 {
+            if levels[v as usize] < 0 {
+                continue;
+            }
+            for &w in csr.neighbors(v) {
+                if levels[w as usize] >= 0 {
+                    assert!((levels[v as usize] - levels[w as usize]).abs() <= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn validator_rejects_corrupt_trees() {
+        let (_, csr) = small();
+        let root = pick_roots(&csr, 1, 7)[0];
+        let (mut parents, _) = serial_bfs(&csr, root);
+        // Corrupt: point some visited vertex at a non-neighbor.
+        let victim = (0..parents.len())
+            .find(|&v| parents[v] >= 0 && v != root as usize && !csr.neighbors((v) as u32).is_empty())
+            .unwrap();
+        let bogus = (0..csr.vertices() as u32)
+            .find(|&w| w != victim as u32 && !csr.neighbors(victim as u32).contains(&w))
+            .unwrap();
+        parents[victim] = bogus as i64;
+        assert!(validate_bfs(&csr, root, &parents).is_err());
+    }
+
+    #[test]
+    fn partition_covers_all_vertices() {
+        let (_, csr) = small();
+        let part = VertexPart { nodes: 3 };
+        let locals = partition_csr(&csr, part);
+        let total: usize = locals.iter().map(|c| c.vertices()).sum();
+        assert_eq!(total, csr.vertices());
+        // Local adjacency matches global.
+        for node in 0..3 {
+            for l in 0..locals[node].vertices() {
+                let g = part.global(node, l);
+                assert_eq!(locals[node].neighbors(l as u32), csr.neighbors(g));
+            }
+        }
+    }
+
+    #[test]
+    fn roots_have_degree() {
+        let (_, csr) = small();
+        for r in pick_roots(&csr, 8, 42) {
+            assert!(csr.degree(r) > 0);
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! GUPS on the Data Vortex: aggregation at source, fine-grained packets.
+//!
+//! Remote updates become single surprise-FIFO packets (the payload *is*
+//! the HPCC random value — the destination recomputes the index from it,
+//! using the global-address mapping it keeps in DV memory). Up to 1024
+//! packets — to *any* mix of destinations — ride one PCIe DMA batch
+//! ("aggregation at source"); the switch routes them without congesting.
+//! Completion uses per-peer sent counts written into DV memory, the
+//! coordination idiom Section III describes.
+
+use dv_core::config::MachineConfig;
+use dv_core::packet::{Packet, PacketHeader, SCRATCH_GC};
+use dv_api::{Aggregator, DvCluster, DvCtx, SendMode};
+use dv_sim::SimCtx;
+
+use crate::util::{charge, charge_updates, BlockDist};
+
+use super::{locate, GupsConfig, GupsResult};
+
+/// DV-memory address where peer `src` posts how many updates it sent us
+/// (encoded as count+1 so zero means "not posted yet").
+const COUNT_BASE: u32 = 8;
+/// Random-number generation rate (values/s).
+const GEN_RATE: f64 = 600e6;
+
+fn drain_and_apply(
+    dv: &DvCtx,
+    ctx: &SimCtx,
+    dist: &BlockDist,
+    me: usize,
+    table: &mut [u64],
+    compute: &dv_core::config::ComputeParams,
+) -> u64 {
+    let words = dv.fifo_drain(ctx, usize::MAX);
+    let n = words.len() as u64;
+    for ran in words {
+        let (owner, idx) = locate(dist, ran);
+        debug_assert_eq!(owner, me, "update routed to the wrong node");
+        table[idx] ^= ran;
+    }
+    charge_updates(ctx, compute, n);
+    n
+}
+
+/// Run GUPS on the Data Vortex with `nodes` nodes.
+pub fn run(cfg: GupsConfig, nodes: usize) -> GupsResult {
+    run_with(cfg, nodes, MachineConfig::paper_cluster(), true)
+}
+
+/// [`run`] with a trace recorder attached (the Data Vortex counterpart of
+/// the paper's Figure 5 trace).
+pub fn run_traced(
+    cfg: GupsConfig,
+    nodes: usize,
+    machine: MachineConfig,
+    tracer: std::sync::Arc<dv_core::trace::Tracer>,
+) -> GupsResult {
+    run_inner(cfg, nodes, machine, true, tracer)
+}
+
+/// [`run`] with explicit machine config and a switch for the source
+/// aggregation (the `ablate_aggregation` bench turns it off: every remote
+/// update then pays its own PCIe crossing).
+pub fn run_with(
+    cfg: GupsConfig,
+    nodes: usize,
+    machine: MachineConfig,
+    aggregate: bool,
+) -> GupsResult {
+    run_inner(cfg, nodes, machine, aggregate, std::sync::Arc::new(dv_core::trace::Tracer::disabled()))
+}
+
+fn run_inner(
+    cfg: GupsConfig,
+    nodes: usize,
+    machine: MachineConfig,
+    aggregate: bool,
+    tracer: std::sync::Arc<dv_core::trace::Tracer>,
+) -> GupsResult {
+    let dist = BlockDist::new(cfg.global_words(nodes), nodes);
+    assert!(
+        COUNT_BASE as usize + nodes <= dv_api::ctx::STATUS_PAGE_WORDS,
+        "GUPS completion slots exceed the VIC status page ({nodes} nodes)"
+    );
+    let compute = machine.compute.clone();
+    let cluster = DvCluster::new(nodes).with_config(machine).with_tracer(tracer);
+    let (elapsed, results) = cluster.run(move |dv, ctx| {
+        let me = dv.node();
+        let p = dv.nodes();
+        let compute = compute.clone();
+        let my_start = dist.start(me) as u64;
+        let mut table: Vec<u64> = (my_start..my_start + dist.count(me) as u64).collect();
+        let mut stream = cfg.stream_for(me);
+        let mut applied = 0u64;
+        let mut sent = vec![0u64; p];
+        // The 1024-access HPCC buffering cap applies to the aggregator.
+        let threshold = if aggregate { cfg.bucket } else { 1 };
+        let mode = if aggregate {
+            SendMode::Dma { cached_headers: true }
+        } else {
+            SendMode::DirectWrite { cached_headers: false }
+        };
+        let mut agg = Aggregator::with_mode(threshold, mode);
+
+        dv.barrier(ctx);
+        let mut received_remote = 0u64;
+        let rounds = cfg.updates_per_node.div_ceil(cfg.bucket);
+        for round in 0..rounds {
+            let round_start = ctx.now();
+            let batch = cfg.bucket.min(cfg.updates_per_node - round * cfg.bucket);
+            let mut local_count = 0u64;
+            for _ in 0..batch {
+                let ran = stream.next_u64();
+                let (owner, idx) = locate(&dist, ran);
+                if owner == me {
+                    table[idx] ^= ran;
+                    local_count += 1;
+                    applied += 1;
+                } else {
+                    sent[owner] += 1;
+                    agg.push(ctx, dv, Packet::new(PacketHeader::fifo(me, owner, SCRATCH_GC), ran));
+                }
+            }
+            charge(ctx, batch as u64, GEN_RATE);
+            charge_updates(ctx, &compute, local_count);
+            // Interleave draining so nobody's FIFO backs up.
+            received_remote += drain_and_apply(dv, ctx, &dist, me, &mut table, &compute);
+            dv.world().tracer.span(me, dv_core::trace::State::Compute, round_start, ctx.now());
+            // Coarse pacing: bound sender/receiver skew so the surprise
+            // FIFO (capacity "thousands of messages") can never overflow.
+            // A skew window of 2 buckets keeps worst-case in-flight
+            // traffic near 2×1024 packets, well under the FIFO capacity.
+            if (round + 1) % 2 == 0 {
+                agg.flush(ctx, dv);
+                dv.fast_barrier(ctx);
+                received_remote += drain_and_apply(dv, ctx, &dist, me, &mut table, &compute);
+            }
+        }
+        agg.flush(ctx, dv);
+
+        // Post per-peer sent counts (count+1; zero = not posted).
+        let count_packets: Vec<Packet> = (0..p)
+            .filter(|&d| d != me)
+            .map(|d| {
+                Packet::new(
+                    PacketHeader::dv_memory(me, d, COUNT_BASE + me as u32, SCRATCH_GC),
+                    sent[d] + 1,
+                )
+            })
+            .collect();
+        dv.send_packets(ctx, count_packets, SendMode::DirectWrite { cached_headers: true });
+
+        // Drain until all peers posted and all promised updates arrived.
+        loop {
+            assert_eq!(dv.fifo_dropped(), 0, "FIFO overflow lost updates mid-run");
+            received_remote += drain_and_apply(dv, ctx, &dist, me, &mut table, &compute);
+            let slots = dv.peek_local(ctx, COUNT_BASE, p);
+            let posted = (0..p).filter(|&s| s != me).all(|s| slots[s] != 0);
+            if posted {
+                let expected: u64 =
+                    (0..p).filter(|&s| s != me).map(|s| slots[s] - 1).sum();
+                if received_remote == expected {
+                    break;
+                }
+                debug_assert!(received_remote < expected, "received more than promised");
+            }
+            // Wait for more arrivals (bounded poll).
+            let _ = dv.fifo_recv_deadline(ctx, ctx.now() + dv_core::time::us(2)).map(|w| {
+                let (owner, idx) = locate(&dist, w);
+                debug_assert_eq!(owner, me);
+                table[idx] ^= w;
+                charge_updates(ctx, &compute, 1);
+                received_remote += 1;
+            });
+        }
+        applied += received_remote;
+        assert_eq!(dv.fifo_dropped(), 0, "FIFO overflow lost updates");
+        dv.fast_barrier(ctx);
+        let checksum = table.iter().fold(0u64, |a, &b| a ^ b);
+        (applied, checksum)
+    });
+
+    let total_updates: u64 = results.iter().map(|(a, _)| a).sum();
+    let checksum = results.iter().fold(0u64, |a, (_, c)| a ^ c);
+    GupsResult { nodes, total_updates, elapsed, checksum }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gups::serial_reference;
+
+    #[test]
+    fn dv_gups_matches_serial_reference_exactly() {
+        let cfg = GupsConfig::test_small();
+        for nodes in [2usize, 4] {
+            let r = run(cfg, nodes);
+            let (_, expect) = serial_reference(&cfg, nodes);
+            assert_eq!(r.checksum, expect, "nodes={nodes}");
+            assert_eq!(r.total_updates, (cfg.updates_per_node * nodes) as u64);
+        }
+    }
+
+    #[test]
+    fn dv_and_mpi_compute_identical_tables() {
+        let cfg = GupsConfig::test_small();
+        let dv = run(cfg, 4);
+        let mpi = super::super::mpi::run(cfg, 4);
+        assert_eq!(dv.checksum, mpi.checksum);
+    }
+
+    #[test]
+    fn per_node_rate_is_roughly_flat_with_scale() {
+        // Figure 6a's Data Vortex curve. HPCC sizing (updates = 4x table)
+        // keeps the LFSR warm-up transient from dominating.
+        let cfg = GupsConfig { table_per_node: 1 << 11, updates_per_node: 1 << 13, bucket: 1024, stream_offset: 0 };
+        let r4 = run(cfg, 4);
+        let r16 = run(cfg, 16);
+        let ratio = r16.mups_per_node() / r4.mups_per_node();
+        assert!(ratio > 0.6, "per-node rate collapsed: {ratio}");
+    }
+
+    #[test]
+    #[ignore = "diagnostic probe; run with --ignored --nocapture to see the scaling curve"]
+    fn gups_scaling_probe() {
+        // HPCC convention: updates = 4 x table size, which also washes out
+        // the sparse-polynomial transient at the head of the LFSR streams.
+        let cfg = GupsConfig { table_per_node: 1 << 13, updates_per_node: 4 << 13, bucket: 1024, stream_offset: 0 };
+        for nodes in [4usize, 8, 16, 32] {
+            let dv = run(cfg, nodes);
+            let mpi = super::super::mpi::run(cfg, nodes);
+            println!(
+                "nodes={nodes:2}  DV {:7.2} MUPS/node ({:8.1} total)   MPI {:7.2} MUPS/node ({:8.1} total)",
+                dv.mups_per_node(),
+                dv.mups_total(),
+                mpi.mups_per_node(),
+                mpi.mups_total()
+            );
+        }
+    }
+
+    #[test]
+    fn dv_beats_mpi_at_scale() {
+        // Figure 6b's gap.
+        let cfg = GupsConfig { table_per_node: 1 << 11, updates_per_node: 1 << 13, bucket: 1024, stream_offset: 0 };
+        let dv = run(cfg, 16);
+        let mpi = super::super::mpi::run(cfg, 16);
+        assert!(
+            dv.mups_total() > mpi.mups_total(),
+            "dv {} mpi {}",
+            dv.mups_total(),
+            mpi.mups_total()
+        );
+    }
+
+    #[test]
+    fn aggregation_ablation_shows_the_mechanism() {
+        let cfg = GupsConfig { table_per_node: 1 << 10, updates_per_node: 1 << 10, bucket: 1024, stream_offset: 0 };
+        let with = run_with(cfg, 4, MachineConfig::paper_cluster(), true);
+        let without = run_with(cfg, 4, MachineConfig::paper_cluster(), false);
+        assert_eq!(with.checksum, without.checksum, "aggregation must not change results");
+        assert!(
+            with.mups_total() > 2.0 * without.mups_total(),
+            "aggregation should be the dominant win: with {} without {}",
+            with.mups_total(),
+            without.mups_total()
+        );
+    }
+}

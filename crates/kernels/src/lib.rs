@@ -1,0 +1,33 @@
+//! # dv-kernels — the paper's communication kernels, on both networks
+//!
+//! Section V–VI of the paper: two micro-benchmarks and three kernels, each
+//! implemented twice — once against the Data Vortex API (`dv-api`) and
+//! once against MPI (`mini-mpi`) — running the *same algorithm on the same
+//! data* so results can be compared apples-to-apples:
+//!
+//! * [`pingpong`] — fixed-length round-trip bandwidth for the four curves
+//!   of Figure 3 (direct write, direct write + cached headers, DMA +
+//!   cached headers, MPI).
+//! * [`barrier`] — global barrier latency at scale (Figure 4: DV
+//!   intrinsic, in-house FastBarrier, MPI dissemination).
+//! * [`gups`] — HPCC RandomAccess: random XOR updates over a distributed
+//!   table, 1024-update buffering cap, bit-exact HPCC random stream
+//!   (Figures 5 and 6).
+//! * [`fft`] — distributed 1-D complex FFT via the transpose (four-step)
+//!   algorithm, with a real radix-2 kernel (Figure 7).
+//! * [`graph`] — Graph500-style BFS over Kronecker (R-MAT) graphs with
+//!   parent-tree validation (Figure 8).
+//!
+//! Every kernel produces real, validated numbers; virtual time gives the
+//! performance metrics (MUPS, GFLOPS, TEPS).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod barrier;
+pub mod fft;
+pub mod graph;
+pub mod gups;
+pub mod pingpong;
+pub mod transpose;
+pub mod util;

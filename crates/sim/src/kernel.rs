@@ -1,0 +1,214 @@
+//! The event kernel: virtual clock, ordered event queue, wakers.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use dv_core::time::Time;
+
+/// Identifier of a simulated process.
+pub type Pid = usize;
+
+/// A one-shot handle to wake a parked process.
+///
+/// A waker is stamped with the *park generation* of the process at the time
+/// it was created; if the process has been woken since (its generation
+/// advanced), firing the waker is a silent no-op. This makes it safe to
+/// leave stale wakers behind in wait queues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Waker {
+    pub(crate) pid: Pid,
+    pub(crate) generation: u64,
+}
+
+impl Waker {
+    /// The process this waker targets.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+}
+
+pub(crate) enum EventKind {
+    Resume(Waker),
+    Call(Box<dyn FnOnce(&mut Kernel) + Send>),
+}
+
+struct Event {
+    time: Time,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first. Sequence numbers break ties deterministically (FIFO).
+        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The discrete-event kernel: the virtual clock plus the pending-event
+/// queue. Shared behind a mutex; only one simulated process runs at a time,
+/// so the lock is uncontended in steady state.
+pub struct Kernel {
+    now: Time,
+    seq: u64,
+    queue: BinaryHeap<Event>,
+    /// Park generation per process; a `Resume` event only fires if its
+    /// waker's generation matches.
+    pub(crate) park_generation: Vec<u64>,
+    pub(crate) proc_names: Vec<String>,
+}
+
+impl Kernel {
+    pub(crate) fn new() -> Self {
+        Self {
+            now: 0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            park_generation: Vec::new(),
+            proc_names: Vec::new(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of events still pending.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn push(&mut self, time: Time, kind: EventKind) {
+        let time = time.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Event { time, seq, kind });
+    }
+
+    /// Schedule a closure to run inside the kernel at virtual time `at`
+    /// (clamped to `now`). Closures run with the kernel locked: they may
+    /// mutate shared state and fire wakers but must not block.
+    pub fn call_at(&mut self, at: Time, f: impl FnOnce(&mut Kernel) + Send + 'static) {
+        self.push(at, EventKind::Call(Box::new(f)));
+    }
+
+    /// Fire a waker at virtual time `at` (clamped to `now`).
+    pub fn wake_at(&mut self, at: Time, waker: Waker) {
+        self.push(at, EventKind::Resume(waker));
+    }
+
+    /// Fire a waker at the current virtual time.
+    pub fn wake(&mut self, waker: Waker) {
+        self.wake_at(self.now, waker);
+    }
+
+    /// Current waker for a process (see [`Waker`] for staleness rules).
+    pub fn waker_for(&self, pid: Pid) -> Waker {
+        Waker { pid, generation: self.park_generation[pid] }
+    }
+
+    pub(crate) fn register_process(&mut self, name: String) -> Pid {
+        let pid = self.park_generation.len();
+        self.park_generation.push(0);
+        self.proc_names.push(name);
+        pid
+    }
+
+    /// Pop the next *valid* event, advancing the clock. Stale resumes are
+    /// discarded. For a valid resume, the target's park generation is
+    /// advanced so any duplicate wakeups for the same park become stale.
+    pub(crate) fn pop_valid(&mut self) -> Option<(Time, EventKind)> {
+        while let Some(ev) = self.queue.pop() {
+            debug_assert!(ev.time >= self.now, "time went backwards");
+            match ev.kind {
+                EventKind::Resume(w) => {
+                    if self.park_generation[w.pid] == w.generation {
+                        self.park_generation[w.pid] = w.generation.wrapping_add(1);
+                        self.now = ev.time;
+                        return Some((ev.time, EventKind::Resume(w)));
+                    }
+                    // Stale wakeup: drop silently.
+                }
+                kind @ EventKind::Call(_) => {
+                    self.now = ev.time;
+                    return Some((ev.time, kind));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_then_fifo_order() {
+        let mut k = Kernel::new();
+        let order = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+        for (tag, t) in [(0u32, 50u64), (1, 10), (2, 10), (3, 30)] {
+            let order = order.clone();
+            k.call_at(t, move |_| order.lock().push(tag));
+        }
+        while let Some((_, EventKind::Call(f))) = k.pop_valid() {
+            f(&mut k);
+        }
+        // t=10 events in insertion order (1 before 2), then 30, then 50.
+        assert_eq!(*order.lock(), vec![1, 2, 3, 0]);
+        assert_eq!(k.now(), 50);
+    }
+
+    #[test]
+    fn clock_clamps_past_times_to_now() {
+        let mut k = Kernel::new();
+        k.call_at(100, |_| {});
+        let _ = k.pop_valid();
+        assert_eq!(k.now(), 100);
+        // Scheduling "in the past" lands at now.
+        k.call_at(5, |_| {});
+        let (t, _) = k.pop_valid().unwrap();
+        assert_eq!(t, 100);
+    }
+
+    #[test]
+    fn stale_wakers_are_dropped() {
+        let mut k = Kernel::new();
+        let pid = k.register_process("p".into());
+        let w = k.waker_for(pid);
+        k.wake_at(10, w);
+        k.wake_at(20, w); // duplicate for the same park
+        let (t, kind) = k.pop_valid().unwrap();
+        assert_eq!(t, 10);
+        assert!(matches!(kind, EventKind::Resume(_)));
+        // The duplicate is now stale.
+        assert!(k.pop_valid().is_none());
+        assert_eq!(k.now(), 10, "stale events should not advance the clock past valid ones");
+    }
+
+    #[test]
+    fn wakers_for_new_generation_fire() {
+        let mut k = Kernel::new();
+        let pid = k.register_process("p".into());
+        let w0 = k.waker_for(pid);
+        k.wake_at(10, w0);
+        let _ = k.pop_valid().unwrap(); // generation now 1
+        let w1 = k.waker_for(pid);
+        assert_ne!(w0, w1);
+        k.wake_at(30, w1);
+        assert!(matches!(k.pop_valid(), Some((30, EventKind::Resume(_)))));
+    }
+}

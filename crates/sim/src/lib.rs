@@ -1,0 +1,46 @@
+//! # dv-sim — deterministic process-oriented discrete-event simulation
+//!
+//! Every benchmark in this workspace runs on a *simulated* cluster: node
+//! programs are ordinary Rust closures doing **real computation on real
+//! data**, while time — compute charges, PCIe transfers, switch traversals,
+//! MPI protocol costs — is **virtual**, advanced by a discrete-event kernel.
+//!
+//! ## Execution model
+//!
+//! * Each simulated process (one per cluster node, plus helper daemons) runs
+//!   on its own OS thread, but **exactly one process executes at a time**:
+//!   the scheduler resumes the process with the earliest pending event,
+//!   waits for it to park again, then picks the next event. This makes the
+//!   simulation fully deterministic — same seeds in, same event trace out —
+//!   while letting node programs be written as straight-line imperative
+//!   code with blocking calls (`recv`, `wait_until`, `barrier`).
+//! * The event queue is ordered by `(virtual time, insertion sequence)`;
+//!   ties resolve in insertion order, so no ordering depends on OS thread
+//!   scheduling.
+//! * Wakeups are *generation-stamped*: a [`Waker`] captures the target
+//!   process's park generation, and stale wakeups (for parks that already
+//!   ended) are dropped by the scheduler. Blocking primitives therefore
+//!   follow the standard re-check loop and tolerate spurious wakeups by
+//!   construction.
+//!
+//! ## Building blocks
+//!
+//! * [`Sim`] / [`SimCtx`] — the kernel and the per-process capability.
+//! * [`Port`] — a typed message queue in virtual time (the basis for NICs).
+//! * [`WaitSet`] — virtual-time condition variable.
+//! * [`Pipe`] — a FIFO bandwidth server (PCIe bus, NIC link, switch port).
+//! * [`JoinSlot`] — collect a value from a finished process.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod kernel;
+mod sim;
+mod sync;
+
+pub use kernel::{Kernel, Pid, Waker};
+pub use sim::{Sim, SimCtx};
+pub use sync::{JoinSlot, Pipe, Port, WaitSet};
+
+#[cfg(test)]
+mod tests;

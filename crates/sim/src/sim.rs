@@ -1,0 +1,352 @@
+//! The simulator driver: process threads, the scheduler loop, `SimCtx`.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use dv_core::time::Time;
+
+use crate::kernel::{EventKind, Kernel, Pid, Waker};
+
+/// Sentinel panic payload used to unwind daemon processes at shutdown.
+struct Shutdown;
+
+enum Report {
+    // The pid is implicit (the scheduler resumes one process at a time)
+    // but kept for debuggability of scheduler traces.
+    #[allow(dead_code)]
+    Parked(Pid),
+    Finished(Pid),
+    Panicked(Pid, String),
+}
+
+struct ProcSlot {
+    resume_tx: Sender<()>,
+    handle: Option<JoinHandle<()>>,
+    daemon: bool,
+    finished: bool,
+}
+
+struct Registry {
+    slots: Vec<ProcSlot>,
+    live_foreground: usize,
+}
+
+struct Shared {
+    kernel: Mutex<Kernel>,
+    registry: Mutex<Registry>,
+    report_tx: Sender<Report>,
+}
+
+/// A discrete-event simulation: spawn processes, then [`Sim::run`] to
+/// completion.
+///
+/// ```
+/// use dv_sim::{Sim, Port};
+/// use dv_core::time::us;
+///
+/// let sim = Sim::new();
+/// let port: Port<&str> = Port::new();
+/// let rx = port.clone();
+/// sim.spawn("consumer", move |ctx| {
+///     let (arrived_at, msg) = rx.recv(ctx);
+///     assert_eq!(msg, "hello");
+///     assert_eq!(arrived_at, us(3));
+/// });
+/// sim.spawn("producer", move |ctx| {
+///     ctx.delay(us(1));                 // compute for 1 µs of virtual time
+///     port.send_delayed(ctx, us(2), "hello"); // 2 µs of link latency
+/// });
+/// let end = sim.run();
+/// assert_eq!(end, us(3));
+/// ```
+pub struct Sim {
+    shared: Arc<Shared>,
+    report_rx: Receiver<Report>,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    /// Fresh simulation at virtual time zero.
+    pub fn new() -> Self {
+        let (report_tx, report_rx) = unbounded();
+        let shared = Arc::new(Shared {
+            kernel: Mutex::new(Kernel::new()),
+            registry: Mutex::new(Registry { slots: Vec::new(), live_foreground: 0 }),
+            report_tx,
+        });
+        Self { shared, report_rx }
+    }
+
+    /// Spawn a foreground process. The simulation runs until every
+    /// foreground process has finished.
+    pub fn spawn(&self, name: impl Into<String>, body: impl FnOnce(&SimCtx) + Send + 'static) -> Pid {
+        spawn_inner(&self.shared, name.into(), false, body)
+    }
+
+    /// Spawn a daemon process: it may block forever (e.g. a NIC engine
+    /// polling loop); the simulation ends without it and the process is
+    /// unwound during shutdown.
+    pub fn spawn_daemon(
+        &self,
+        name: impl Into<String>,
+        body: impl FnOnce(&SimCtx) + Send + 'static,
+    ) -> Pid {
+        spawn_inner(&self.shared, name.into(), true, body)
+    }
+
+    /// Access the kernel before/after the run (e.g. to pre-schedule events).
+    pub fn with_kernel<R>(&self, f: impl FnOnce(&mut Kernel) -> R) -> R {
+        f(&mut self.shared.kernel.lock())
+    }
+
+    /// Run the simulation to completion and return the final virtual time.
+    ///
+    /// # Panics
+    ///
+    /// * If a simulated process panics (the panic message is propagated).
+    /// * If all events drain while a foreground process is still parked —
+    ///   a deadlock in the simulated program; the panic message names the
+    ///   parked processes.
+    pub fn run(self) -> Time {
+        loop {
+            let next = self.shared.kernel.lock().pop_valid();
+            match next {
+                None => {
+                    let live = self.shared.registry.lock().live_foreground;
+                    if live > 0 {
+                        let parked = self.parked_foreground_names();
+                        self.shutdown();
+                        panic!(
+                            "simulation deadlock: no pending events but {live} foreground \
+                             process(es) still parked: {parked:?}"
+                        );
+                    }
+                    break;
+                }
+                Some((_t, EventKind::Call(f))) => {
+                    f(&mut self.shared.kernel.lock());
+                }
+                Some((_t, EventKind::Resume(w))) => {
+                    {
+                        let reg = self.shared.registry.lock();
+                        let slot = &reg.slots[w.pid()];
+                        if slot.finished {
+                            continue;
+                        }
+                        slot.resume_tx.send(()).expect("process thread vanished");
+                    }
+                    match self.report_rx.recv().expect("report channel closed") {
+                        Report::Parked(_) => {}
+                        Report::Finished(pid) => {
+                            let live = {
+                                let mut reg = self.shared.registry.lock();
+                                let slot = &mut reg.slots[pid];
+                                slot.finished = true;
+                                if !slot.daemon {
+                                    reg.live_foreground -= 1;
+                                }
+                                reg.live_foreground
+                            };
+                            if live == 0 {
+                                // All foreground work done; any remaining
+                                // events belong to daemons and are dropped.
+                                break;
+                            }
+                        }
+                        Report::Panicked(pid, msg) => {
+                            let name =
+                                self.shared.kernel.lock().proc_names[pid].clone();
+                            self.shutdown();
+                            panic!("simulated process '{name}' panicked: {msg}");
+                        }
+                    }
+                }
+            }
+        }
+        let now = self.shared.kernel.lock().now();
+        self.shutdown();
+        now
+    }
+
+    fn parked_foreground_names(&self) -> Vec<String> {
+        let reg = self.shared.registry.lock();
+        let kernel = self.shared.kernel.lock();
+        reg.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.daemon && !s.finished)
+            .map(|(pid, _)| kernel.proc_names[pid].clone())
+            .collect()
+    }
+
+    /// Unblock every parked thread (their `park()` unwinds with a private
+    /// sentinel) and join them.
+    fn shutdown(&self) {
+        let mut handles = Vec::new();
+        {
+            let mut reg = self.shared.registry.lock();
+            for slot in reg.slots.iter_mut() {
+                // Dropping the sender makes the thread's recv() fail,
+                // which park() turns into a Shutdown unwind.
+                let (dead_tx, _) = unbounded();
+                slot.resume_tx = dead_tx;
+                if let Some(h) = slot.handle.take() {
+                    handles.push(h);
+                }
+            }
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        // Drain any reports raced in during shutdown.
+        while self.report_rx.try_recv().is_ok() {}
+    }
+}
+
+fn spawn_inner(
+    shared: &Arc<Shared>,
+    name: String,
+    daemon: bool,
+    body: impl FnOnce(&SimCtx) + Send + 'static,
+) -> Pid {
+    let (resume_tx, resume_rx) = unbounded::<()>();
+    let pid = {
+        let mut kernel = shared.kernel.lock();
+        let pid = kernel.register_process(name.clone());
+        // First resume: start the process at the current virtual time.
+        let waker = kernel.waker_for(pid);
+        kernel.wake(waker);
+        pid
+    };
+    let ctx = SimCtx { pid, shared: Arc::clone(shared), resume_rx };
+    let report_tx = shared.report_tx.clone();
+    let handle = std::thread::Builder::new()
+        .name(format!("sim-{name}"))
+        .spawn(move || {
+            // Wait for the initial resume before touching anything.
+            if ctx.resume_rx.recv().is_err() {
+                return; // simulation torn down before we started
+            }
+            let result = panic::catch_unwind(AssertUnwindSafe(|| body(&ctx)));
+            match result {
+                Ok(()) => {
+                    let _ = report_tx.send(Report::Finished(ctx.pid));
+                }
+                Err(payload) => {
+                    if payload.downcast_ref::<Shutdown>().is_some() {
+                        // Normal teardown of a parked process.
+                        return;
+                    }
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "<non-string panic payload>".into());
+                    let _ = report_tx.send(Report::Panicked(ctx.pid, msg));
+                }
+            }
+        })
+        .expect("failed to spawn simulation thread");
+
+    let mut reg = shared.registry.lock();
+    debug_assert_eq!(reg.slots.len(), pid);
+    reg.slots.push(ProcSlot { resume_tx, handle: Some(handle), daemon, finished: false });
+    if !daemon {
+        reg.live_foreground += 1;
+    }
+    pid
+}
+
+/// Per-process capability: the handle a simulated process uses to read the
+/// clock, advance time, park, and schedule events. One per process; not
+/// shareable across processes.
+pub struct SimCtx {
+    pid: Pid,
+    shared: Arc<Shared>,
+    resume_rx: Receiver<()>,
+}
+
+impl SimCtx {
+    /// This process's id.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.shared.kernel.lock().now()
+    }
+
+    /// Run a closure with the kernel locked (schedule events, fire wakers).
+    pub fn with_kernel<R>(&self, f: impl FnOnce(&mut Kernel) -> R) -> R {
+        f(&mut self.shared.kernel.lock())
+    }
+
+    /// A waker for this process's *current* park generation. Hand it to a
+    /// wait queue, then call [`SimCtx::park`].
+    pub fn waker(&self) -> Waker {
+        let k = self.shared.kernel.lock();
+        k.waker_for(self.pid)
+    }
+
+    /// Park until any waker for the current generation fires. Spurious
+    /// wakeups are possible when several wakers were registered; callers
+    /// must re-check their condition in a loop.
+    pub fn park(&self) {
+        let _ = self.shared.report_tx.send(Report::Parked(self.pid));
+        if self.resume_rx.recv().is_err() {
+            // Simulation is shutting down: unwind this thread.
+            panic::panic_any(Shutdown);
+        }
+    }
+
+    /// Block until virtual time `t` (no-op if already past).
+    pub fn wait_until(&self, t: Time) {
+        loop {
+            let waker = {
+                let mut k = self.shared.kernel.lock();
+                if k.now() >= t {
+                    return;
+                }
+                let w = k.waker_for(self.pid);
+                k.wake_at(t, w);
+                w
+            };
+            debug_assert_eq!(waker.pid(), self.pid);
+            self.park();
+        }
+    }
+
+    /// Advance virtual time by `d` — the standard way to charge compute
+    /// cost for work the process just (really) performed.
+    pub fn delay(&self, d: Time) {
+        if d == 0 {
+            return;
+        }
+        let target = self.now() + d;
+        self.wait_until(target);
+    }
+
+    /// Spawn a foreground process from inside the simulation.
+    pub fn spawn(&self, name: impl Into<String>, body: impl FnOnce(&SimCtx) + Send + 'static) -> Pid {
+        spawn_inner(&self.shared, name.into(), false, body)
+    }
+
+    /// Spawn a daemon process from inside the simulation.
+    pub fn spawn_daemon(
+        &self,
+        name: impl Into<String>,
+        body: impl FnOnce(&SimCtx) + Send + 'static,
+    ) -> Pid {
+        spawn_inner(&self.shared, name.into(), true, body)
+    }
+}

@@ -1,0 +1,266 @@
+//! Virtual-time synchronization and queueing primitives.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dv_core::time::{self, Time};
+
+use crate::kernel::{Kernel, Waker};
+use crate::sim::SimCtx;
+
+/// A virtual-time condition variable: processes register their waker and
+/// park; anyone (a process or a kernel closure) can wake all registered
+/// waiters. Stale wakers are harmless, so waiters simply re-register on
+/// every iteration of their re-check loop.
+#[derive(Clone, Default)]
+pub struct WaitSet {
+    waiters: Arc<Mutex<Vec<Waker>>>,
+}
+
+impl WaitSet {
+    /// Empty wait set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register the calling process. Follow with [`SimCtx::park`].
+    pub fn register(&self, ctx: &SimCtx) {
+        self.waiters.lock().push(ctx.waker());
+    }
+
+    /// Wake every registered waiter at the kernel's current time.
+    pub fn wake_all(&self, kernel: &mut Kernel) {
+        for w in self.waiters.lock().drain(..) {
+            kernel.wake(w);
+        }
+    }
+
+    /// Wake every registered waiter, from process context.
+    pub fn wake_all_ctx(&self, ctx: &SimCtx) {
+        ctx.with_kernel(|k| self.wake_all(k));
+    }
+
+    /// Block the calling process until `pred` returns true. `pred` runs
+    /// with no locks held by this module; it should check shared state.
+    pub fn wait_while(&self, ctx: &SimCtx, mut pred: impl FnMut() -> bool) {
+        // `pred` is "still waiting?" — loop while true.
+        while pred() {
+            self.register(ctx);
+            ctx.park();
+        }
+    }
+
+    /// Number of currently registered wakers (stale ones included).
+    pub fn len(&self) -> usize {
+        self.waiters.lock().len()
+    }
+
+    /// True if nobody is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+struct PortState<T> {
+    queue: VecDeque<(Time, T)>,
+    waiters: Vec<Waker>,
+}
+
+/// A typed message queue in virtual time.
+///
+/// Senders deliver messages *at a future virtual time* (modeling link
+/// latency); receivers block until a message is visible. Messages become
+/// visible in delivery-time order (ties: send order), which the network
+/// models above this layer use to implement both in-order (MPI) and
+/// deliberately reordered (Data Vortex) delivery.
+pub struct Port<T> {
+    state: Arc<Mutex<PortState<T>>>,
+}
+
+impl<T> Clone for Port<T> {
+    fn clone(&self) -> Self {
+        Self { state: Arc::clone(&self.state) }
+    }
+}
+
+impl<T: Send + 'static> Default for Port<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Send + 'static> Port<T> {
+    /// New empty port.
+    pub fn new() -> Self {
+        Self { state: Arc::new(Mutex::new(PortState { queue: VecDeque::new(), waiters: Vec::new() })) }
+    }
+
+    /// Deliver `msg` at virtual time `at` (kernel context).
+    pub fn deliver_at(&self, kernel: &mut Kernel, at: Time, msg: T) {
+        let state = Arc::clone(&self.state);
+        kernel.call_at(at, move |k| {
+            let mut s = state.lock();
+            s.queue.push_back((k.now(), msg));
+            for w in s.waiters.drain(..) {
+                k.wake(w);
+            }
+        });
+    }
+
+    /// Deliver `msg` after `delay`, from process context.
+    pub fn send_delayed(&self, ctx: &SimCtx, delay: Time, msg: T) {
+        ctx.with_kernel(|k| {
+            let at = k.now() + delay;
+            self.deliver_at(k, at, msg);
+        });
+    }
+
+    /// Non-blocking receive; returns the message and its arrival time.
+    pub fn try_recv(&self) -> Option<(Time, T)> {
+        self.state.lock().queue.pop_front()
+    }
+
+    /// Blocking receive.
+    pub fn recv(&self, ctx: &SimCtx) -> (Time, T) {
+        loop {
+            {
+                let mut s = self.state.lock();
+                if let Some(m) = s.queue.pop_front() {
+                    return m;
+                }
+                s.waiters.push(ctx.waker());
+            }
+            ctx.park();
+        }
+    }
+
+    /// Blocking receive with a deadline; `None` if virtual time reaches
+    /// `deadline` first.
+    pub fn recv_deadline(&self, ctx: &SimCtx, deadline: Time) -> Option<(Time, T)> {
+        loop {
+            {
+                let mut s = self.state.lock();
+                if let Some(m) = s.queue.pop_front() {
+                    return Some(m);
+                }
+                if ctx.now() >= deadline {
+                    return None;
+                }
+                s.waiters.push(ctx.waker());
+            }
+            ctx.with_kernel(|k| {
+                let w = k.waker_for(ctx.pid());
+                k.wake_at(deadline, w);
+            });
+            ctx.park();
+        }
+    }
+
+    /// Messages currently visible.
+    pub fn len(&self) -> usize {
+        self.state.lock().queue.len()
+    }
+
+    /// True if no message is visible.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+struct PipeState {
+    free_at: Time,
+    gbps: f64,
+    busy: Time,
+}
+
+/// A FIFO bandwidth server: a shared link (PCIe bus, NIC port, switch
+/// injection port) that serializes transfers at a fixed byte rate.
+///
+/// `reserve` returns when the transfer *occupies* the link: callers decide
+/// whether to wait for the start (cut-through) or the end (store-and-
+/// forward) of their occupancy.
+#[derive(Clone)]
+pub struct Pipe {
+    state: Arc<Mutex<PipeState>>,
+}
+
+impl Pipe {
+    /// A pipe streaming at `gbps` gigabytes per second.
+    pub fn new(gbps: f64) -> Self {
+        assert!(gbps > 0.0);
+        Self { state: Arc::new(Mutex::new(PipeState { free_at: 0, gbps, busy: 0 })) }
+    }
+
+    /// Reserve the pipe for `bytes` starting no earlier than `now`;
+    /// returns `(start, end)` of the occupancy in virtual time.
+    pub fn reserve(&self, now: Time, bytes: u64) -> (Time, Time) {
+        let mut s = self.state.lock();
+        let start = s.free_at.max(now);
+        let dur = time::transfer_time(bytes, s.gbps);
+        let end = start + dur;
+        s.free_at = end;
+        s.busy += dur;
+        (start, end)
+    }
+
+    /// Reserve with an explicit duration instead of a byte count.
+    pub fn reserve_duration(&self, now: Time, duration: Time) -> (Time, Time) {
+        let mut s = self.state.lock();
+        let start = s.free_at.max(now);
+        let end = start + duration;
+        s.free_at = end;
+        s.busy += duration;
+        (start, end)
+    }
+
+    /// The earliest time a new transfer could start.
+    pub fn free_at(&self) -> Time {
+        self.state.lock().free_at
+    }
+
+    /// Total busy time accumulated (for utilization reporting).
+    pub fn busy_time(&self) -> Time {
+        self.state.lock().busy
+    }
+
+    /// The configured rate in GB/s.
+    pub fn gbps(&self) -> f64 {
+        self.state.lock().gbps
+    }
+}
+
+/// A slot for collecting one value out of a finished process.
+pub struct JoinSlot<T> {
+    value: Arc<Mutex<Option<T>>>,
+}
+
+impl<T> Clone for JoinSlot<T> {
+    fn clone(&self) -> Self {
+        Self { value: Arc::clone(&self.value) }
+    }
+}
+
+impl<T: Send + 'static> Default for JoinSlot<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Send + 'static> JoinSlot<T> {
+    /// Empty slot.
+    pub fn new() -> Self {
+        Self { value: Arc::new(Mutex::new(None)) }
+    }
+
+    /// Store the result (typically the last statement of a process body).
+    pub fn put(&self, value: T) {
+        *self.value.lock() = Some(value);
+    }
+
+    /// Take the result after `Sim::run` returned.
+    pub fn take(&self) -> Option<T> {
+        self.value.lock().take()
+    }
+}

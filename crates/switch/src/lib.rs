@@ -1,0 +1,30 @@
+//! # dv-switch — the Data Vortex switch
+//!
+//! Two views of the same interconnect (Section II of the paper):
+//!
+//! * [`cycle`] — a cycle-accurate simulator of the multi-cylinder deflection
+//!   network: C = log₂(H)+1 nested cylinders of A×H switching nodes,
+//!   normal paths descending between cylinders, deflection paths rotating
+//!   within a cylinder, and deflection signals resolving contention without
+//!   buffers ("hot potato" routing). Used for microarchitectural studies
+//!   (latency/throughput/deflections vs offered load and traffic pattern)
+//!   and to validate the analytic model.
+//! * [`model`] — a closed-form latency/occupancy model of the switch used
+//!   by the cluster runtime (`dv-api`), calibrated against the cycle
+//!   simulator.
+//!
+//! [`traffic`] provides the synthetic patterns from the original Data
+//! Vortex evaluation literature (uniform, hotspot, tornado, bit-reverse,
+//! bursty) for the robustness studies the paper cites (refs [14][15]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cycle;
+pub mod model;
+pub mod topology;
+pub mod traffic;
+
+pub use cycle::{Delivered, SwitchSim};
+pub use model::SwitchModel;
+pub use topology::Topology;

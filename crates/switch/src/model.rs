@@ -1,0 +1,152 @@
+//! Analytic switch model used by the cluster runtime.
+//!
+//! The cycle simulator (`crate::cycle`) is faithful but too slow to sit in
+//! the inner loop of application-level simulations that move millions of
+//! packets. `SwitchModel` summarizes it: per source/destination pair it
+//! charges the contention-free hop count plus a load-dependent deflection
+//! penalty whose coefficient can be *calibrated* from cycle-simulation
+//! sweeps ([`SwitchModel::calibrate`]).
+//!
+//! The key architectural property this preserves, and the one the paper's
+//! results hinge on: traversal latency is a few hundred nanoseconds, grows
+//! only *mildly and boundedly* with load (statistical deflections, "by two
+//! hops"), and — unlike a fat tree — does not degrade with unstructured
+//! destination patterns.
+
+use dv_core::config::DvParams;
+use dv_core::time::Time;
+
+use crate::topology::Topology;
+use crate::traffic::{Arrival, LoadSweep, Pattern};
+
+/// Closed-form latency model of a Data Vortex switch.
+#[derive(Debug, Clone)]
+pub struct SwitchModel {
+    topo: Topology,
+    hop_time: Time,
+    inject: Time,
+    eject: Time,
+    /// Mean extra hops per packet at full load (calibrated).
+    deflect_hops_at_saturation: f64,
+}
+
+impl SwitchModel {
+    /// Model with the parameters of a [`DvParams`] machine description.
+    pub fn from_params(dv: &DvParams) -> Self {
+        Self {
+            topo: Topology::new(dv.height, dv.angles),
+            hop_time: dv.hop_time,
+            inject: dv.inject_time,
+            eject: dv.eject_time,
+            deflect_hops_at_saturation: dv.deflect_hops_at_saturation,
+        }
+    }
+
+    /// The modeled topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Expected extra hops at a given instantaneous load (0..=1).
+    /// Deflection probability grows with occupancy; the quadratic keeps
+    /// light-load latency at the contention-free minimum.
+    pub fn deflection_hops(&self, load: f64) -> f64 {
+        let l = load.clamp(0.0, 1.0);
+        self.deflect_hops_at_saturation * l * l
+    }
+
+    /// One-way VIC-to-VIC latency of a single packet between two ports at
+    /// the given instantaneous switch load.
+    pub fn traversal(&self, src_port: usize, dst_port: usize, load: f64) -> Time {
+        let hops = self.topo.min_hops(src_port % self.topo.ports(), dst_port % self.topo.ports());
+        let extra = self.deflection_hops(load);
+        self.inject
+            + ((hops as f64 + extra) * self.hop_time as f64).round() as Time
+            + self.eject
+    }
+
+    /// Average one-way latency over all port pairs (used where per-pair
+    /// resolution doesn't matter, e.g. barrier cost composition).
+    pub fn mean_traversal(&self, load: f64) -> Time {
+        let p = self.topo.ports();
+        let mut total = 0u128;
+        for s in 0..p {
+            for d in 0..p {
+                total += self.traversal(s, d, load) as u128;
+            }
+        }
+        (total / (p * p) as u128) as Time
+    }
+
+    /// Calibrate the saturation deflection coefficient against the cycle
+    /// simulator under uniform traffic: measures mean deflections at high
+    /// load and stores them. Returns the calibrated value.
+    pub fn calibrate(&mut self, seed: u64) -> f64 {
+        let mut sweep = LoadSweep::new(self.topo.clone());
+        sweep.pattern = Pattern::Uniform;
+        sweep.arrival = Arrival::Bernoulli;
+        sweep.warmup = 300;
+        sweep.measure = 1_500;
+        sweep.seed = seed;
+        let point = sweep.run(0.95);
+        // Deflections measured at ~saturation; each contention deflection
+        // costs ~2 hops (detour + re-approach).
+        self.deflect_hops_at_saturation = (2.0 * point.deflections_mean).max(0.1);
+        self.deflect_hops_at_saturation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> SwitchModel {
+        SwitchModel::from_params(&DvParams::default())
+    }
+
+    #[test]
+    fn light_load_equals_min_hops() {
+        let m = model();
+        let t = m.traversal(0, 17, 0.0);
+        let hops = m.topology().min_hops(0, 17) as u64;
+        assert_eq!(t, m.inject + hops * m.hop_time + m.eject);
+    }
+
+    #[test]
+    fn latency_monotonic_in_load() {
+        let m = model();
+        let mut last = 0;
+        for load in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let t = m.traversal(3, 28, load);
+            assert!(t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn saturation_penalty_is_bounded_and_small() {
+        // The paper: contention resolved "by slightly increasing routing
+        // latency (statistically by two hops)".
+        let m = model();
+        let extra = m.deflection_hops(1.0);
+        assert!(extra <= 4.0, "{extra}");
+        let t0 = m.traversal(0, 17, 0.0);
+        let t1 = m.traversal(0, 17, 1.0);
+        assert!((t1 as f64) < t0 as f64 * 1.5, "saturation should not blow up latency");
+    }
+
+    #[test]
+    fn calibration_lands_near_the_paper_figure() {
+        let mut m = model();
+        let v = m.calibrate(1);
+        // "statistically by two hops": accept a generous band.
+        assert!(v > 0.05 && v < 6.0, "calibrated deflection hops = {v}");
+    }
+
+    #[test]
+    fn mean_traversal_is_sub_microsecond() {
+        // Sanity: the DV pitch is sub-µs fine-grained messaging.
+        let m = model();
+        assert!(m.mean_traversal(0.5) < dv_core::time::us(1));
+    }
+}

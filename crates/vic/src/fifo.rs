@@ -1,0 +1,112 @@
+//! The surprise-packet FIFO.
+//!
+//! DV-memory slots hold one word and require sender/receiver coordination;
+//! the FIFO is how a VIC receives *unscheduled* messages: arriving packets
+//! addressed to it are buffered non-destructively (capacity: "thousands of
+//! 8-byte messages") until the host drains them. Ordering across the
+//! network is not guaranteed — the queue preserves arrival order at the
+//! VIC, which is already a permutation of send order.
+
+use std::collections::VecDeque;
+
+use dv_core::time::Time;
+use dv_core::Word;
+use dv_sim::WaitSet;
+
+/// The network-addressable input FIFO of one VIC.
+pub struct SurpriseFifo {
+    queue: VecDeque<(Time, Word)>,
+    capacity: usize,
+    dropped: u64,
+    waiters: WaitSet,
+}
+
+impl SurpriseFifo {
+    /// FIFO with the given capacity in packets.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        Self { queue: VecDeque::new(), capacity, dropped: 0, waiters: WaitSet::new() }
+    }
+
+    /// Buffer an arriving payload; returns `false` (and counts a drop) on
+    /// overflow. The real hardware has finite SRAM for the FIFO; software
+    /// that outruns the background drain loses packets.
+    pub fn push(&mut self, at: Time, payload: Word) -> bool {
+        if self.queue.len() >= self.capacity {
+            self.dropped += 1;
+            return false;
+        }
+        self.queue.push_back((at, payload));
+        true
+    }
+
+    /// Pop the oldest buffered packet.
+    pub fn pop(&mut self) -> Option<(Time, Word)> {
+        self.queue.pop_front()
+    }
+
+    /// Buffered packet count.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Packets lost to overflow so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Capacity in packets.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Processes parked waiting for FIFO arrivals.
+    pub fn waiters(&self) -> &WaitSet {
+        &self.waiters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_preserves_arrival_order() {
+        let mut f = SurpriseFifo::new(10);
+        assert!(f.push(1, 100));
+        assert!(f.push(2, 200));
+        assert!(f.push(3, 300));
+        assert_eq!(f.pop(), Some((1, 100)));
+        assert_eq!(f.pop(), Some((2, 200)));
+        assert_eq!(f.pop(), Some((3, 300)));
+        assert_eq!(f.pop(), None);
+    }
+
+    #[test]
+    fn overflow_drops_and_counts() {
+        let mut f = SurpriseFifo::new(2);
+        assert!(f.push(1, 1));
+        assert!(f.push(2, 2));
+        assert!(!f.push(3, 3));
+        assert_eq!(f.dropped(), 1);
+        assert_eq!(f.len(), 2);
+        // Draining makes room again.
+        f.pop();
+        assert!(f.push(4, 4));
+    }
+
+    #[test]
+    fn non_destructive_unlike_dv_memory() {
+        // Two values to the same VIC coexist (the whole point vs a
+        // DV-memory slot where the second write destroys the first).
+        let mut f = SurpriseFifo::new(8);
+        f.push(1, 42);
+        f.push(1, 42);
+        assert_eq!(f.len(), 2);
+    }
+}

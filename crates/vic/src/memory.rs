@@ -1,0 +1,127 @@
+//! DV memory: the VIC's 32 MB of word-addressable QDR SRAM.
+//!
+//! Backed by a page table so that a 32-node simulated cluster does not
+//! commit 1 GB of host RAM up front; unwritten words read as zero, the
+//! reset state of the SRAM.
+
+use std::collections::HashMap;
+
+use dv_core::packet::DV_MEMORY_WORDS;
+use dv_core::Word;
+
+const PAGE_WORDS: usize = 4096;
+
+/// Word-addressable DV memory with lazy page allocation.
+#[derive(Debug, Default)]
+pub struct DvMemory {
+    pages: HashMap<u32, Box<[Word; PAGE_WORDS]>>,
+}
+
+impl DvMemory {
+    /// Empty (all-zero) memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total addressable words (2²² = 32 MB).
+    pub const fn words() -> usize {
+        DV_MEMORY_WORDS
+    }
+
+    fn split(addr: u32) -> (u32, usize) {
+        assert!(
+            (addr as usize) < DV_MEMORY_WORDS,
+            "DV memory address {addr:#x} out of range (max {DV_MEMORY_WORDS:#x} words)"
+        );
+        (addr / PAGE_WORDS as u32, addr as usize % PAGE_WORDS)
+    }
+
+    /// Read one word (0 if never written — SRAM reset state).
+    pub fn read(&self, addr: u32) -> Word {
+        let (page, off) = Self::split(addr);
+        self.pages.get(&page).map_or(0, |p| p[off])
+    }
+
+    /// Write one word. A slot stores a single word: the previous value is
+    /// unrecoverable (the overwrite hazard the surprise FIFO exists to
+    /// avoid).
+    pub fn write(&mut self, addr: u32, value: Word) {
+        let (page, off) = Self::split(addr);
+        self.pages.entry(page).or_insert_with(|| Box::new([0; PAGE_WORDS]))[off] = value;
+    }
+
+    /// Read `out.len()` consecutive words starting at `addr`.
+    pub fn read_range(&self, addr: u32, out: &mut [Word]) {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.read(addr + i as u32);
+        }
+    }
+
+    /// Write consecutive words starting at `addr`.
+    pub fn write_range(&mut self, addr: u32, values: &[Word]) {
+        for (i, &v) in values.iter().enumerate() {
+            self.write(addr + i as u32, v);
+        }
+    }
+
+    /// Number of resident (allocated) pages — for memory-footprint tests.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let m = DvMemory::new();
+        assert_eq!(m.read(0), 0);
+        assert_eq!(m.read(DV_MEMORY_WORDS as u32 - 1), 0);
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut m = DvMemory::new();
+        m.write(12345, 0xDEAD_BEEF);
+        assert_eq!(m.read(12345), 0xDEAD_BEEF);
+        assert_eq!(m.read(12344), 0);
+    }
+
+    #[test]
+    fn last_write_wins() {
+        let mut m = DvMemory::new();
+        m.write(7, 1);
+        m.write(7, 2);
+        assert_eq!(m.read(7), 2);
+    }
+
+    #[test]
+    fn range_ops_round_trip_across_pages() {
+        let mut m = DvMemory::new();
+        let base = PAGE_WORDS as u32 - 3; // straddles a page boundary
+        let data: Vec<Word> = (0..8).map(|i| i * 11).collect();
+        m.write_range(base, &data);
+        let mut out = vec![0; 8];
+        m.read_range(base, &mut out);
+        assert_eq!(out, data);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn allocation_is_lazy() {
+        let mut m = DvMemory::new();
+        assert_eq!(m.resident_pages(), 0);
+        m.write(0, 1);
+        m.write((DV_MEMORY_WORDS - 1) as u32, 2);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_write_panics() {
+        let mut m = DvMemory::new();
+        m.write(DV_MEMORY_WORDS as u32, 0);
+    }
+}

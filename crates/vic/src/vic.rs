@@ -1,0 +1,243 @@
+//! The VIC proper: packet delivery into DV memory / FIFO / counters.
+
+use dv_core::config::DvParams;
+use dv_core::packet::{AddressSpace, Packet, PacketHeader, GROUP_COUNTERS, SCRATCH_GC};
+use dv_core::time::Time;
+use dv_core::{NodeId, Word};
+use dv_sim::Kernel;
+
+use crate::counters::GroupCounter;
+use crate::fifo::SurpriseFifo;
+use crate::memory::DvMemory;
+
+/// One node's Vortex Interface Controller.
+pub struct Vic {
+    node: NodeId,
+    /// 32 MB QDR SRAM.
+    pub memory: DvMemory,
+    counters: Vec<GroupCounter>,
+    /// The surprise-packet FIFO.
+    pub fifo: SurpriseFifo,
+    delivered: u64,
+}
+
+impl Vic {
+    /// A VIC for `node` with the given hardware parameters.
+    pub fn new(node: NodeId, dv: &DvParams) -> Self {
+        Self {
+            node,
+            memory: DvMemory::new(),
+            counters: (0..GROUP_COUNTERS).map(|_| GroupCounter::new()).collect(),
+            fifo: SurpriseFifo::new(dv.fifo_capacity),
+            delivered: 0,
+        }
+    }
+
+    /// The node this VIC belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Packets delivered to this VIC so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Access a group counter.
+    pub fn counter(&self, idx: u8) -> &GroupCounter {
+        &self.counters[idx as usize]
+    }
+
+    /// Host-side preset of a local group counter (wakes waiters if the
+    /// preset is zero or already satisfied).
+    pub fn set_counter(&mut self, kernel: &mut Kernel, idx: u8, expected: u64) {
+        let gc = &mut self.counters[idx as usize];
+        gc.set(expected);
+        if gc.is_zero() {
+            gc.waiters().wake_all(kernel);
+        }
+    }
+
+    /// Apply an arriving packet (the switch's ejection port calls this).
+    /// Returns the reply packet for [`AddressSpace::Query`] packets.
+    ///
+    /// Delivery semantics follow Section III:
+    /// * DV-memory writes overwrite the slot (last write wins).
+    /// * FIFO packets buffer non-destructively (drop + count on overflow).
+    /// * Group-counter sets overwrite the counter — including any
+    ///   decrements that raced ahead of the set.
+    /// * Query packets read the requested slot and emit a reply whose
+    ///   header is the original payload ("return header") and whose
+    ///   payload is the read value; the reply destination need not be the
+    ///   original sender.
+    ///
+    /// Every packet also decrements the group counter named in its header
+    /// (the scratch counter ignores decrements).
+    pub fn deliver(&mut self, kernel: &mut Kernel, at: Time, pkt: Packet) -> Option<Packet> {
+        debug_assert_eq!(pkt.header.dest, self.node, "packet routed to the wrong VIC");
+        self.delivered += 1;
+        let mut reply = None;
+        match pkt.header.space {
+            AddressSpace::DvMemory => {
+                self.memory.write(pkt.header.address, pkt.payload);
+            }
+            AddressSpace::SurpriseFifo => {
+                self.fifo.push(at, pkt.payload);
+                self.fifo.waiters().wake_all(kernel);
+            }
+            AddressSpace::GroupCounterSet => {
+                let idx = (pkt.header.address as usize) % GROUP_COUNTERS;
+                let gc = &mut self.counters[idx];
+                gc.set(pkt.payload);
+                if gc.is_zero() {
+                    gc.waiters().wake_all(kernel);
+                }
+            }
+            AddressSpace::Query => {
+                let value = self.memory.read(pkt.header.address);
+                let return_header = PacketHeader::decode(pkt.payload);
+                reply = Some(Packet::new(return_header, value));
+            }
+        }
+        let gc_idx = pkt.header.group_counter;
+        if gc_idx != SCRATCH_GC {
+            let gc = &mut self.counters[gc_idx as usize];
+            gc.decrement();
+            if gc.is_zero() {
+                gc.waiters().wake_all(kernel);
+            }
+        }
+        reply
+    }
+
+    /// Bulk-delivery fast path: apply a contiguous run of DV-memory word
+    /// writes as if `words.len()` individual packets arrived (same memory
+    /// and group-counter semantics, one call).
+    pub fn deliver_block(&mut self, kernel: &mut Kernel, address: u32, words: &[Word], gc_idx: u8) {
+        self.memory.write_range(address, words);
+        self.delivered += words.len() as u64;
+        if gc_idx != SCRATCH_GC {
+            let gc = &mut self.counters[gc_idx as usize];
+            gc.decrement_by(words.len() as u64);
+            if gc.is_zero() {
+                gc.waiters().wake_all(kernel);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dv_core::packet::BARRIER_GC;
+
+    // Kernel is only constructible through Sim, so VIC delivery tests run
+    // inside a minimal simulation.
+    fn with_kernel(f: impl FnOnce(&mut Kernel) + Send + 'static) {
+        let sim = dv_sim::Sim::new();
+        sim.spawn("t", move |ctx| ctx.with_kernel(f));
+        sim.run();
+    }
+
+    #[test]
+    fn dv_memory_write_packet_lands() {
+        with_kernel(|k| {
+            let mut vic = Vic::new(3, &DvParams::default());
+            let h = PacketHeader::dv_memory(0, 3, 500, SCRATCH_GC);
+            assert!(vic.deliver(k, 0, Packet::new(h, 99)).is_none());
+            assert_eq!(vic.memory.read(500), 99);
+            assert_eq!(vic.delivered(), 1);
+        });
+    }
+
+    #[test]
+    fn fifo_packet_buffers() {
+        with_kernel(|k| {
+            let mut vic = Vic::new(3, &DvParams::default());
+            let h = PacketHeader::fifo(1, 3, SCRATCH_GC);
+            vic.deliver(k, 7, Packet::new(h, 123));
+            vic.deliver(k, 9, Packet::new(h, 456));
+            assert_eq!(vic.fifo.pop(), Some((7, 123)));
+            assert_eq!(vic.fifo.pop(), Some((9, 456)));
+        });
+    }
+
+    #[test]
+    fn group_counter_decrements_to_zero() {
+        with_kernel(|k| {
+            let mut vic = Vic::new(3, &DvParams::default());
+            vic.set_counter(k, 5, 2);
+            let h = PacketHeader::dv_memory(0, 3, 0, 5);
+            vic.deliver(k, 0, Packet::new(h, 1));
+            assert_eq!(vic.counter(5).value(), 1);
+            vic.deliver(k, 0, Packet::new(h, 2));
+            assert!(vic.counter(5).is_zero());
+        });
+    }
+
+    #[test]
+    fn scratch_counter_ignores_decrements() {
+        with_kernel(|k| {
+            let mut vic = Vic::new(3, &DvParams::default());
+            let h = PacketHeader::dv_memory(0, 3, 0, SCRATCH_GC);
+            for _ in 0..10 {
+                vic.deliver(k, 0, Packet::new(h, 0));
+            }
+            assert_eq!(vic.counter(SCRATCH_GC).value(), 0);
+        });
+    }
+
+    #[test]
+    fn remote_counter_set_packet_applies() {
+        with_kernel(|k| {
+            let mut vic = Vic::new(3, &DvParams::default());
+            let h = PacketHeader::gc_set(0, 3, 9);
+            vic.deliver(k, 0, Packet::new(h, 42));
+            assert_eq!(vic.counter(9).value(), 42);
+        });
+    }
+
+    #[test]
+    fn query_produces_return_header_reply() {
+        with_kernel(|k| {
+            let mut vic = Vic::new(3, &DvParams::default());
+            vic.memory.write(1000, 0xCAFE);
+            // Reply should go to node 7 (not the querying node 0!) at
+            // address 55 — the paper: "The reply destination VIC does not
+            // need to be the same as the original sending VIC".
+            let return_header = PacketHeader::dv_memory(3, 7, 55, SCRATCH_GC);
+            let q = PacketHeader::query(0, 3, 1000);
+            let reply = vic.deliver(k, 0, Packet::new(q, return_header.encode())).unwrap();
+            assert_eq!(reply.header, return_header);
+            assert_eq!(reply.payload, 0xCAFE);
+        });
+    }
+
+    #[test]
+    fn set_after_decrement_race_reproduced_end_to_end() {
+        with_kernel(|k| {
+            let mut vic = Vic::new(3, &DvParams::default());
+            let data = PacketHeader::dv_memory(0, 3, 0, 7);
+            // One data packet outruns the remote set...
+            vic.deliver(k, 0, Packet::new(data, 0));
+            // ...then the set arrives...
+            vic.deliver(k, 0, Packet::new(PacketHeader::gc_set(0, 3, 7), 3));
+            // ...then the remaining two data packets.
+            vic.deliver(k, 0, Packet::new(data, 0));
+            vic.deliver(k, 0, Packet::new(data, 0));
+            // All 3 packets arrived but the counter is stuck at 1.
+            assert_eq!(vic.counter(7).value(), 1);
+        });
+    }
+
+    #[test]
+    fn barrier_counters_are_reserved_but_functional() {
+        with_kernel(|k| {
+            let mut vic = Vic::new(0, &DvParams::default());
+            for &gc in &BARRIER_GC {
+                vic.set_counter(k, gc, 1);
+                assert_eq!(vic.counter(gc).value(), 1);
+            }
+        });
+    }
+}

@@ -1,0 +1,61 @@
+//! Explore the Data Vortex switch at cycle granularity.
+//!
+//! Walks a packet through the multi-cylinder deflection network, then
+//! loads the switch with uniform random traffic and shows how latency and
+//! deflections respond — the congestion-free behavior the architecture
+//! was designed for (paper Section II, Figure 1).
+//!
+//! Run with: `cargo run --release --example switch_explorer`
+
+use datavortex::switch::traffic::{LoadSweep, Pattern};
+use datavortex::switch::{SwitchSim, Topology};
+
+fn main() {
+    let topo = Topology::new(8, 4);
+    println!(
+        "Data Vortex switch: H={}, A={} -> C = log2(H)+1 = {} cylinders, {} ports, {} switching nodes",
+        topo.height,
+        topo.angles,
+        topo.cylinders(),
+        topo.ports(),
+        topo.nodes()
+    );
+    println!("(nodes scale as N·log N with the port count, as in the paper)\n");
+
+    // Route one packet and watch the hop count.
+    let mut sw = SwitchSim::new(topo.clone());
+    let (src, dst) = (3, 28);
+    sw.enqueue(src, dst, 42);
+    let delivered = sw.drain(1000);
+    let d = delivered[0];
+    println!(
+        "single packet {src} -> {dst}: {} hops ({} contention deflections), min possible {}",
+        d.hops,
+        d.deflections,
+        topo.min_hops(src, dst)
+    );
+
+    // Offered-load sweep under uniform traffic.
+    println!("\nuniform random traffic (packets/port/slot):");
+    println!("{:>8} {:>10} {:>12} {:>12}", "offered", "accepted", "latency(cyc)", "deflections");
+    let sweep = LoadSweep::new(topo);
+    for load in [0.1, 0.3, 0.5, 0.7, 0.9] {
+        let p = sweep.run(load);
+        println!(
+            "{:>8.2} {:>10.3} {:>12.2} {:>12.3}",
+            p.offered, p.accepted, p.total_latency_mean, p.deflections_mean
+        );
+    }
+    println!("\nnote how latency grows only a few cycles even near saturation —");
+    println!("contention is resolved by deflection (\"statistically by two hops\"), not queueing.");
+
+    // And the worst case for comparison.
+    let mut hotspot = LoadSweep::new(Topology::new(8, 4));
+    hotspot.pattern = Pattern::Hotspot;
+    let p = hotspot.run(0.9);
+    println!(
+        "\nhotspot traffic (half of all packets to port 0): accepted drops to {:.3}/port — \
+         the ejection port, not the fabric, is the bottleneck",
+        p.accepted
+    );
+}

@@ -1,0 +1,17 @@
+//! # datavortex — facade crate
+//!
+//! Re-exports the whole Data Vortex reproduction workspace under one roof so
+//! examples, integration tests, and downstream users can depend on a single
+//! crate.
+//!
+//! See the workspace `README.md` for the architecture overview and
+//! `DESIGN.md` for the paper-to-module map.
+
+pub use dv_api as api;
+pub use dv_apps as apps;
+pub use dv_core as core;
+pub use dv_kernels as kernels;
+pub use dv_sim as sim;
+pub use dv_switch as switch;
+pub use dv_vic as vic;
+pub use mini_mpi as mpi;

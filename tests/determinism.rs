@@ -1,0 +1,66 @@
+//! Reproducibility: every simulated benchmark is bit-deterministic —
+//! identical inputs give identical virtual times *and* identical data.
+//! This is the property that makes the simulation a usable instrument.
+
+use datavortex::core::config::MachineConfig;
+use datavortex::kernels::graph;
+use datavortex::kernels::gups::{self, GupsConfig};
+use datavortex::kernels::{barrier, fft};
+
+#[test]
+fn gups_is_fully_deterministic_on_both_backends() {
+    let cfg = GupsConfig { table_per_node: 1 << 10, updates_per_node: 1 << 11, bucket: 512, stream_offset: 0 };
+    let a = gups::dv::run(cfg, 8);
+    let b = gups::dv::run(cfg, 8);
+    assert_eq!(a.elapsed, b.elapsed, "virtual time must reproduce exactly");
+    assert_eq!(a.checksum, b.checksum);
+    let c = gups::mpi::run(cfg, 8);
+    let d = gups::mpi::run(cfg, 8);
+    assert_eq!(c.elapsed, d.elapsed);
+    assert_eq!(c.checksum, d.checksum);
+}
+
+#[test]
+fn fft_times_reproduce_exactly() {
+    let a = fft::dv::run(1 << 12, 4, false);
+    let b = fft::dv::run(1 << 12, 4, false);
+    assert_eq!(a.elapsed, b.elapsed);
+    assert_eq!(a.flops, b.flops);
+    let c = fft::mpi::run(1 << 12, 4, false);
+    let d = fft::mpi::run(1 << 12, 4, false);
+    assert_eq!(c.elapsed, d.elapsed);
+}
+
+#[test]
+fn bfs_times_and_trees_reproduce_exactly() {
+    let gcfg = graph::GraphConfig { scale: 10, edgefactor: 8, seed: 12 };
+    let edges = graph::kronecker_edges(&gcfg);
+    let csr = graph::Csr::build(gcfg.vertices(), &edges);
+    let locals = graph::partition_csr(&csr, graph::VertexPart { nodes: 4 });
+    let root = graph::pick_roots(&csr, 1, 3)[0];
+    let a = graph::dv::run(&locals, gcfg.vertices(), root, MachineConfig::paper_cluster());
+    let b = graph::dv::run(&locals, gcfg.vertices(), root, MachineConfig::paper_cluster());
+    assert_eq!(a.elapsed, b.elapsed);
+    assert_eq!(a.parents, b.parents);
+    assert_eq!(a.edges_scanned, b.edges_scanned);
+}
+
+#[test]
+fn barrier_measurements_reproduce_exactly() {
+    for kind in [
+        barrier::BarrierKind::DvIntrinsic,
+        barrier::BarrierKind::DvFast,
+        barrier::BarrierKind::Mpi,
+    ] {
+        let a = barrier::barrier_latency(kind, 16, 25);
+        let b = barrier::barrier_latency(kind, 16, 25);
+        assert_eq!(a, b, "{kind:?}");
+    }
+}
+
+#[test]
+fn different_seeds_change_graph_results() {
+    let g1 = graph::kronecker_edges(&graph::GraphConfig { scale: 10, edgefactor: 8, seed: 1 });
+    let g2 = graph::kronecker_edges(&graph::GraphConfig { scale: 10, edgefactor: 8, seed: 2 });
+    assert_ne!(g1, g2);
+}

@@ -1,0 +1,251 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use datavortex::core::packet::{AddressSpace, PacketHeader};
+use datavortex::core::rng::{hpcc_starts, HpccStream};
+use datavortex::core::stats::harmonic_mean;
+use datavortex::kernels::fft::{fft_in_place, ifft_in_place, max_error, naive_dft, Complex};
+use datavortex::kernels::graph::{scramble, serial_bfs, validate_bfs, Csr};
+use datavortex::kernels::util::BlockDist;
+use datavortex::switch::{SwitchSim, Topology};
+
+fn arb_space() -> impl Strategy<Value = AddressSpace> {
+    prop_oneof![
+        Just(AddressSpace::DvMemory),
+        Just(AddressSpace::SurpriseFifo),
+        Just(AddressSpace::GroupCounterSet),
+        Just(AddressSpace::Query),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn packet_header_roundtrips(
+        dest in 0usize..4096,
+        src in 0usize..4096,
+        addr in 0u32..(1 << 22),
+        gc in 0u8..64,
+        space in arb_space(),
+    ) {
+        let h = PacketHeader { dest, src, space, address: addr, group_counter: gc };
+        prop_assert_eq!(PacketHeader::decode(h.encode()), h);
+    }
+
+    #[test]
+    fn hpcc_jump_equals_sequential(start in 0i64..100_000, len in 1usize..64) {
+        let mut seq = HpccStream::starting_at(0);
+        for _ in 0..start {
+            seq.next_u64();
+        }
+        let mut jumped = HpccStream::starting_at(start);
+        for _ in 0..len {
+            prop_assert_eq!(seq.next_u64(), jumped.next_u64());
+        }
+        prop_assert_eq!(hpcc_starts(start), HpccStream::starting_at(start).next_u64());
+    }
+
+    #[test]
+    fn block_dist_owner_local_consistent(total in 1usize..10_000, parts in 1usize..64) {
+        let d = BlockDist::new(total, parts);
+        let mut covered = 0usize;
+        for p in 0..parts {
+            covered += d.count(p);
+        }
+        prop_assert_eq!(covered, total);
+        // Spot-check random indices.
+        for i in (0..total).step_by((total / 17).max(1)) {
+            let o = d.owner(i);
+            prop_assert!(d.local(i) < d.count(o));
+            prop_assert_eq!(d.start(o) + d.local(i), i);
+        }
+    }
+
+    #[test]
+    fn fft_matches_dft_on_random_signals(
+        log_n in 1u32..7,
+        seed in any::<u64>(),
+    ) {
+        let n = 1usize << log_n;
+        let mut rng = datavortex::core::rng::SplitMix64::new(seed);
+        let x: Vec<Complex> =
+            (0..n).map(|_| Complex::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5)).collect();
+        let mut y = x.clone();
+        fft_in_place(&mut y);
+        prop_assert!(max_error(&y, &naive_dft(&x)) < 1e-8);
+        ifft_in_place(&mut y);
+        prop_assert!(max_error(&y, &x) < 1e-9);
+    }
+
+    #[test]
+    fn switch_delivers_every_packet_exactly_once(
+        seed in any::<u64>(),
+        height_log in 1u32..5,
+        angles in 1usize..6,
+        packets in 1usize..200,
+    ) {
+        let topo = Topology::new(1 << height_log, angles);
+        let ports = topo.ports();
+        let mut sw = SwitchSim::new(topo);
+        let mut rng = datavortex::core::rng::SplitMix64::new(seed);
+        let mut expect = std::collections::HashMap::new();
+        for tag in 0..packets as u64 {
+            let s = rng.next_below(ports as u64) as usize;
+            let d = rng.next_below(ports as u64) as usize;
+            sw.enqueue(s, d, tag);
+            expect.insert(tag, d);
+        }
+        let delivered = sw.drain(2_000_000);
+        prop_assert_eq!(delivered.len(), packets);
+        let mut seen = std::collections::HashSet::new();
+        for dv in delivered {
+            prop_assert!(seen.insert(dv.tag), "duplicate delivery");
+            prop_assert_eq!(expect[&dv.tag], dv.dst_port);
+        }
+    }
+
+    #[test]
+    fn scramble_stays_bijective(scale in 1u32..16) {
+        let n = 1u64 << scale;
+        let mut seen = vec![false; n as usize];
+        for v in 0..n {
+            let s = scramble(v, scale) as usize;
+            prop_assert!(!seen[s]);
+            seen[s] = true;
+        }
+    }
+
+    #[test]
+    fn random_graph_bfs_trees_validate(seed in any::<u64>(), n in 2usize..200, m in 1usize..500) {
+        let mut rng = datavortex::core::rng::SplitMix64::new(seed);
+        let edges: Vec<(u32, u32)> = (0..m)
+            .map(|_| (rng.next_below(n as u64) as u32, rng.next_below(n as u64) as u32))
+            .collect();
+        let csr = Csr::build(n, &edges);
+        let root = rng.next_below(n as u64) as u32;
+        let (parents, levels) = serial_bfs(&csr, root);
+        prop_assert!(validate_bfs(&csr, root, &parents).is_ok());
+        // Levels are a BFS: every edge spans <= 1 level.
+        for v in 0..n as u32 {
+            if levels[v as usize] < 0 { continue; }
+            for &w in csr.neighbors(v) {
+                prop_assert!((levels[v as usize] - levels[w as usize]).abs() <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn harmonic_mean_bounded_by_min_and_max(xs in prop::collection::vec(0.001f64..1e6, 1..20)) {
+        let h = harmonic_mean(&xs);
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(h >= min * 0.999 && h <= max * 1.001, "{h} not in [{min}, {max}]");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The heavyweight one: GUPS over both simulated networks equals the
+    /// serial reference for arbitrary (small) configurations.
+    #[test]
+    fn gups_backends_match_serial_for_random_configs(
+        table_log in 6u32..9,
+        updates_log in 6u32..9,
+        nodes_log in 1u32..3,
+    ) {
+        use datavortex::kernels::gups::{dv, mpi, serial_reference, GupsConfig};
+        let cfg = GupsConfig {
+            table_per_node: 1 << table_log,
+            updates_per_node: 1 << updates_log,
+            bucket: 128, stream_offset: 0 };
+        let nodes = 1 << nodes_log;
+        let (_, expect) = serial_reference(&cfg, nodes);
+        prop_assert_eq!(dv::run(cfg, nodes).checksum, expect);
+        prop_assert_eq!(mpi::run(cfg, nodes).checksum, expect);
+    }
+
+    /// MPI alltoall reassembles arbitrary ragged payloads correctly.
+    #[test]
+    fn alltoallv_reassembles_ragged_blocks(seed in any::<u64>(), nodes in 2usize..6) {
+        use datavortex::mpi::{MpiCluster, Payload};
+        let (_, results) = MpiCluster::new(nodes).run(move |comm, ctx| {
+            let me = comm.rank() as u64;
+            let mut rng = datavortex::core::rng::SplitMix64::new(seed ^ me);
+            let blocks: Vec<Payload> = (0..comm.size())
+                .map(|d| {
+                    let len = rng.next_below(40) as usize;
+                    Payload::U64((0..len as u64).map(|i| me * 1_000_000 + d as u64 * 1_000 + i).collect())
+                })
+                .collect();
+            let sizes: Vec<usize> = blocks.iter().map(|b| b.len()).collect();
+            let got = comm.alltoall(ctx, blocks);
+            (sizes, got.into_iter().map(|p| p.into_u64()).collect::<Vec<_>>())
+        });
+        // Every received word identifies its (src, dst, index) triple.
+        for (dst, (_, got)) in results.iter().enumerate() {
+            for (src, block) in got.iter().enumerate() {
+                let expected_len = results[src].0[dst];
+                prop_assert_eq!(block.len(), expected_len);
+                for (i, w) in block.iter().enumerate() {
+                    prop_assert_eq!(*w, src as u64 * 1_000_000 + dst as u64 * 1_000 + i as u64);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The heat solvers match the serial reference bit-exactly for random
+    /// grids and decompositions.
+    #[test]
+    fn heat_backends_match_serial_for_random_configs(
+        nx_l in 1usize..4, ny_l in 1usize..4, nz_l in 1usize..4,
+        px in 1usize..3, py in 1usize..3, pz in 1usize..3,
+        steps in 1usize..4,
+    ) {
+        use datavortex::apps::heat::{Halo, dv, mpi, HeatConfig, SerialHeat};
+        let cfg = HeatConfig {
+            n: (nx_l * px * 2, ny_l * py * 2, nz_l * pz * 2),
+            grid: (px, py, pz),
+            r: 0.12,
+            steps,
+            report_every: steps, halo: Halo::Line };
+        let mut serial = SerialHeat::new(&cfg);
+        for _ in 0..steps {
+            serial.step();
+        }
+        let d = dv::run(cfg);
+        let m = mpi::run(cfg);
+        prop_assert_eq!(&mpi::assemble(&cfg, &d.fields), &serial.u);
+        prop_assert_eq!(&mpi::assemble(&cfg, &m.fields), &serial.u);
+    }
+
+    /// The SNAP sweeps match the serial reference bit-exactly for random
+    /// meshes, decompositions, and chunk sizes.
+    #[test]
+    fn snap_backends_match_serial_for_random_configs(
+        nx in 2usize..10, nyb in 1usize..4, nzb in 1usize..4,
+        py in 1usize..3, pz in 1usize..3,
+        groups in 1usize..3,
+        chunk in 1usize..6,
+    ) {
+        use datavortex::apps::snap::{dv, mpi, assemble_phi, SerialSnap, SnapConfig};
+        let cfg = SnapConfig {
+            n: (nx, nyb * py, nzb * pz),
+            grid: (py, pz),
+            groups,
+            angles: 2,
+            chunk,
+            sigma: 0.6,
+        };
+        let mut serial = SerialSnap::new(cfg);
+        serial.sweep_all();
+        let d = dv::run(cfg);
+        let m = mpi::run(cfg);
+        prop_assert_eq!(&assemble_phi(&cfg, &d.fields), &serial.phi);
+        prop_assert_eq!(&assemble_phi(&cfg, &m.fields), &serial.phi);
+    }
+}
