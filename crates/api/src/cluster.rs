@@ -63,6 +63,18 @@ impl DvCluster {
         T: Send + 'static,
         F: Fn(&DvCtx, &SimCtx) -> T + Send + Sync + 'static,
     {
+        let (elapsed, _, results) = self.run_hashed(body);
+        (elapsed, results)
+    }
+
+    /// [`DvCluster::run`], additionally returning the event-trace hash
+    /// (see [`dv_sim::OrderAudit`]). Identical configurations and bodies
+    /// must produce identical hashes — asserted by `tests/determinism.rs`.
+    pub fn run_hashed<T, F>(&self, body: F) -> (Time, u64, Vec<T>)
+    where
+        T: Send + 'static,
+        F: Fn(&DvCtx, &SimCtx) -> T + Send + Sync + 'static,
+    {
         let sim = Sim::new();
         let world = DvWorld::new(self.nodes, self.config.clone(), Arc::clone(&self.tracer));
         // Pre-arm the FastBarrier counters before any process runs, so the
@@ -86,10 +98,10 @@ impl DvCluster {
                 slot.put(body(&dv, ctx));
             });
         }
-        let elapsed = sim.run();
+        let (elapsed, trace_hash) = sim.run_hashed();
         let results =
             slots.into_iter().map(|s| s.take().expect("node did not finish")).collect();
-        (elapsed, results)
+        (elapsed, trace_hash, results)
     }
 }
 

@@ -1,7 +1,7 @@
 //! The per-node Data Vortex API handle.
 
 use std::cell::Cell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use dv_core::packet::{Packet, PacketHeader, GROUP_COUNTERS, PAYLOAD_BYTES};
@@ -124,18 +124,16 @@ impl DvCtx {
             }
         };
 
-        // Group by destination, deterministic order.
-        let mut groups: HashMap<NodeId, Vec<Packet>> = HashMap::new();
+        // Group by destination; BTreeMap drains in key order, so the
+        // transmit sequence is deterministic by construction.
+        let mut groups: BTreeMap<NodeId, Vec<Packet>> = BTreeMap::new();
         for p in packets {
             groups.entry(p.header.dest).or_default().push(p);
         }
-        let mut dests: Vec<NodeId> = groups.keys().copied().collect();
-        dests.sort_unstable();
 
         let mut last = vic_ready;
         ctx.with_kernel(|k| {
-            for dst in dests {
-                let batch = groups.remove(&dst).unwrap();
+            for (dst, batch) in groups {
                 last = last.max(self.world.transmit(k, self.node, dst, batch, vic_ready));
             }
         });
@@ -196,16 +194,13 @@ impl DvCtx {
                 end
             }
         };
-        let mut groups: HashMap<NodeId, Vec<crate::world::BlockWrite>> = HashMap::new();
+        let mut groups: BTreeMap<NodeId, Vec<crate::world::BlockWrite>> = BTreeMap::new();
         for b in blocks {
             groups.entry(b.dest).or_default().push(b);
         }
-        let mut dests: Vec<NodeId> = groups.keys().copied().collect();
-        dests.sort_unstable();
         let mut last = vic_ready;
         ctx.with_kernel(|k| {
-            for dst in dests {
-                let batch = groups.remove(&dst).unwrap();
+            for (dst, batch) in groups {
                 last = last.max(self.world.transmit_blocks(k, self.node, dst, batch, vic_ready));
             }
         });

@@ -3,7 +3,7 @@
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use dv_core::sync::Mutex;
 
 use dv_core::config::MachineConfig;
 use dv_core::packet::{Packet, PACKET_BYTES, PAYLOAD_BYTES};
@@ -61,12 +61,12 @@ impl DvWorld {
         let switch = SwitchModel::from_params(&config.dv);
         let link = config.dv.link_gbps;
         Arc::new(Self {
-            vics: (0..nodes).map(|n| Arc::new(Mutex::new(Vic::new(n, &config.dv)))).collect(),
+            vics: (0..nodes).map(|n| Arc::new(Mutex::new_named("api.vic", Vic::new(n, &config.dv)))).collect(),
             pcie: (0..nodes).map(|_| PciePath::new(config.pcie.clone())).collect(),
             inject: (0..nodes).map(|_| Pipe::new(link)).collect(),
             eject: (0..nodes).map(|_| Pipe::new(link)).collect(),
             in_flight: AtomicI64::new(0),
-            barrier: Mutex::new(BarrierState { epoch: 0, count: 0, waiters: WaitSet::new() }),
+            barrier: Mutex::new_named("api.barrier", BarrierState { epoch: 0, count: 0, waiters: WaitSet::new() }),
             tracer,
             switch,
             config,

@@ -337,7 +337,7 @@ mod tests {
 
     #[test]
     fn octant_dirs_cover_all_sign_combinations() {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for o in 0..8 {
             seen.insert(octant_dirs(o));
         }

@@ -5,7 +5,6 @@
 //! roots. Harmonic-mean TEPS is the Graph500 reporting rule.
 
 use dv_bench::{f2, quick, table};
-use rayon::prelude::*;
 use dv_core::config::MachineConfig;
 use dv_core::stats::harmonic_mean;
 use dv_kernels::graph::{dv, kronecker_edges, mpi, partition_csr, pick_roots, validate_bfs, Csr, GraphConfig, VertexPart};
@@ -21,17 +20,28 @@ fn main() {
     for nodes in [2usize, 4, 8, 16, 32] {
         let locals = partition_csr(&csr, VertexPart { nodes });
         // Each (root, backend) search is an independent simulation, so the
-        // sweep parallelizes across host cores without touching results.
-        let (dv_teps, mpi_teps): (Vec<f64>, Vec<f64>) = roots
-            .par_iter()
-            .map(|&root| {
-                let d = dv::run(&locals, gcfg.vertices(), root, MachineConfig::paper_cluster());
-                validate_bfs(&csr, root, &d.parents).expect("DV BFS tree invalid");
-                let m = mpi::run(&locals, gcfg.vertices(), root, MachineConfig::paper_cluster());
-                validate_bfs(&csr, root, &m.parents).expect("MPI BFS tree invalid");
-                (d.teps(), m.teps())
-            })
-            .unzip();
+        // sweep parallelizes across host threads without touching results
+        // (results are collected in root order, so host scheduling cannot
+        // change the output — tests/determinism.rs checks this property).
+        let (dv_teps, mpi_teps): (Vec<f64>, Vec<f64>) = std::thread::scope(|s| {
+            let handles: Vec<_> = roots
+                .iter()
+                .map(|&root| {
+                    let locals = &locals;
+                    let csr = &csr;
+                    s.spawn(move || {
+                        let d =
+                            dv::run(locals, gcfg.vertices(), root, MachineConfig::paper_cluster());
+                        validate_bfs(csr, root, &d.parents).expect("DV BFS tree invalid");
+                        let m =
+                            mpi::run(locals, gcfg.vertices(), root, MachineConfig::paper_cluster());
+                        validate_bfs(csr, root, &m.parents).expect("MPI BFS tree invalid");
+                        (d.teps(), m.teps())
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("BFS worker panicked")).unzip()
+        });
         let d = harmonic_mean(&dv_teps) / 1e6;
         let m = harmonic_mean(&mpi_teps) / 1e6;
         rows.push(vec![nodes.to_string(), f2(d), f2(m), f2(d / m)]);

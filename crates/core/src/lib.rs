@@ -19,6 +19,9 @@
 //!   reproduce Figure 5 of the paper).
 //! * [`rng`] — deterministic random streams, including the exact HPCC
 //!   RandomAccess (GUPS) polynomial stream.
+//! * [`sync`] — the simulation-safe [`sync::Mutex`] (poison-recovering
+//!   `lock()`, debug-mode lock-order auditing) used by every crate that
+//!   shares state between simulated processes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,6 +30,7 @@ pub mod config;
 pub mod packet;
 pub mod rng;
 pub mod stats;
+pub mod sync;
 pub mod time;
 pub mod trace;
 

@@ -14,7 +14,7 @@
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 
 use crate::time::Time;
 use crate::NodeId;

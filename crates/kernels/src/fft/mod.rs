@@ -43,28 +43,34 @@ impl Complex {
         Self { re: angle.cos(), im: angle.sin() }
     }
 
-    /// Complex multiply.
-    #[inline]
-    pub fn mul(self, o: Self) -> Self {
-        Self { re: self.re * o.re - self.im * o.im, im: self.re * o.im + self.im * o.re }
-    }
-
-    /// Complex add.
-    #[inline]
-    pub fn add(self, o: Self) -> Self {
-        Self { re: self.re + o.re, im: self.im + o.im }
-    }
-
-    /// Complex subtract.
-    #[inline]
-    pub fn sub(self, o: Self) -> Self {
-        Self { re: self.re - o.re, im: self.im - o.im }
-    }
-
     /// Squared magnitude.
     #[inline]
     pub fn norm_sq(self) -> f64 {
         self.re * self.re + self.im * self.im
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Self;
+    #[inline]
+    fn mul(self, o: Self) -> Self {
+        Self { re: self.re * o.re - self.im * o.im, im: self.re * o.im + self.im * o.re }
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Self;
+    #[inline]
+    fn add(self, o: Self) -> Self {
+        Self { re: self.re + o.re, im: self.im + o.im }
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Self;
+    #[inline]
+    fn sub(self, o: Self) -> Self {
+        Self { re: self.re - o.re, im: self.im - o.im }
     }
 }
 
@@ -93,10 +99,10 @@ pub fn fft_in_place(data: &mut [Complex]) {
             let mut w = Complex::new(1.0, 0.0);
             for k in 0..half {
                 let a = data[start + k];
-                let b = data[start + k + half].mul(w);
-                data[start + k] = a.add(b);
-                data[start + k + half] = a.sub(b);
-                w = w.mul(step);
+                let b = data[start + k + half] * w;
+                data[start + k] = a + b;
+                data[start + k + half] = a - b;
+                w = w * step;
             }
         }
         len <<= 1;
@@ -123,7 +129,7 @@ pub fn naive_dft(data: &[Complex]) -> Vec<Complex> {
         .map(|k| {
             let mut acc = Complex::zero();
             for (j, &x) in data.iter().enumerate() {
-                acc = acc.add(x.mul(Complex::twiddle(k * j % n, n)));
+                acc = acc + x * Complex::twiddle(k * j % n, n);
             }
             acc
         })
@@ -137,7 +143,7 @@ pub fn fft_flops(n: u64) -> u64 {
 
 /// Max elementwise distance between two complex slices.
 pub fn max_error(a: &[Complex], b: &[Complex]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| x.sub(*y).norm_sq().sqrt()).fold(0.0, f64::max)
+    a.iter().zip(b).map(|(x, y)| (*x - *y).norm_sq().sqrt()).fold(0.0, f64::max)
 }
 
 #[cfg(test)]

@@ -392,6 +392,7 @@ mod tests {
         let total: usize = locals.iter().map(|c| c.vertices()).sum();
         assert_eq!(total, csr.vertices());
         // Local adjacency matches global.
+        #[allow(clippy::needless_range_loop)] // node feeds part.global(node, l)
         for node in 0..3 {
             for l in 0..locals[node].vertices() {
                 let g = part.global(node, l);

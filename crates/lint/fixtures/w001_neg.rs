@@ -1,0 +1,19 @@
+// Negative fixture for DV-W001: ordered containers, and the banned names
+// appearing only in prose or strings.
+//
+// A HashMap would be wrong here — iteration order leaks into sends.
+use std::collections::{BTreeMap, BTreeSet};
+
+fn route_table() -> BTreeMap<u32, Vec<u32>> {
+    let mut table: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+    table.insert(0, vec![1, 2]);
+    table
+}
+
+fn seen_nodes() -> BTreeSet<u32> {
+    BTreeSet::from([1, 2, 3])
+}
+
+fn describe() -> &'static str {
+    "we do not use HashMap or HashSet in simulation code"
+}

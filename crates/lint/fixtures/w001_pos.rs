@@ -1,0 +1,12 @@
+// Positive fixture for DV-W001: hash containers in sim-reachable code.
+use std::collections::{HashMap, HashSet};
+
+fn route_table() -> HashMap<u32, Vec<u32>> {
+    let mut table: HashMap<u32, Vec<u32>> = HashMap::new();
+    table.insert(0, vec![1, 2]);
+    table
+}
+
+fn seen_nodes() -> HashSet<u32> {
+    HashSet::from([1, 2, 3])
+}

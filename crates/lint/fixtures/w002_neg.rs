@@ -1,0 +1,15 @@
+// Negative fixture for DV-W002: virtual time only. `Instant` appears in
+// prose and in an identifier that merely contains the word.
+//
+// Host Instant::now() must never be consulted inside the simulation.
+
+struct InstantaneousLoad(u64);
+
+fn timed_phase(now: u64, delay: u64) -> u64 {
+    // Virtual time arithmetic: additions over the sim clock.
+    now + delay
+}
+
+fn describe() -> &'static str {
+    "wall-clock (Instant, SystemTime) is banned outside dv-bench"
+}

@@ -1,0 +1,14 @@
+// Positive fixture for DV-W002: wall-clock time in simulation code.
+use std::time::{Instant, SystemTime};
+
+fn timed_phase() -> u128 {
+    let t0 = Instant::now();
+    expensive();
+    t0.elapsed().as_nanos()
+}
+
+fn stamp() -> SystemTime {
+    SystemTime::now()
+}
+
+fn expensive() {}

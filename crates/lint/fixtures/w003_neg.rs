@@ -1,0 +1,25 @@
+// Negative fixture for DV-W003: explicitly seeded streams only.
+// Mentioning thread_rng in a comment (like this one) is fine.
+
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^ (z >> 31)
+    }
+}
+
+fn shuffle_updates(seed: u64, xs: &mut [u64]) {
+    let mut rng = SplitMix64::new(seed);
+    for i in (1..xs.len()).rev() {
+        let j = (rng.next() % (i as u64 + 1)) as usize;
+        xs.swap(i, j);
+    }
+}

@@ -1,0 +1,28 @@
+// Positive fixture for DV-W003: non-seeded randomness.
+
+fn shuffle_updates(xs: &mut [u64]) {
+    let mut rng = thread_rng();
+    rng.shuffle(xs);
+}
+
+fn random_index(n: usize) -> usize {
+    rand::random::<usize>() % n
+}
+
+fn fresh_stream() -> Pcg {
+    Pcg::from_entropy()
+}
+
+struct Pcg;
+impl Pcg {
+    fn from_entropy() -> Self {
+        Pcg
+    }
+}
+fn thread_rng() -> Rng {
+    Rng
+}
+struct Rng;
+impl Rng {
+    fn shuffle(&mut self, _: &mut [u64]) {}
+}

@@ -1,0 +1,14 @@
+// Positive fixture for DV-W004: unwrap/expect on lock & channel results
+// in a simulation hot path.
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Mutex;
+
+fn drain(state: &Mutex<Vec<u64>>, rx: &Receiver<u64>, tx: &Sender<u64>) {
+    let mut guard = state.lock().unwrap();
+    guard.push(rx.recv().expect("peer hung up"));
+    tx.send(guard.len() as u64).unwrap();
+    if let Some(v) = state.try_lock().ok() {
+        drop(v);
+    }
+    let _ = rx.try_recv().unwrap();
+}

@@ -1,0 +1,15 @@
+// Negative fixture for DV-W005: reductions run over ordered views.
+use std::collections::BTreeMap;
+
+fn total_latency(per_node: &BTreeMap<u32, f64>) -> f64 {
+    // BTreeMap iterates in key order: the sum is reproducible.
+    per_node.values().sum::<f64>()
+}
+
+fn integer_sum_is_fine(xs: &[u64]) -> u64 {
+    xs.iter().sum::<u64>()
+}
+
+fn slice_sum_in_fixed_order(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>()
+}

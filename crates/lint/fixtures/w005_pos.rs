@@ -1,0 +1,15 @@
+// Positive fixture for DV-W005: float reductions over unordered
+// containers.
+use std::collections::HashMap;
+
+fn total_latency(per_node: &HashMap<u32, f64>) -> f64 {
+    per_node.values().sum::<f64>()
+}
+
+fn product_of_rates(per_node: &HashMap<u32, f64>) -> f64 {
+    per_node.values().product::<f64>()
+}
+
+fn folded(per_node: &HashMap<u32, f64>) -> f64 {
+    per_node.values().fold(0.0, |acc, v| acc + v)
+}

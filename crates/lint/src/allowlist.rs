@@ -1,0 +1,295 @@
+//! Audited exceptions, loaded from `lint.toml` at the workspace root.
+//!
+//! The file is a sequence of `[[allow]]` tables in a deliberately tiny
+//! TOML subset (string and integer values only — no external TOML crate):
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "DV-W004"
+//! path = "crates/sim/src/sim.rs"
+//! contains = "resume_tx.send(()).expect"
+//! reason = "scheduler-fatal: a vanished process thread must abort the run"
+//! ```
+//!
+//! Every key is optional except `reason`: an exception without a written
+//! justification is rejected at load time. `path` matches by suffix,
+//! `contains` by substring of the offending raw line, `line` exactly.
+
+use crate::rules::Finding;
+use std::path::Path;
+
+/// One audited exception.
+#[derive(Debug, Clone, Default)]
+pub struct AllowEntry {
+    /// Rule id this entry silences (`None` = any rule).
+    pub rule: Option<String>,
+    /// Workspace-relative path suffix the finding must match.
+    pub path: Option<String>,
+    /// Exact 1-based line number, if pinned.
+    pub line: Option<usize>,
+    /// Substring of the offending source line.
+    pub contains: Option<String>,
+    /// The audited justification (required).
+    pub reason: String,
+}
+
+impl AllowEntry {
+    fn matches(&self, f: &Finding) -> bool {
+        if self.rule.as_deref().is_some_and(|r| r != f.rule) {
+            return false;
+        }
+        if self.path.as_deref().is_some_and(|p| !f.path.ends_with(p)) {
+            return false;
+        }
+        if self.line.is_some_and(|l| l != f.line) {
+            return false;
+        }
+        if self.contains.as_deref().is_some_and(|c| !f.text.contains(c)) {
+            return false;
+        }
+        true
+    }
+}
+
+/// The full set of audited exceptions.
+#[derive(Debug, Clone, Default)]
+pub struct Allowlist {
+    /// Entries in file order; the first match wins.
+    pub entries: Vec<AllowEntry>,
+}
+
+/// A malformed `lint.toml`.
+#[derive(Debug)]
+pub struct AllowlistError {
+    /// 1-based line of the problem.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for AllowlistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AllowlistError {}
+
+impl Allowlist {
+    /// Load from `path`. A missing file is an empty allowlist; a malformed
+    /// one is an error (exceptions must be auditable, not best-effort).
+    pub fn load(path: &Path) -> Result<Self, AllowlistError> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Self::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Self::default()),
+            Err(e) => Err(AllowlistError { line: 0, message: e.to_string() }),
+        }
+    }
+
+    /// Parse the `[[allow]]` TOML subset.
+    pub fn parse(text: &str) -> Result<Self, AllowlistError> {
+        let mut entries: Vec<AllowEntry> = Vec::new();
+        let mut current: Option<AllowEntry> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some(done) = current.take() {
+                    finish(done, line_no, &mut entries)?;
+                }
+                current = Some(AllowEntry::default());
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(AllowlistError {
+                    line: line_no,
+                    message: format!("unsupported section {line:?} (only [[allow]] is allowed)"),
+                });
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(AllowlistError {
+                    line: line_no,
+                    message: format!("expected `key = value`, got {line:?}"),
+                });
+            };
+            let Some(entry) = current.as_mut() else {
+                return Err(AllowlistError {
+                    line: line_no,
+                    message: "key outside an [[allow]] section".into(),
+                });
+            };
+            let key = key.trim();
+            let value = value.trim();
+            match key {
+                "rule" => entry.rule = Some(parse_string(value, line_no)?),
+                "path" => entry.path = Some(parse_string(value, line_no)?),
+                "contains" => entry.contains = Some(parse_string(value, line_no)?),
+                "reason" => entry.reason = parse_string(value, line_no)?,
+                "line" => {
+                    entry.line = Some(value.parse().map_err(|_| AllowlistError {
+                        line: line_no,
+                        message: format!("line must be an integer, got {value:?}"),
+                    })?);
+                }
+                other => {
+                    return Err(AllowlistError {
+                        line: line_no,
+                        message: format!(
+                            "unknown key {other:?} (expected rule/path/line/contains/reason)"
+                        ),
+                    });
+                }
+            }
+        }
+        if let Some(done) = current.take() {
+            let end = text.lines().count();
+            finish(done, end, &mut entries)?;
+        }
+        Ok(Self { entries })
+    }
+
+    /// The audited reason for suppressing `finding`, if any entry matches.
+    pub fn reason_for(&self, finding: &Finding) -> Option<String> {
+        self.entries.iter().find(|e| e.matches(finding)).map(|e| e.reason.clone())
+    }
+}
+
+fn finish(
+    entry: AllowEntry,
+    line: usize,
+    entries: &mut Vec<AllowEntry>,
+) -> Result<(), AllowlistError> {
+    if entry.reason.trim().is_empty() {
+        return Err(AllowlistError {
+            line,
+            message: "[[allow]] entry has no `reason` — every exception must be justified".into(),
+        });
+    }
+    entries.push(entry);
+    Ok(())
+}
+
+/// Drop a trailing `# comment` that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => in_str = !in_str,
+            b'\\' if in_str => i += 1,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+fn parse_string(value: &str, line: usize) -> Result<String, AllowlistError> {
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| AllowlistError {
+            line,
+            message: format!("expected a double-quoted string, got {value:?}"),
+        })?;
+    // Minimal escapes — enough for paths and code snippets.
+    Ok(inner.replace("\\\"", "\"").replace("\\\\", "\\"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{Finding, Severity};
+
+    fn finding(rule: &'static str, path: &str, line: usize, text: &str) -> Finding {
+        Finding {
+            rule,
+            severity: Severity::Warning,
+            path: path.to_string(),
+            line,
+            text: text.to_string(),
+            message: "",
+            hint: "",
+        }
+    }
+
+    const SAMPLE: &str = r#"
+# Audited exceptions.
+[[allow]]
+rule = "DV-W004"
+path = "crates/sim/src/sim.rs"
+contains = "resume_tx.send"
+reason = "scheduler-fatal"
+
+[[allow]]
+rule = "DV-W001"
+line = 42
+reason = "sorted before use"
+"#;
+
+    #[test]
+    fn matching_entry_supplies_reason() {
+        let allow = Allowlist::parse(SAMPLE).unwrap();
+        assert_eq!(allow.entries.len(), 2);
+        let f = finding(
+            "DV-W004",
+            "crates/sim/src/sim.rs",
+            153,
+            "slot.resume_tx.send(()).expect(\"gone\");",
+        );
+        assert_eq!(allow.reason_for(&f).as_deref(), Some("scheduler-fatal"));
+    }
+
+    #[test]
+    fn wrong_rule_path_or_text_does_not_match() {
+        let allow = Allowlist::parse(SAMPLE).unwrap();
+        let wrong_rule =
+            finding("DV-W002", "crates/sim/src/sim.rs", 153, "resume_tx.send(()).expect");
+        assert!(allow.reason_for(&wrong_rule).is_none());
+        let wrong_path = finding("DV-W004", "crates/api/src/world.rs", 153, "resume_tx.send");
+        assert!(allow.reason_for(&wrong_path).is_none());
+        let wrong_text = finding("DV-W004", "crates/sim/src/sim.rs", 153, "other.recv().unwrap()");
+        assert!(allow.reason_for(&wrong_text).is_none());
+    }
+
+    #[test]
+    fn line_pinned_entry_matches_exactly() {
+        let allow = Allowlist::parse(SAMPLE).unwrap();
+        let at42 = finding("DV-W001", "crates/x/src/y.rs", 42, "HashMap::new()");
+        assert_eq!(allow.reason_for(&at42).as_deref(), Some("sorted before use"));
+        let at43 = finding("DV-W001", "crates/x/src/y.rs", 43, "HashMap::new()");
+        assert!(allow.reason_for(&at43).is_none());
+    }
+
+    #[test]
+    fn entry_without_reason_is_rejected() {
+        let err = Allowlist::parse("[[allow]]\nrule = \"DV-W001\"\n").unwrap_err();
+        assert!(err.message.contains("reason"), "{err}");
+    }
+
+    #[test]
+    fn unknown_keys_and_bad_syntax_are_rejected() {
+        assert!(Allowlist::parse("[[allow]]\nbogus = \"x\"\nreason = \"r\"\n").is_err());
+        assert!(Allowlist::parse("[[allow]]\nreason = unquoted\n").is_err());
+        assert!(Allowlist::parse("[other]\n").is_err());
+        assert!(Allowlist::parse("rule = \"DV-W001\"\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let text = "# header\n\n[[allow]]\nreason = \"ok # not a comment\" # trailing\n";
+        let allow = Allowlist::parse(text).unwrap();
+        assert_eq!(allow.entries[0].reason, "ok # not a comment");
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let allow = Allowlist::load(Path::new("/nonexistent/lint.toml")).unwrap();
+        assert!(allow.entries.is_empty());
+    }
+}

@@ -1,0 +1,163 @@
+//! # dv-lint — determinism & simulation-safety static analysis
+//!
+//! Every figure this workspace reproduces rests on one promise: the
+//! discrete-event simulation is *deterministic* — same seed in, identical
+//! event trace out. That promise is easy to break silently: one `HashMap`
+//! iteration feeding a send loop, one `Instant::now()` in a cost model,
+//! one `thread_rng()` in a workload generator, and results stop
+//! reproducing while every functional test still passes.
+//!
+//! `dv-lint` is the static half of the enforcement (the runtime half is
+//! `dv_sim::OrderAudit`). It is deliberately dependency-free: a
+//! line-oriented scanner ([`scanner`]) strips comments and string literals
+//! so rules match only *code*, and a small rule engine ([`rules`]) applies
+//! pattern rules scoped per crate. Audited exceptions live in `lint.toml`
+//! at the workspace root ([`allowlist`]).
+//!
+//! ## Shipped rules
+//!
+//! | id | severity | meaning |
+//! |----|----------|---------|
+//! | `DV-W001` | error | `HashMap`/`HashSet` in simulation-reachable code (iteration order can leak into simulated sends) — use `BTreeMap`/`BTreeSet` or a sorted drain |
+//! | `DV-W002` | error | wall-clock time (`Instant`, `SystemTime`) inside simulation crates — all time must be virtual |
+//! | `DV-W003` | error | non-seeded randomness (`thread_rng`, `rand::random`, `from_entropy`, `OsRng`) outside `dv-bench` |
+//! | `DV-W004` | warning | `unwrap()`/`expect()` on lock or channel results in sim hot paths — use `dv_core::sync::Mutex` (poison-recovering) or handle the error |
+//! | `DV-W005` | warning | floating-point reduction over a potentially unordered container — float addition is not associative, so order changes bits |
+//!
+//! Run it as `cargo run -p dv-lint` (add `-- --deny-warnings` in CI), or
+//! use [`run_lint`] as a library.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allowlist;
+pub mod rules;
+pub mod scanner;
+
+use std::path::{Path, PathBuf};
+
+pub use allowlist::Allowlist;
+pub use rules::{Finding, Rule, Severity, RULES};
+pub use scanner::SourceFile;
+
+/// Result of a workspace lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Findings that survived the allowlist, in (path, line) order.
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by `lint.toml`, with the audited reason.
+    pub allowed: Vec<(Finding, String)>,
+    /// Number of files scanned.
+    pub files: usize,
+}
+
+impl LintReport {
+    /// Number of error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.findings.iter().filter(|f| f.severity == Severity::Error).count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.findings.iter().filter(|f| f.severity == Severity::Warning).count()
+    }
+}
+
+/// Rust sources under `root` that the lint scans: workspace crates
+/// (`crates/*/src`), the root crate (`src`), and the root integration
+/// tests (`tests`). Benches and fixtures are intentionally not scanned —
+/// fixtures *contain* violations by design, and `dv-bench` is the one
+/// crate allowed to touch the host clock.
+pub fn workspace_sources(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let crates = root.join("crates");
+    if let Ok(entries) = std::fs::read_dir(&crates) {
+        let mut dirs: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        dirs.sort();
+        for dir in dirs {
+            collect_rs(&dir.join("src"), &mut out);
+        }
+    }
+    collect_rs(&root.join("src"), &mut out);
+    collect_rs(&root.join("tests"), &mut out);
+    out.sort();
+    out
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// The crate-scope name for a workspace-relative path: `crates/api/src/..`
+/// → `api`, `src/lib.rs` → `datavortex`, `tests/..` → `tests`.
+pub fn crate_of(rel_path: &str) -> &str {
+    let mut parts = rel_path.split('/');
+    match parts.next() {
+        Some("crates") => parts.next().unwrap_or(""),
+        Some("tests") => "tests",
+        _ => "datavortex",
+    }
+}
+
+/// Lint every workspace source under `root` against all shipped rules,
+/// applying the allowlist.
+pub fn run_lint(root: &Path, allow: &Allowlist) -> std::io::Result<LintReport> {
+    let mut report = LintReport::default();
+    for path in workspace_sources(root) {
+        let source = std::fs::read_to_string(&path)?;
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+        report.files += 1;
+        for finding in rules::scan_source(crate_of(&rel), &rel, &source) {
+            match allow.reason_for(&finding) {
+                Some(reason) => report.allowed.push((finding, reason)),
+                None => report.findings.push(finding),
+            }
+        }
+    }
+    report.findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_of_maps_paths_to_scopes() {
+        assert_eq!(crate_of("crates/api/src/ctx.rs"), "api");
+        assert_eq!(crate_of("crates/lint/src/lib.rs"), "lint");
+        assert_eq!(crate_of("src/lib.rs"), "datavortex");
+        assert_eq!(crate_of("tests/determinism.rs"), "tests");
+    }
+
+    #[test]
+    fn workspace_scan_is_clean_of_unallowlisted_findings() {
+        // The real workspace must lint clean — the same invariant CI
+        // enforces. Walk up from this crate to the workspace root.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let allow = Allowlist::load(&root.join("lint.toml")).unwrap_or_default();
+        let report = run_lint(&root, &allow).expect("scan must succeed");
+        assert!(
+            report.findings.is_empty(),
+            "workspace has unallowlisted lint findings:\n{}",
+            report
+                .findings
+                .iter()
+                .map(|f| f.render())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        assert!(report.files > 50, "scanner should see the whole workspace");
+    }
+}

@@ -1,0 +1,127 @@
+//! CLI for dv-lint: `cargo run -p dv-lint [-- options]`.
+//!
+//! Exit status is 0 when clean, 1 when findings remain (errors always;
+//! warnings too under `--deny-warnings`), 2 on usage or I/O problems.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dv_lint::{run_lint, Allowlist, RULES};
+
+const USAGE: &str = "\
+dv-lint — determinism & simulation-safety static analysis
+
+USAGE:
+    cargo run -p dv-lint [-- OPTIONS]
+
+OPTIONS:
+    --root <DIR>        workspace root to scan [default: auto-detected]
+    --allowlist <FILE>  audited exceptions [default: <root>/lint.toml]
+    --deny-warnings     exit nonzero on warnings as well as errors
+    --list-rules        print the rule table and exit
+    -h, --help          show this help
+";
+
+struct Options {
+    root: PathBuf,
+    allowlist: Option<PathBuf>,
+    deny_warnings: bool,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: default_root(),
+        allowlist: None,
+        deny_warnings: false,
+        list_rules: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                opts.root = PathBuf::from(args.next().ok_or("--root needs a directory")?);
+            }
+            "--allowlist" => {
+                opts.allowlist = Some(PathBuf::from(args.next().ok_or("--allowlist needs a file")?));
+            }
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--list-rules" => opts.list_rules = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// The workspace root: `CARGO_MANIFEST_DIR/../..` when run via cargo,
+/// else the current directory.
+fn default_root() -> PathBuf {
+    match std::env::var_os("CARGO_MANIFEST_DIR") {
+        Some(dir) => PathBuf::from(dir).join("../.."),
+        None => PathBuf::from("."),
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for rule in RULES {
+            println!("{} [{}] {}", rule.id, rule.severity, rule.summary);
+            println!("    fix: {}", rule.hint);
+            println!("    scope: {}", rule.crates.join(", "));
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let allow_path = opts.allowlist.clone().unwrap_or_else(|| opts.root.join("lint.toml"));
+    let allow = match Allowlist::load(&allow_path) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match run_lint(&opts.root, &allow) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for finding in &report.findings {
+        println!("{}\n", finding.render());
+    }
+    for (finding, reason) in &report.allowed {
+        println!(
+            "allowed {} {}:{} ({reason})",
+            finding.rule, finding.path, finding.line
+        );
+    }
+
+    let errors = report.errors();
+    let warnings = report.warnings();
+    println!(
+        "dv-lint: {} files scanned, {errors} error(s), {warnings} warning(s), {} allowlisted",
+        report.files,
+        report.allowed.len()
+    );
+
+    if errors > 0 || (opts.deny_warnings && warnings > 0) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

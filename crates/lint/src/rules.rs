@@ -1,0 +1,358 @@
+//! The rule engine and the shipped `DV-W***` rules.
+//!
+//! A rule is a per-line predicate over the sanitized source (comments and
+//! string contents blanked — see [`crate::scanner`]) plus a crate scope:
+//! determinism rules only fire in crates whose code can run *inside* the
+//! simulation. Adding a rule means adding one [`Rule`] entry to [`RULES`]
+//! and a pair of fixture files under `fixtures/` (positive + negative),
+//! which the unit tests enforce per rule.
+
+use crate::scanner::SourceFile;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Suspicious; fails the build only under `--deny-warnings`.
+    Warning,
+    /// A determinism hazard; always fails the lint.
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Crates whose code runs (or builds data used) inside the simulation:
+/// iteration order and float reduction order there can reach the event
+/// trace. `datavortex` is the root facade crate; `tests` the root
+/// integration tests, which assert bit-exactness and so inherit the rules.
+const SIM_REACHABLE: &[&str] =
+    &["core", "sim", "switch", "vic", "mpi", "api", "kernels", "apps", "datavortex", "tests"];
+
+/// Crates holding simulation hot paths (scheduler, NIC, VIC, protocol
+/// engines) where a panic on a poisoned lock or closed channel would tear
+/// down the run with a misleading secondary error.
+const HOT_PATHS: &[&str] = &["sim", "api", "mpi", "vic", "switch"];
+
+/// Everything except `dv-bench` (the one crate allowed wall-clock and, if
+/// it ever needs it, OS randomness for non-result-bearing purposes).
+const ALL_BUT_BENCH: &[&str] = &[
+    "core", "sim", "switch", "vic", "mpi", "api", "kernels", "apps", "lint", "datavortex", "tests",
+];
+
+/// A single static-analysis rule.
+pub struct Rule {
+    /// Stable identifier (`DV-W001`...).
+    pub id: &'static str,
+    /// Finding severity.
+    pub severity: Severity,
+    /// One-line description of the hazard.
+    pub summary: &'static str,
+    /// How to fix it.
+    pub hint: &'static str,
+    /// Crate scopes the rule applies to (see [`crate::crate_of`]).
+    pub crates: &'static [&'static str],
+    matcher: fn(&SourceFile, &str) -> bool,
+}
+
+/// One rule violation at one source line.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule identifier.
+    pub rule: &'static str,
+    /// Rule severity.
+    pub severity: Severity,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending raw source line, trimmed.
+    pub text: String,
+    /// The rule's summary.
+    pub message: &'static str,
+    /// The rule's fix hint.
+    pub hint: &'static str,
+}
+
+impl Finding {
+    /// Human-readable multi-line rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "{} [{}] {}:{}\n  {}\n  = {}\n  help: {}",
+            self.rule, self.severity, self.path, self.line, self.text, self.message, self.hint
+        )
+    }
+}
+
+/// `needle` occurs in `hay` as a full token (no identifier char on either
+/// side).
+fn contains_token(hay: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = hay[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !hay[..at].chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + needle.len();
+        let after_ok = after >= hay.len()
+            || !hay[after..].chars().next().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + needle.len().max(1);
+    }
+    false
+}
+
+fn any_token(hay: &str, needles: &[&str]) -> bool {
+    needles.iter().any(|n| contains_token(hay, n))
+}
+
+fn w001_hash_containers(_: &SourceFile, line: &str) -> bool {
+    any_token(line, &["HashMap", "HashSet"])
+}
+
+fn w002_wall_clock(_: &SourceFile, line: &str) -> bool {
+    any_token(line, &["Instant", "SystemTime"])
+}
+
+fn w003_unseeded_rng(_: &SourceFile, line: &str) -> bool {
+    any_token(line, &["thread_rng", "from_entropy", "OsRng", "getrandom"])
+        || line.contains("rand::random")
+}
+
+fn w004_unwrap_on_sync(_: &SourceFile, line: &str) -> bool {
+    let unwraps = line.contains(".unwrap()") || line.contains(".expect(");
+    let sync_result = [".lock()", ".try_lock()", ".recv()", ".try_recv()", ".send("]
+        .iter()
+        .any(|p| line.contains(p));
+    unwraps && sync_result
+}
+
+fn w005_float_reduce_unordered(file: &SourceFile, line: &str) -> bool {
+    let reduces = [".sum::<f32", ".sum::<f64", ".product::<f32", ".product::<f64",
+        "fold(0.0", "fold(0f32", "fold(0f64"]
+        .iter()
+        .any(|p| line.contains(p));
+    let iterates = [".values()", ".keys()", ".iter()", ".into_iter()", ".drain("]
+        .iter()
+        .any(|p| line.contains(p));
+    reduces
+        && iterates
+        && (file.code_contains("HashMap") || file.code_contains("HashSet"))
+}
+
+/// Every shipped rule, in id order.
+pub static RULES: &[Rule] = &[
+    Rule {
+        id: "DV-W001",
+        severity: Severity::Error,
+        summary: "HashMap/HashSet in simulation-reachable code: iteration order is \
+                  randomized per-process and can leak into simulated sends",
+        hint: "use BTreeMap/BTreeSet, or drain through sorted keys before anything \
+               order-sensitive (sends, packet batches, float accumulation)",
+        crates: SIM_REACHABLE,
+        matcher: w001_hash_containers,
+    },
+    Rule {
+        id: "DV-W002",
+        severity: Severity::Error,
+        summary: "wall-clock time in simulation code: host timing must never reach \
+                  virtual-time results",
+        hint: "use virtual time (SimCtx::now / dv_core::time); wall-clock timing \
+               belongs only in dv-bench harness code",
+        crates: &["core", "sim", "switch", "vic", "mpi", "api", "kernels", "apps", "datavortex"],
+        matcher: w002_wall_clock,
+    },
+    Rule {
+        id: "DV-W003",
+        severity: Severity::Error,
+        summary: "non-seeded randomness: results would change run to run",
+        hint: "use dv_core::rng::SplitMix64 (or HpccStream) with an explicit seed \
+               threaded from the workload config",
+        crates: ALL_BUT_BENCH,
+        matcher: w003_unseeded_rng,
+    },
+    Rule {
+        id: "DV-W004",
+        severity: Severity::Warning,
+        summary: "unwrap()/expect() on a lock or channel result in a sim hot path: a \
+                  poisoned lock or closed channel would panic every process and bury \
+                  the original error",
+        hint: "use dv_core::sync::Mutex (lock() recovers from poisoning), or handle \
+               the Err arm explicitly; allowlist scheduler-fatal cases in lint.toml",
+        crates: HOT_PATHS,
+        matcher: w004_unwrap_on_sync,
+    },
+    Rule {
+        id: "DV-W005",
+        severity: Severity::Warning,
+        summary: "floating-point reduction over a possibly unordered container: float \
+                  addition is not associative, so iteration order changes bits",
+        hint: "collect into a Vec and sort (or use a BTree container) before \
+               reducing floats",
+        crates: SIM_REACHABLE,
+        matcher: w005_float_reduce_unordered,
+    },
+];
+
+/// Look up a rule by id.
+pub fn rule(id: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// Apply every in-scope rule to `source`, returning findings in line
+/// order. `crate_name` selects rule scopes (see [`crate::crate_of`]).
+pub fn scan_source(crate_name: &str, rel_path: &str, source: &str) -> Vec<Finding> {
+    let file = SourceFile::parse(rel_path, source);
+    let mut findings = Vec::new();
+    for rule in RULES {
+        if !rule.crates.contains(&crate_name) {
+            continue;
+        }
+        for (line_no, code_line) in file.code_lines() {
+            if (rule.matcher)(&file, code_line) {
+                findings.push(Finding {
+                    rule: rule.id,
+                    severity: rule.severity,
+                    path: rel_path.to_string(),
+                    line: line_no,
+                    text: file.raw[line_no - 1].trim().to_string(),
+                    message: rule.summary,
+                    hint: rule.hint,
+                });
+            }
+        }
+    }
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// (rule id, in-scope crate, positive fixture, negative fixture).
+    /// Every shipped rule must appear here — checked by
+    /// `every_rule_has_fixture_coverage`.
+    const FIXTURES: &[(&str, &str, &str, &str)] = &[
+        (
+            "DV-W001",
+            "api",
+            include_str!("../fixtures/w001_pos.rs"),
+            include_str!("../fixtures/w001_neg.rs"),
+        ),
+        (
+            "DV-W002",
+            "sim",
+            include_str!("../fixtures/w002_pos.rs"),
+            include_str!("../fixtures/w002_neg.rs"),
+        ),
+        (
+            "DV-W003",
+            "kernels",
+            include_str!("../fixtures/w003_pos.rs"),
+            include_str!("../fixtures/w003_neg.rs"),
+        ),
+        (
+            "DV-W004",
+            "mpi",
+            include_str!("../fixtures/w004_pos.rs"),
+            include_str!("../fixtures/w004_neg.rs"),
+        ),
+        (
+            "DV-W005",
+            "apps",
+            include_str!("../fixtures/w005_pos.rs"),
+            include_str!("../fixtures/w005_neg.rs"),
+        ),
+    ];
+
+    fn findings_for(crate_name: &str, src: &str, id: &str) -> Vec<Finding> {
+        scan_source(crate_name, &format!("crates/{crate_name}/src/fixture.rs"), src)
+            .into_iter()
+            .filter(|f| f.rule == id)
+            .collect()
+    }
+
+    #[test]
+    fn every_rule_has_fixture_coverage() {
+        for rule in RULES {
+            assert!(
+                FIXTURES.iter().any(|(id, ..)| *id == rule.id),
+                "rule {} has no fixture pair",
+                rule.id
+            );
+        }
+        assert_eq!(FIXTURES.len(), RULES.len());
+    }
+
+    #[test]
+    fn positive_fixtures_trip_their_rule() {
+        for (id, scope, pos, _) in FIXTURES {
+            let hits = findings_for(scope, pos, id);
+            assert!(!hits.is_empty(), "{id} positive fixture produced no findings");
+            for f in &hits {
+                assert_eq!(f.rule, *id);
+                assert!(!f.text.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn negative_fixtures_stay_clean() {
+        for (id, scope, _, neg) in FIXTURES {
+            let hits = findings_for(scope, neg, id);
+            assert!(
+                hits.is_empty(),
+                "{id} negative fixture tripped: {:?}",
+                hits.iter().map(|f| f.line).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn rules_respect_crate_scope() {
+        // Wall clock is fine in dv-bench...
+        let src = "fn t() { let t0 = std::time::Instant::now(); }\n";
+        assert!(scan_source("bench", "crates/bench/src/x.rs", src).is_empty());
+        // ...but not in the sim engine.
+        assert!(!scan_source("sim", "crates/sim/src/x.rs", src).is_empty());
+        // Unseeded randomness is flagged even in the lint crate itself.
+        let rng = "fn t() { let x = thread_rng(); }\n";
+        assert!(!scan_source("lint", "crates/lint/src/x.rs", rng).is_empty());
+    }
+
+    #[test]
+    fn comments_and_strings_never_trip_rules() {
+        let src = r#"
+// HashMap in a comment is fine; so is Instant::now in prose.
+/// Docs may say thread_rng freely.
+fn ok() {
+    let s = "HashMap::new() and Instant::now() in a string";
+    let _ = s;
+}
+"#;
+        assert!(scan_source("sim", "crates/sim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn token_boundaries_prevent_substring_hits() {
+        // `InstantaneousLoad` and `MyHashMapLike` are different tokens.
+        let src = "struct InstantaneousLoad; struct MyHashMapLike; fn f(x: InstantaneousLoad) {}\n";
+        assert!(scan_source("sim", "crates/sim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn severity_split_matches_spec() {
+        assert_eq!(rule("DV-W001").unwrap().severity, Severity::Error);
+        assert_eq!(rule("DV-W002").unwrap().severity, Severity::Error);
+        assert_eq!(rule("DV-W003").unwrap().severity, Severity::Error);
+        assert_eq!(rule("DV-W004").unwrap().severity, Severity::Warning);
+        assert_eq!(rule("DV-W005").unwrap().severity, Severity::Warning);
+    }
+}

@@ -1,0 +1,286 @@
+//! Source model: comment- and string-stripped views of Rust files.
+//!
+//! Rules must match *code*, not prose: a doc comment explaining why
+//! `HashMap` is banned must not trip the `HashMap` rule. The scanner runs
+//! a small line-oriented state machine over the raw text and replaces the
+//! contents of comments (line, block — including nested blocks — and doc
+//! variants) and string literals (plain, raw, byte) with spaces, keeping
+//! every line's length and column positions intact so findings can point
+//! at the original text.
+
+/// One scanned source file: raw lines plus their sanitized twins.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path (display only).
+    pub path: String,
+    /// Raw lines, as read.
+    pub raw: Vec<String>,
+    /// Lines with comments and string/char literal contents blanked.
+    pub code: Vec<String>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Code,
+    Block(u32),      // nesting depth of /* */
+    Str,             // inside "..."
+    RawStr(u32),     // inside r##"..."## with N hashes
+}
+
+impl SourceFile {
+    /// Scan `source` (workspace-relative `path` is carried for display).
+    pub fn parse(path: &str, source: &str) -> Self {
+        let raw: Vec<String> = source.lines().map(str::to_string).collect();
+        let mut code = Vec::with_capacity(raw.len());
+        let mut mode = Mode::Code;
+        for line in &raw {
+            let (sanitized, next) = sanitize_line(line, mode);
+            code.push(sanitized);
+            mode = next;
+        }
+        Self { path: path.to_string(), raw, code }
+    }
+
+    /// Sanitized lines paired with 1-based line numbers.
+    pub fn code_lines(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.code.iter().enumerate().map(|(i, l)| (i + 1, l.as_str()))
+    }
+
+    /// Does any sanitized line contain `needle`?
+    pub fn code_contains(&self, needle: &str) -> bool {
+        self.code.iter().any(|l| l.contains(needle))
+    }
+}
+
+/// Sanitize one line starting in `mode`; returns the blanked line and the
+/// mode the next line starts in.
+fn sanitize_line(line: &str, mut mode: Mode) -> (String, Mode) {
+    let bytes = line.as_bytes();
+    let mut out = vec![b' '; bytes.len()];
+    let mut i = 0;
+    while i < bytes.len() {
+        match mode {
+            Mode::Code => {
+                match bytes[i] {
+                    b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                        // Line comment (incl. /// and //!): rest is blank.
+                        break;
+                    }
+                    b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                        mode = Mode::Block(1);
+                        i += 2;
+                        continue;
+                    }
+                    b'"' => {
+                        mode = Mode::Str;
+                        out[i] = b'"';
+                        i += 1;
+                        continue;
+                    }
+                    b'r' | b'b'
+                        if is_raw_string_start(bytes, i) =>
+                    {
+                        let (hashes, start) = raw_string_open(bytes, i);
+                        for (o, slot) in out.iter_mut().enumerate().take(start).skip(i) {
+                            *slot = bytes[o];
+                        }
+                        mode = Mode::RawStr(hashes);
+                        i = start;
+                        continue;
+                    }
+                    b'\'' => {
+                        // Char literal or lifetime. A char literal closes
+                        // within a few bytes; a lifetime has no closing '.
+                        if let Some(close) = char_literal_end(bytes, i) {
+                            out[i] = b'\'';
+                            out[close] = b'\'';
+                            i = close + 1;
+                            continue;
+                        }
+                        out[i] = bytes[i];
+                        i += 1;
+                        continue;
+                    }
+                    _ => {
+                        out[i] = bytes[i];
+                        i += 1;
+                    }
+                }
+            }
+            Mode::Block(depth) => {
+                if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    mode = if depth == 1 { Mode::Code } else { Mode::Block(depth - 1) };
+                    i += 2;
+                } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    mode = Mode::Block(depth + 1);
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if bytes[i] == b'\\' {
+                    i += 2; // skip the escaped byte (may run past EOL: fine)
+                } else if bytes[i] == b'"' {
+                    out[i] = b'"';
+                    mode = Mode::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if bytes[i] == b'"' && raw_string_closes(bytes, i, hashes) {
+                    let end = i + 1 + hashes as usize;
+                    for (o, slot) in out.iter_mut().enumerate().take(end).skip(i) {
+                        *slot = bytes[o];
+                    }
+                    mode = Mode::Code;
+                    i = end;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    // Safety of from_utf8: we only copied ASCII bytes or wrote spaces over
+    // multi-byte sequences, which can split UTF-8; fall back lossily.
+    let s = String::from_utf8(out).unwrap_or_else(|e| {
+        String::from_utf8_lossy(e.as_bytes()).into_owned()
+    });
+    (s, mode)
+}
+
+/// Is `r"`, `r#"`, `br"`, `br#"`... starting at `i`?
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return false;
+    }
+    j += 1;
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&b'"')
+}
+
+/// Number of `#`s and the index just past the opening quote.
+fn raw_string_open(bytes: &[u8], i: usize) -> (u32, usize) {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    j += 1; // the 'r'
+    let mut hashes = 0;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (hashes, j + 1) // past the '"'
+}
+
+fn raw_string_closes(bytes: &[u8], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| bytes.get(i + k) == Some(&b'#'))
+}
+
+/// If a char literal opens at `i`, the index of its closing quote.
+fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
+    // 'x', '\n', '\u{1F600}' — scan a bounded window for the close.
+    let mut j = i + 1;
+    if bytes.get(j) == Some(&b'\\') {
+        j += 2;
+        // \u{...}
+        while j < bytes.len() && bytes[j] != b'\'' && j < i + 12 {
+            j += 1;
+        }
+        return (bytes.get(j) == Some(&b'\'')).then_some(j);
+    }
+    // Plain char: exactly one (possibly multi-byte) char then '.
+    let mut k = j + 1;
+    while k < bytes.len() && k <= j + 4 {
+        if bytes[k] == b'\'' {
+            // Reject `'a` (lifetime) patterns: need a closing quote right
+            // after one character, which this is.
+            return Some(k);
+        }
+        // Multi-byte UTF-8 continuation bytes.
+        if bytes[k] & 0xC0 != 0x80 {
+            break;
+        }
+        k += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        SourceFile::parse("t.rs", src).code
+    }
+
+    #[test]
+    fn line_comments_are_blanked() {
+        let c = code_of("let x = 1; // HashMap here\n/// HashMap doc\nlet y = 2;");
+        assert!(c[0].contains("let x = 1;"));
+        assert!(!c[0].contains("HashMap"));
+        assert!(!c[1].contains("HashMap"));
+        assert!(c[2].contains("let y = 2;"));
+    }
+
+    #[test]
+    fn block_comments_span_lines_and_nest() {
+        let c = code_of("a /* HashMap\n still /* nested */ comment\n end */ b");
+        assert!(!c.join("\n").contains("HashMap"));
+        assert!(c[0].starts_with('a'));
+        assert!(c[2].contains('b'));
+    }
+
+    #[test]
+    fn string_contents_are_blanked_but_quotes_remain() {
+        let c = code_of(r#"let s = "HashMap::new()"; let t = 5;"#);
+        assert!(!c[0].contains("HashMap"));
+        assert!(c[0].contains("let t = 5;"));
+        assert!(c[0].contains('"'));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let c = code_of(r##"let s = r#"Instant::now()"#; let u = 1;"##);
+        assert!(!c[0].contains("Instant"));
+        assert!(c[0].contains("let u = 1;"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let c = code_of(r#"let s = "a\"HashMap\"b"; thread_rng();"#);
+        assert!(!c[0].contains("HashMap"));
+        assert!(c[0].contains("thread_rng"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_survive() {
+        let c = code_of("fn f<'a>(x: &'a str) { let q = '\"'; let h = 1; }");
+        assert!(c[0].contains("fn f<'a>(x: &'a str)"));
+        assert!(c[0].contains("let h = 1;"));
+    }
+
+    #[test]
+    fn multiline_strings_are_blanked() {
+        let c = code_of("let s = \"start\nHashMap inside\nend\"; let z = 9;");
+        assert!(!c.join("\n").contains("HashMap"));
+        assert!(c[2].contains("let z = 9;"));
+    }
+
+    #[test]
+    fn columns_are_preserved() {
+        let src = "abc /* x */ def";
+        let c = code_of(src);
+        assert_eq!(c[0].len(), src.len());
+        assert_eq!(&c[0][12..15], "def");
+    }
+}

@@ -55,6 +55,18 @@ impl MpiCluster {
         T: Send + 'static,
         F: Fn(&Comm, &SimCtx) -> T + Send + Sync + 'static,
     {
+        let (elapsed, _, results) = self.run_hashed(body);
+        (elapsed, results)
+    }
+
+    /// [`MpiCluster::run`], additionally returning the event-trace hash
+    /// (see [`dv_sim::OrderAudit`]). Identical configurations and bodies
+    /// must produce identical hashes — asserted by `tests/determinism.rs`.
+    pub fn run_hashed<T, F>(&self, body: F) -> (Time, u64, Vec<T>)
+    where
+        T: Send + 'static,
+        F: Fn(&Comm, &SimCtx) -> T + Send + Sync + 'static,
+    {
         let sim = Sim::new();
         let fabric = IbFabric::new(self.nodes, self.config.ib.clone());
         let world = World::new(fabric, self.config.mpi.clone(), Arc::clone(&self.tracer));
@@ -69,12 +81,12 @@ impl MpiCluster {
                 slot.put(body(&comm, ctx));
             });
         }
-        let elapsed = sim.run();
+        let (elapsed, trace_hash) = sim.run_hashed();
         let results = slots
             .into_iter()
             .map(|s| s.take().expect("rank did not produce a result"))
             .collect();
-        (elapsed, results)
+        (elapsed, trace_hash, results)
     }
 }
 

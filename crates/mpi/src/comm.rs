@@ -16,11 +16,11 @@
 //! order from the unexpected queue (per-pair ordering is preserved by the
 //! FIFO fabric pipes).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use dv_core::sync::Mutex;
 
 use dv_core::config::MpiParams;
 use dv_core::time::{self, Time};
@@ -86,7 +86,7 @@ pub struct World {
     fabric: IbFabric,
     params: MpiParams,
     ports: Vec<Port<Wire>>,
-    pending: Mutex<HashMap<u64, PendingSend>>,
+    pending: Mutex<BTreeMap<u64, PendingSend>>,
     next_id: AtomicU64,
     tracer: Arc<Tracer>,
 }
@@ -99,7 +99,7 @@ impl World {
             fabric,
             params,
             ports: (0..nodes).map(|_| Port::new()).collect(),
-            pending: Mutex::new(HashMap::new()),
+            pending: Mutex::new_named("mpi.pending", BTreeMap::new()),
             next_id: AtomicU64::new(1),
             tracer,
         })

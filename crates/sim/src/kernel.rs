@@ -5,6 +5,8 @@ use std::collections::BinaryHeap;
 
 use dv_core::time::Time;
 
+use crate::audit::OrderAudit;
+
 /// Identifier of a simulated process.
 pub type Pid = usize;
 
@@ -68,6 +70,8 @@ pub struct Kernel {
     /// waker's generation matches.
     pub(crate) park_generation: Vec<u64>,
     pub(crate) proc_names: Vec<String>,
+    /// Rolling hash of every committed event (see [`OrderAudit`]).
+    audit: OrderAudit,
 }
 
 impl Kernel {
@@ -78,12 +82,24 @@ impl Kernel {
             queue: BinaryHeap::new(),
             park_generation: Vec::new(),
             proc_names: Vec::new(),
+            audit: OrderAudit::new(),
         }
     }
 
     /// Current virtual time.
     pub fn now(&self) -> Time {
         self.now
+    }
+
+    /// FNV hash of the event trace committed so far. Identical workloads
+    /// must yield identical hashes — the runtime determinism check.
+    pub fn trace_hash(&self) -> u64 {
+        self.audit.hash()
+    }
+
+    /// Number of events committed to the trace so far.
+    pub fn trace_events(&self) -> u64 {
+        self.audit.events()
     }
 
     /// Number of events still pending.
@@ -138,12 +154,14 @@ impl Kernel {
                     if self.park_generation[w.pid] == w.generation {
                         self.park_generation[w.pid] = w.generation.wrapping_add(1);
                         self.now = ev.time;
+                        self.audit.record_resume(ev.time, w.pid, w.generation);
                         return Some((ev.time, EventKind::Resume(w)));
                     }
                     // Stale wakeup: drop silently.
                 }
                 kind @ EventKind::Call(_) => {
                     self.now = ev.time;
+                    self.audit.record_call(ev.time, ev.seq);
                     return Some((ev.time, kind));
                 }
             }
@@ -159,7 +177,7 @@ mod tests {
     #[test]
     fn events_pop_in_time_then_fifo_order() {
         let mut k = Kernel::new();
-        let order = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let order = std::sync::Arc::new(dv_core::sync::Mutex::new(Vec::new()));
         for (tag, t) in [(0u32, 50u64), (1, 10), (2, 10), (3, 30)] {
             let order = order.clone();
             k.call_at(t, move |_| order.lock().push(tag));

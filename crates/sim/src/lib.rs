@@ -30,14 +30,18 @@
 //! * [`WaitSet`] — virtual-time condition variable.
 //! * [`Pipe`] — a FIFO bandwidth server (PCIe bus, NIC link, switch port).
 //! * [`JoinSlot`] — collect a value from a finished process.
+//! * [`OrderAudit`] — rolling hash of the committed event trace; the
+//!   runtime determinism check behind [`Sim::run_hashed`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 mod kernel;
 mod sim;
 mod sync;
 
+pub use audit::OrderAudit;
 pub use kernel::{Kernel, Pid, Waker};
 pub use sim::{Sim, SimCtx};
 pub use sync::{JoinSlot, Pipe, Port, WaitSet};

@@ -4,8 +4,9 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+use dv_core::sync::Mutex;
 
 use dv_core::time::Time;
 
@@ -77,10 +78,10 @@ impl Default for Sim {
 impl Sim {
     /// Fresh simulation at virtual time zero.
     pub fn new() -> Self {
-        let (report_tx, report_rx) = unbounded();
+        let (report_tx, report_rx) = channel();
         let shared = Arc::new(Shared {
-            kernel: Mutex::new(Kernel::new()),
-            registry: Mutex::new(Registry { slots: Vec::new(), live_foreground: 0 }),
+            kernel: Mutex::new_named("sim.kernel", Kernel::new()),
+            registry: Mutex::new_named("sim.registry", Registry { slots: Vec::new(), live_foreground: 0 }),
             report_tx,
         });
         Self { shared, report_rx }
@@ -117,6 +118,13 @@ impl Sim {
     ///   a deadlock in the simulated program; the panic message names the
     ///   parked processes.
     pub fn run(self) -> Time {
+        self.run_hashed().0
+    }
+
+    /// [`Sim::run`], additionally returning the [`OrderAudit`] trace hash
+    /// (see [`crate::audit`]): identical workloads must return identical
+    /// hashes, regardless of host scheduling or thread count.
+    pub fn run_hashed(self) -> (Time, u64) {
         loop {
             let next = self.shared.kernel.lock().pop_valid();
             match next {
@@ -172,9 +180,12 @@ impl Sim {
                 }
             }
         }
-        let now = self.shared.kernel.lock().now();
+        let (now, hash) = {
+            let k = self.shared.kernel.lock();
+            (k.now(), k.trace_hash())
+        };
         self.shutdown();
-        now
+        (now, hash)
     }
 
     fn parked_foreground_names(&self) -> Vec<String> {
@@ -197,7 +208,7 @@ impl Sim {
             for slot in reg.slots.iter_mut() {
                 // Dropping the sender makes the thread's recv() fail,
                 // which park() turns into a Shutdown unwind.
-                let (dead_tx, _) = unbounded();
+                let (dead_tx, _) = channel();
                 slot.resume_tx = dead_tx;
                 if let Some(h) = slot.handle.take() {
                     handles.push(h);
@@ -218,7 +229,7 @@ fn spawn_inner(
     daemon: bool,
     body: impl FnOnce(&SimCtx) + Send + 'static,
 ) -> Pid {
-    let (resume_tx, resume_rx) = unbounded::<()>();
+    let (resume_tx, resume_rx) = channel::<()>();
     let pid = {
         let mut kernel = shared.kernel.lock();
         let pid = kernel.register_process(name.clone());

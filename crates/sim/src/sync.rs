@@ -3,7 +3,7 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use dv_core::sync::Mutex;
 
 use dv_core::time::{self, Time};
 

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use dv_core::sync::Mutex;
 
 use dv_core::time::{ns, us};
 

@@ -4,7 +4,7 @@
 //! commit 1 GB of host RAM up front; unwritten words read as zero, the
 //! reset state of the SRAM.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dv_core::packet::DV_MEMORY_WORDS;
 use dv_core::Word;
@@ -14,7 +14,7 @@ const PAGE_WORDS: usize = 4096;
 /// Word-addressable DV memory with lazy page allocation.
 #[derive(Debug, Default)]
 pub struct DvMemory {
-    pages: HashMap<u32, Box<[Word; PAGE_WORDS]>>,
+    pages: BTreeMap<u32, Box<[Word; PAGE_WORDS]>>,
 }
 
 impl DvMemory {

@@ -53,7 +53,7 @@ fn main() {
         assert_eq!(got[0], (left as u64) * 100, "node {node} got the wrong neighbor's data");
         println!("node {node}: received {:?}... from node {left}; query saw {peeked:#x}", &got[..3]);
         if node == 0 {
-            assert_eq!(*tally, 0 + 1 + 2 + 3);
+            assert_eq!(*tally, 1 + 2 + 3);
             println!("node 0: surprise-FIFO tally over all nodes = {tally}");
         }
     }

@@ -1,94 +1,111 @@
-//! Property-based tests over the core data structures and invariants.
-
-use proptest::prelude::*;
+//! Property-style tests over the core data structures and invariants.
+//!
+//! Each test draws many random cases from a seeded [`SplitMix64`] stream —
+//! a self-contained replacement for an external property-testing crate.
+//! Failures print the offending case's seed/index so a case can be
+//! replayed exactly; the streams are fixed-seed, so runs are fully
+//! deterministic (no `DV-W003` non-seeded randomness).
 
 use datavortex::core::packet::{AddressSpace, PacketHeader};
-use datavortex::core::rng::{hpcc_starts, HpccStream};
+use datavortex::core::rng::{hpcc_starts, HpccStream, SplitMix64};
 use datavortex::core::stats::harmonic_mean;
 use datavortex::kernels::fft::{fft_in_place, ifft_in_place, max_error, naive_dft, Complex};
 use datavortex::kernels::graph::{scramble, serial_bfs, validate_bfs, Csr};
 use datavortex::kernels::util::BlockDist;
 use datavortex::switch::{SwitchSim, Topology};
 
-fn arb_space() -> impl Strategy<Value = AddressSpace> {
-    prop_oneof![
-        Just(AddressSpace::DvMemory),
-        Just(AddressSpace::SurpriseFifo),
-        Just(AddressSpace::GroupCounterSet),
-        Just(AddressSpace::Query),
-    ]
+/// Number of random cases per lightweight property.
+const CASES: usize = 64;
+
+fn arb_space(r: &mut SplitMix64) -> AddressSpace {
+    match r.next_below(4) {
+        0 => AddressSpace::DvMemory,
+        1 => AddressSpace::SurpriseFifo,
+        2 => AddressSpace::GroupCounterSet,
+        _ => AddressSpace::Query,
+    }
 }
 
-proptest! {
-    #[test]
-    fn packet_header_roundtrips(
-        dest in 0usize..4096,
-        src in 0usize..4096,
-        addr in 0u32..(1 << 22),
-        gc in 0u8..64,
-        space in arb_space(),
-    ) {
-        let h = PacketHeader { dest, src, space, address: addr, group_counter: gc };
-        prop_assert_eq!(PacketHeader::decode(h.encode()), h);
+#[test]
+fn packet_header_roundtrips() {
+    let mut r = SplitMix64::new(0xA001);
+    for case in 0..CASES {
+        let h = PacketHeader {
+            dest: r.next_below(4096) as usize,
+            src: r.next_below(4096) as usize,
+            space: arb_space(&mut r),
+            address: r.next_below(1 << 22) as u32,
+            group_counter: r.next_below(64) as u8,
+        };
+        assert_eq!(PacketHeader::decode(h.encode()), h, "case {case}: {h:?}");
     }
+}
 
-    #[test]
-    fn hpcc_jump_equals_sequential(start in 0i64..100_000, len in 1usize..64) {
+#[test]
+fn hpcc_jump_equals_sequential() {
+    let mut r = SplitMix64::new(0xA002);
+    for case in 0..16 {
+        let start = r.next_below(100_000) as i64;
+        let len = 1 + r.next_below(63) as usize;
         let mut seq = HpccStream::starting_at(0);
         for _ in 0..start {
             seq.next_u64();
         }
         let mut jumped = HpccStream::starting_at(start);
         for _ in 0..len {
-            prop_assert_eq!(seq.next_u64(), jumped.next_u64());
+            assert_eq!(seq.next_u64(), jumped.next_u64(), "case {case} start {start}");
         }
-        prop_assert_eq!(hpcc_starts(start), HpccStream::starting_at(start).next_u64());
+        assert_eq!(hpcc_starts(start), HpccStream::starting_at(start).next_u64());
     }
+}
 
-    #[test]
-    fn block_dist_owner_local_consistent(total in 1usize..10_000, parts in 1usize..64) {
+#[test]
+fn block_dist_owner_local_consistent() {
+    let mut r = SplitMix64::new(0xA003);
+    for case in 0..CASES {
+        let total = 1 + r.next_below(10_000) as usize;
+        let parts = 1 + r.next_below(63) as usize;
         let d = BlockDist::new(total, parts);
-        let mut covered = 0usize;
-        for p in 0..parts {
-            covered += d.count(p);
-        }
-        prop_assert_eq!(covered, total);
-        // Spot-check random indices.
+        let covered: usize = (0..parts).map(|p| d.count(p)).sum();
+        assert_eq!(covered, total, "case {case}: total {total} parts {parts}");
+        // Spot-check evenly spaced indices.
         for i in (0..total).step_by((total / 17).max(1)) {
             let o = d.owner(i);
-            prop_assert!(d.local(i) < d.count(o));
-            prop_assert_eq!(d.start(o) + d.local(i), i);
+            assert!(d.local(i) < d.count(o));
+            assert_eq!(d.start(o) + d.local(i), i);
         }
     }
+}
 
-    #[test]
-    fn fft_matches_dft_on_random_signals(
-        log_n in 1u32..7,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn fft_matches_dft_on_random_signals() {
+    let mut r = SplitMix64::new(0xA004);
+    for case in 0..24 {
+        let log_n = 1 + r.next_below(6) as u32;
         let n = 1usize << log_n;
-        let mut rng = datavortex::core::rng::SplitMix64::new(seed);
+        let mut rng = SplitMix64::new(r.next_u64());
         let x: Vec<Complex> =
             (0..n).map(|_| Complex::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5)).collect();
         let mut y = x.clone();
         fft_in_place(&mut y);
-        prop_assert!(max_error(&y, &naive_dft(&x)) < 1e-8);
+        assert!(max_error(&y, &naive_dft(&x)) < 1e-8, "case {case} n {n}");
         ifft_in_place(&mut y);
-        prop_assert!(max_error(&y, &x) < 1e-9);
+        assert!(max_error(&y, &x) < 1e-9, "case {case} n {n}");
     }
+}
 
-    #[test]
-    fn switch_delivers_every_packet_exactly_once(
-        seed in any::<u64>(),
-        height_log in 1u32..5,
-        angles in 1usize..6,
-        packets in 1usize..200,
-    ) {
+#[test]
+fn switch_delivers_every_packet_exactly_once() {
+    let mut r = SplitMix64::new(0xA005);
+    for case in 0..32 {
+        let height_log = 1 + r.next_below(4) as u32;
+        let angles = 1 + r.next_below(5) as usize;
+        let packets = 1 + r.next_below(199) as usize;
         let topo = Topology::new(1 << height_log, angles);
         let ports = topo.ports();
         let mut sw = SwitchSim::new(topo);
-        let mut rng = datavortex::core::rng::SplitMix64::new(seed);
-        let mut expect = std::collections::HashMap::new();
+        let mut rng = SplitMix64::new(r.next_u64());
+        let mut expect = std::collections::BTreeMap::new();
         for tag in 0..packets as u64 {
             let s = rng.next_below(ports as u64) as usize;
             let d = rng.next_below(ports as u64) as usize;
@@ -96,86 +113,107 @@ proptest! {
             expect.insert(tag, d);
         }
         let delivered = sw.drain(2_000_000);
-        prop_assert_eq!(delivered.len(), packets);
-        let mut seen = std::collections::HashSet::new();
+        assert_eq!(delivered.len(), packets, "case {case}");
+        let mut seen = std::collections::BTreeSet::new();
         for dv in delivered {
-            prop_assert!(seen.insert(dv.tag), "duplicate delivery");
-            prop_assert_eq!(expect[&dv.tag], dv.dst_port);
+            assert!(seen.insert(dv.tag), "case {case}: duplicate delivery");
+            assert_eq!(expect[&dv.tag], dv.dst_port, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn scramble_stays_bijective(scale in 1u32..16) {
+#[test]
+fn scramble_stays_bijective() {
+    for scale in 1u32..16 {
         let n = 1u64 << scale;
         let mut seen = vec![false; n as usize];
         for v in 0..n {
             let s = scramble(v, scale) as usize;
-            prop_assert!(!seen[s]);
+            assert!(!seen[s], "scale {scale}: collision at {v}");
             seen[s] = true;
         }
     }
+}
 
-    #[test]
-    fn random_graph_bfs_trees_validate(seed in any::<u64>(), n in 2usize..200, m in 1usize..500) {
-        let mut rng = datavortex::core::rng::SplitMix64::new(seed);
+#[test]
+fn random_graph_bfs_trees_validate() {
+    let mut r = SplitMix64::new(0xA006);
+    for case in 0..CASES {
+        let n = 2 + r.next_below(198) as usize;
+        let m = 1 + r.next_below(499) as usize;
+        let mut rng = SplitMix64::new(r.next_u64());
         let edges: Vec<(u32, u32)> = (0..m)
             .map(|_| (rng.next_below(n as u64) as u32, rng.next_below(n as u64) as u32))
             .collect();
         let csr = Csr::build(n, &edges);
         let root = rng.next_below(n as u64) as u32;
         let (parents, levels) = serial_bfs(&csr, root);
-        prop_assert!(validate_bfs(&csr, root, &parents).is_ok());
+        assert!(validate_bfs(&csr, root, &parents).is_ok(), "case {case}");
         // Levels are a BFS: every edge spans <= 1 level.
         for v in 0..n as u32 {
-            if levels[v as usize] < 0 { continue; }
+            if levels[v as usize] < 0 {
+                continue;
+            }
             for &w in csr.neighbors(v) {
-                prop_assert!((levels[v as usize] - levels[w as usize]).abs() <= 1);
+                assert!(
+                    (levels[v as usize] - levels[w as usize]).abs() <= 1,
+                    "case {case}: edge ({v},{w}) spans >1 level"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn harmonic_mean_bounded_by_min_and_max(xs in prop::collection::vec(0.001f64..1e6, 1..20)) {
+#[test]
+fn harmonic_mean_bounded_by_min_and_max() {
+    let mut r = SplitMix64::new(0xA007);
+    for case in 0..CASES {
+        let len = 1 + r.next_below(19) as usize;
+        let xs: Vec<f64> = (0..len).map(|_| 0.001 + r.next_f64() * 1e6).collect();
         let h = harmonic_mean(&xs);
         let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = xs.iter().cloned().fold(0.0f64, f64::max);
-        prop_assert!(h >= min * 0.999 && h <= max * 1.001, "{h} not in [{min}, {max}]");
+        assert!(h >= min * 0.999 && h <= max * 1.001, "case {case}: {h} not in [{min}, {max}]");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    /// The heavyweight one: GUPS over both simulated networks equals the
-    /// serial reference for arbitrary (small) configurations.
-    #[test]
-    fn gups_backends_match_serial_for_random_configs(
-        table_log in 6u32..9,
-        updates_log in 6u32..9,
-        nodes_log in 1u32..3,
-    ) {
-        use datavortex::kernels::gups::{dv, mpi, serial_reference, GupsConfig};
+/// The heavyweight one: GUPS over both simulated networks equals the
+/// serial reference for arbitrary (small) configurations.
+#[test]
+fn gups_backends_match_serial_for_random_configs() {
+    use datavortex::kernels::gups::{dv, mpi, serial_reference, GupsConfig};
+    let mut r = SplitMix64::new(0xA008);
+    for case in 0..8 {
         let cfg = GupsConfig {
-            table_per_node: 1 << table_log,
-            updates_per_node: 1 << updates_log,
-            bucket: 128, stream_offset: 0 };
-        let nodes = 1 << nodes_log;
+            table_per_node: 1 << (6 + r.next_below(3) as u32),
+            updates_per_node: 1 << (6 + r.next_below(3) as u32),
+            bucket: 128,
+            stream_offset: 0,
+        };
+        let nodes = 1 << (1 + r.next_below(2) as u32);
         let (_, expect) = serial_reference(&cfg, nodes);
-        prop_assert_eq!(dv::run(cfg, nodes).checksum, expect);
-        prop_assert_eq!(mpi::run(cfg, nodes).checksum, expect);
+        assert_eq!(dv::run(cfg, nodes).checksum, expect, "case {case}");
+        assert_eq!(mpi::run(cfg, nodes).checksum, expect, "case {case}");
     }
+}
 
-    /// MPI alltoall reassembles arbitrary ragged payloads correctly.
-    #[test]
-    fn alltoallv_reassembles_ragged_blocks(seed in any::<u64>(), nodes in 2usize..6) {
-        use datavortex::mpi::{MpiCluster, Payload};
+/// MPI alltoall reassembles arbitrary ragged payloads correctly.
+#[test]
+fn alltoallv_reassembles_ragged_blocks() {
+    use datavortex::mpi::{MpiCluster, Payload};
+    let mut r = SplitMix64::new(0xA009);
+    for case in 0..8 {
+        let seed = r.next_u64();
+        let nodes = 2 + r.next_below(4) as usize;
         let (_, results) = MpiCluster::new(nodes).run(move |comm, ctx| {
             let me = comm.rank() as u64;
-            let mut rng = datavortex::core::rng::SplitMix64::new(seed ^ me);
+            let mut rng = SplitMix64::new(seed ^ me);
             let blocks: Vec<Payload> = (0..comm.size())
                 .map(|d| {
                     let len = rng.next_below(40) as usize;
-                    Payload::U64((0..len as u64).map(|i| me * 1_000_000 + d as u64 * 1_000 + i).collect())
+                    Payload::U64(
+                        (0..len as u64).map(|i| me * 1_000_000 + d as u64 * 1_000 + i).collect(),
+                    )
                 })
                 .collect();
             let sizes: Vec<usize> = blocks.iter().map(|b| b.len()).collect();
@@ -186,66 +224,74 @@ proptest! {
         for (dst, (_, got)) in results.iter().enumerate() {
             for (src, block) in got.iter().enumerate() {
                 let expected_len = results[src].0[dst];
-                prop_assert_eq!(block.len(), expected_len);
+                assert_eq!(block.len(), expected_len, "case {case}");
                 for (i, w) in block.iter().enumerate() {
-                    prop_assert_eq!(*w, src as u64 * 1_000_000 + dst as u64 * 1_000 + i as u64);
+                    assert_eq!(*w, src as u64 * 1_000_000 + dst as u64 * 1_000 + i as u64);
                 }
             }
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(6))]
-
-    /// The heat solvers match the serial reference bit-exactly for random
-    /// grids and decompositions.
-    #[test]
-    fn heat_backends_match_serial_for_random_configs(
-        nx_l in 1usize..4, ny_l in 1usize..4, nz_l in 1usize..4,
-        px in 1usize..3, py in 1usize..3, pz in 1usize..3,
-        steps in 1usize..4,
-    ) {
-        use datavortex::apps::heat::{Halo, dv, mpi, HeatConfig, SerialHeat};
+/// The heat solvers match the serial reference bit-exactly for random
+/// grids and decompositions.
+#[test]
+fn heat_backends_match_serial_for_random_configs() {
+    use datavortex::apps::heat::{dv, mpi, Halo, HeatConfig, SerialHeat};
+    let mut r = SplitMix64::new(0xA00A);
+    for case in 0..6 {
+        let (nx_l, ny_l, nz_l) =
+            (1 + r.next_below(3) as usize, 1 + r.next_below(3) as usize, 1 + r.next_below(3) as usize);
+        let (px, py, pz) =
+            (1 + r.next_below(2) as usize, 1 + r.next_below(2) as usize, 1 + r.next_below(2) as usize);
+        let steps = 1 + r.next_below(3) as usize;
         let cfg = HeatConfig {
             n: (nx_l * px * 2, ny_l * py * 2, nz_l * pz * 2),
             grid: (px, py, pz),
             r: 0.12,
             steps,
-            report_every: steps, halo: Halo::Line };
+            report_every: steps,
+            halo: Halo::Line,
+        };
         let mut serial = SerialHeat::new(&cfg);
         for _ in 0..steps {
             serial.step();
         }
         let d = dv::run(cfg);
         let m = mpi::run(cfg);
-        prop_assert_eq!(&mpi::assemble(&cfg, &d.fields), &serial.u);
-        prop_assert_eq!(&mpi::assemble(&cfg, &m.fields), &serial.u);
+        assert_eq!(&mpi::assemble(&cfg, &d.fields), &serial.u, "case {case}");
+        assert_eq!(&mpi::assemble(&cfg, &m.fields), &serial.u, "case {case}");
     }
+}
 
-    /// The SNAP sweeps match the serial reference bit-exactly for random
-    /// meshes, decompositions, and chunk sizes.
-    #[test]
-    fn snap_backends_match_serial_for_random_configs(
-        nx in 2usize..10, nyb in 1usize..4, nzb in 1usize..4,
-        py in 1usize..3, pz in 1usize..3,
-        groups in 1usize..3,
-        chunk in 1usize..6,
-    ) {
-        use datavortex::apps::snap::{dv, mpi, assemble_phi, SerialSnap, SnapConfig};
+/// The SNAP sweeps match the serial reference bit-exactly for random
+/// meshes, decompositions, and chunk sizes.
+#[test]
+fn snap_backends_match_serial_for_random_configs() {
+    use datavortex::apps::snap::{assemble_phi, dv, mpi, SerialSnap, SnapConfig};
+    let mut r = SplitMix64::new(0xA00B);
+    for case in 0..6 {
         let cfg = SnapConfig {
-            n: (nx, nyb * py, nzb * pz),
-            grid: (py, pz),
-            groups,
+            n: (
+                2 + r.next_below(8) as usize,
+                (1 + r.next_below(3) as usize) * (1 + r.next_below(2) as usize),
+                (1 + r.next_below(3) as usize) * (1 + r.next_below(2) as usize),
+            ),
+            grid: (1, 1),
+            groups: 1 + r.next_below(2) as usize,
             angles: 2,
-            chunk,
+            chunk: 1 + r.next_below(5) as usize,
             sigma: 0.6,
         };
+        // Re-derive a decomposition that divides the mesh.
+        let py = if cfg.n.1.is_multiple_of(2) { 2 } else { 1 };
+        let pz = if cfg.n.2.is_multiple_of(2) { 2 } else { 1 };
+        let cfg = SnapConfig { grid: (py, pz), ..cfg };
         let mut serial = SerialSnap::new(cfg);
         serial.sweep_all();
         let d = dv::run(cfg);
         let m = mpi::run(cfg);
-        prop_assert_eq!(&assemble_phi(&cfg, &d.fields), &serial.phi);
-        prop_assert_eq!(&assemble_phi(&cfg, &m.fields), &serial.phi);
+        assert_eq!(&assemble_phi(&cfg, &d.fields), &serial.phi, "case {case}");
+        assert_eq!(&assemble_phi(&cfg, &m.fields), &serial.phi, "case {case}");
     }
 }
