@@ -3,6 +3,7 @@
 use std::sync::Arc;
 
 use dv_core::config::MachineConfig;
+use dv_core::metrics::{record_state_totals, MetricsRegistry};
 use dv_core::time::Time;
 use dv_core::trace::Tracer;
 use dv_sim::{JoinSlot, Sim, SimCtx};
@@ -36,17 +37,31 @@ pub struct DvCluster {
     pub config: MachineConfig,
     /// Trace recorder (disabled by default).
     pub tracer: Arc<Tracer>,
+    /// Metrics registry (disabled by default).
+    pub metrics: Arc<MetricsRegistry>,
 }
 
 impl DvCluster {
     /// Cluster of `nodes` nodes on the paper's machine.
     pub fn new(nodes: usize) -> Self {
-        Self { nodes, config: MachineConfig::paper_cluster(), tracer: Arc::new(Tracer::disabled()) }
+        Self {
+            nodes,
+            config: MachineConfig::paper_cluster(),
+            tracer: Arc::new(Tracer::disabled()),
+            metrics: MetricsRegistry::disabled_shared(),
+        }
     }
 
     /// Enable tracing.
     pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
         self.tracer = tracer;
+        self
+    }
+
+    /// Attach a metrics registry; the run publishes scheduler, network,
+    /// VIC, PCIe, and per-state virtual-time metrics into it.
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = metrics;
         self
     }
 
@@ -75,8 +90,14 @@ impl DvCluster {
         T: Send + 'static,
         F: Fn(&DvCtx, &SimCtx) -> T + Send + Sync + 'static,
     {
-        let sim = Sim::new();
-        let world = DvWorld::new(self.nodes, self.config.clone(), Arc::clone(&self.tracer));
+        let mut sim = Sim::new();
+        sim.set_metrics(Arc::clone(&self.metrics));
+        let world = DvWorld::new_with_metrics(
+            self.nodes,
+            self.config.clone(),
+            Arc::clone(&self.tracer),
+            Arc::clone(&self.metrics),
+        );
         // Pre-arm the FastBarrier counters before any process runs, so the
         // first fast_barrier call has no set/decrement race.
         sim.with_kernel(|k| {
@@ -99,6 +120,27 @@ impl DvCluster {
             });
         }
         let (elapsed, trace_hash) = sim.run_hashed();
+        if self.metrics.is_enabled() {
+            for (node, vic) in world.vics.iter().enumerate() {
+                vic.lock().publish_metrics(&self.metrics);
+                let pcie = &world.pcie[node];
+                if elapsed > 0 {
+                    let label = [("node", (node as u64).into())];
+                    let util = |busy: Time| (busy as f64 / elapsed as f64).min(1.0);
+                    self.metrics.gauge_labeled(
+                        "pcie.to_vic_util",
+                        &label,
+                        util(pcie.to_vic_busy()),
+                    );
+                    self.metrics.gauge_labeled(
+                        "pcie.from_vic_util",
+                        &label,
+                        util(pcie.from_vic_busy()),
+                    );
+                }
+            }
+            record_state_totals(&self.tracer, &self.metrics);
+        }
         let results =
             slots.into_iter().map(|s| s.take().expect("node did not finish")).collect();
         (elapsed, trace_hash, results)

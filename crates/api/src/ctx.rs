@@ -277,6 +277,15 @@ impl DvCtx {
         if ctx.now() > t0 {
             self.world.tracer.span(self.node, State::Wait, t0, ctx.now());
         }
+        if !ok {
+            // Timeouts are how programs survive the set/decrement race, so
+            // they are a first-class health signal.
+            self.world.metrics.incr_labeled(
+                "api.gc.wait_timeouts",
+                &[("node", (self.node as u64).into())],
+                1,
+            );
+        }
         ok
     }
 

@@ -6,6 +6,7 @@ use std::sync::Arc;
 use dv_core::sync::Mutex;
 
 use dv_core::config::MachineConfig;
+use dv_core::metrics::MetricsRegistry;
 use dv_core::packet::{Packet, PACKET_BYTES, PAYLOAD_BYTES};
 use dv_core::time::Time;
 use dv_core::trace::Tracer;
@@ -46,12 +47,27 @@ pub struct DvWorld {
     pub barrier: Mutex<BarrierState>,
     /// Trace recorder.
     pub tracer: Arc<Tracer>,
+    /// Metrics registry (disabled unless the cluster attached one).
+    pub metrics: Arc<MetricsRegistry>,
     nodes: usize,
 }
 
 impl DvWorld {
-    /// Build a world of `nodes` nodes.
+    /// Build a world of `nodes` nodes (metrics disabled).
     pub fn new(nodes: usize, config: MachineConfig, tracer: Arc<Tracer>) -> Arc<Self> {
+        Self::new_with_metrics(nodes, config, tracer, MetricsRegistry::disabled_shared())
+    }
+
+    /// [`DvWorld::new`] with a metrics registry: network batches, packet
+    /// and byte counts, batch-size histograms, and the analytic model's
+    /// per-traversal deflection estimate are recorded under `api.net.*` /
+    /// `switch.model.*`.
+    pub fn new_with_metrics(
+        nodes: usize,
+        config: MachineConfig,
+        tracer: Arc<Tracer>,
+        metrics: Arc<MetricsRegistry>,
+    ) -> Arc<Self> {
         assert!(nodes >= 1);
         let mut config = config;
         // Grow the switch if the requested cluster exceeds its ports.
@@ -68,6 +84,7 @@ impl DvWorld {
             in_flight: AtomicI64::new(0),
             barrier: Mutex::new_named("api.barrier", BarrierState { epoch: 0, count: 0, waiters: WaitSet::new() }),
             tracer,
+            metrics,
             switch,
             config,
             nodes,
@@ -116,6 +133,7 @@ impl DvWorld {
         // Switch traversal of the head packet at the current load.
         let load = self.load();
         let traversal = self.switch.traversal(src, dst, load);
+        self.record_net(n, n * PACKET_BYTES, load);
         // Ejection port serializes arrivals at the destination.
         let head_at_dst = inj_start + traversal;
         let (_, eject_end) = self.eject[dst].reserve_duration(head_at_dst, n * word_time);
@@ -149,6 +167,22 @@ impl DvWorld {
         eject_end
     }
 
+    /// Record one network batch: counts, batch-size histogram, and the
+    /// analytic switch model's expected deflection hops at the load this
+    /// traversal saw (the model-side counterpart of the cycle-accurate
+    /// `switch.cycle.deflections` histogram).
+    fn record_net(&self, packets: u64, bytes: u64, load: f64) {
+        let m = &self.metrics;
+        if !m.is_enabled() {
+            return;
+        }
+        m.incr("api.net.batches", 1);
+        m.incr("api.net.packets", packets);
+        m.incr("api.net.bytes", bytes);
+        m.observe("api.net.batch_packets", packets);
+        m.observe("switch.model.deflection_hops", self.switch.deflection_hops(load).round() as u64);
+    }
+
     /// Host-side PCIe + network cost for a batch in one call; returns the
     /// time the batch is fully delivered. `by_dest` groups per-destination
     /// packet runs.
@@ -174,7 +208,9 @@ impl DvWorld {
         }
         let word_time = self.config.dv.word_time();
         let (inj_start, inj_end) = self.inject[src].reserve_duration(ready, n * word_time);
-        let traversal = self.switch.traversal(src, dst, self.load());
+        let load = self.load();
+        let traversal = self.switch.traversal(src, dst, load);
+        self.record_net(n, n * PACKET_BYTES, load);
         let head_at_dst = inj_start + traversal;
         let (_, eject_end) = self.eject[dst].reserve_duration(head_at_dst, n * word_time);
         let eject_end = eject_end.max(inj_end + traversal);

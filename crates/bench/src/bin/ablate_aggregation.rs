@@ -4,7 +4,7 @@
 //! Data Vortex GUPS curve; this bench quantifies it by sending every
 //! remote update as its own PCIe crossing instead of batched DMA.
 
-use dv_bench::{f2, quick, table};
+use dv_bench::{f2, quick, Report};
 use dv_core::config::MachineConfig;
 use dv_kernels::gups::{dv, GupsConfig};
 
@@ -26,6 +26,11 @@ fn main() {
             f2(with.mups_total() / without.mups_total()),
         ]);
     }
-    println!("Ablation — GUPS aggregate MUPS with and without source aggregation\n");
-    println!("{}", table(&["nodes", "aggregated", "per-packet PIO", "gain"], &rows));
+    let mut report = Report::new("ablate_aggregation");
+    report.section(
+        "Ablation — GUPS aggregate MUPS with and without source aggregation",
+        &["nodes", "aggregated", "per-packet PIO", "gain"],
+        rows,
+    );
+    report.finish();
 }

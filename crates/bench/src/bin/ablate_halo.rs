@@ -9,7 +9,7 @@
 //! in all rows (one source-aggregated DMA batch per step).
 
 use dv_apps::heat::{self, Halo, HeatConfig};
-use dv_bench::{f2, quick, table};
+use dv_bench::{f2, quick, Report};
 use dv_core::time::as_us_f64;
 
 fn main() {
@@ -39,10 +39,15 @@ fn main() {
             f2(mpi.elapsed as f64 / dv.elapsed as f64),
         ]);
     }
-    println!(
-        "Ablation — heat equation: MPI halo strategy vs the fixed DV implementation ({:.2} µs)\n",
-        as_us_f64(dv.elapsed)
+    let mut report = Report::new("ablate_halo");
+    report.section(
+        &format!(
+            "Ablation — heat equation: MPI halo strategy vs the fixed DV implementation ({:.2} µs)",
+            as_us_f64(dv.elapsed)
+        ),
+        &["MPI halo strategy", "MPI (µs)", "DV speedup"],
+        rows,
     );
-    println!("{}", table(&["MPI halo strategy", "MPI (µs)", "DV speedup"], &rows));
     println!("paper's measured heat speedup: ~2.46x");
+    report.finish();
 }

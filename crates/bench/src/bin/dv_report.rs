@@ -1,0 +1,48 @@
+//! Render a `BENCH_*.json` artifact (written by any fig binary's
+//! `--json <path>` flag) as a human-readable perf report: result tables,
+//! top counters, histograms, and the execution timeline.
+//!
+//! Usage: `dv-report <file.json> [more.json ...]`
+
+use dv_bench::report::render_report;
+use dv_core::json::Json;
+
+fn main() {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: dv-report <file.json> [more.json ...]");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let doc = match Json::parse(&text) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match render_report(&doc) {
+            Ok(report) => {
+                println!("# {file}");
+                println!("{report}");
+            }
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

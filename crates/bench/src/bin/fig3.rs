@@ -5,7 +5,7 @@
 //! `DWr/NoCached`, `DWr/Cached`, `DMA/Cached`, `MPI`.
 
 use dv_api::SendMode;
-use dv_bench::{f2, quick, table};
+use dv_bench::{f2, quick, Report};
 use dv_kernels::pingpong::{dv_pingpong, mpi_pingpong};
 
 fn main() {
@@ -38,14 +38,16 @@ fn main() {
         ]);
     }
 
-    println!("Figure 3a — ping-pong bandwidth (GB/s)\n");
-    println!(
-        "{}",
-        table(&["words", "DWr/NoCached", "DWr/Cached", "DMA/Cached", "MPI"], &rows_abs)
+    let mut report = Report::new("fig3");
+    report.section(
+        "Figure 3a — ping-pong bandwidth (GB/s)",
+        &["words", "DWr/NoCached", "DWr/Cached", "DMA/Cached", "MPI"],
+        rows_abs,
     );
-    println!("Figure 3b — percent of nominal peak (DV 4.4, IB 6.8 GB/s)\n");
-    println!(
-        "{}",
-        table(&["words", "DWr/NoCached", "DWr/Cached", "DMA/Cached", "MPI"], &rows_pct)
+    report.section(
+        "Figure 3b — percent of nominal peak (DV 4.4, IB 6.8 GB/s)",
+        &["words", "DWr/NoCached", "DWr/Cached", "DMA/Cached", "MPI"],
+        rows_pct,
     );
+    report.finish();
 }

@@ -1,6 +1,6 @@
 //! Figure 4: global barrier latency vs node count.
 
-use dv_bench::{f3, quick, table};
+use dv_bench::{f3, quick, Report};
 use dv_core::time::as_us_f64;
 use dv_kernels::barrier::{barrier_latency, BarrierKind};
 
@@ -18,9 +18,11 @@ fn main() {
             f3(as_us_f64(mpi)),
         ]);
     }
-    println!("Figure 4 — global barrier latency (µs, mean of {reps} barriers)\n");
-    println!(
-        "{}",
-        table(&["nodes", "Data Vortex", "FastBarrier", "Infiniband"], &rows)
+    let mut report = Report::new("fig4");
+    report.section(
+        &format!("Figure 4 — global barrier latency (µs, mean of {reps} barriers)"),
+        &["nodes", "Data Vortex", "FastBarrier", "Infiniband"],
+        rows,
     );
+    report.finish();
 }

@@ -8,8 +8,9 @@
 
 use std::sync::Arc;
 
-use dv_bench::quick;
+use dv_bench::{quick, Report};
 use dv_core::config::MachineConfig;
+use dv_core::metrics::MetricsRegistry;
 use dv_core::trace::Tracer;
 use dv_kernels::gups::{dv, mpi, GupsConfig};
 
@@ -21,7 +22,14 @@ fn main() {
         GupsConfig { table_per_node: 1 << 12, updates_per_node: 8 << 10, bucket: 1024, stream_offset: 0 }
     };
     let tracer = Arc::new(Tracer::enabled());
-    let result = mpi::run_traced(cfg, nodes, MachineConfig::paper_cluster(), Arc::clone(&tracer));
+    let metrics = Arc::new(MetricsRegistry::enabled());
+    let result = mpi::run_instrumented(
+        cfg,
+        nodes,
+        MachineConfig::paper_cluster(),
+        Arc::clone(&tracer),
+        Arc::clone(&metrics),
+    );
 
     let spans = tracer.spans();
     let t_end = spans.iter().map(|s| s.end).max().unwrap_or(1);
@@ -49,7 +57,14 @@ fn main() {
     // Extension beyond the paper: the same workload traced on the Data
     // Vortex — mostly sends and short waits instead of collectives.
     let dv_tracer = Arc::new(Tracer::enabled());
-    let dv_result = dv::run_traced(cfg, nodes, MachineConfig::paper_cluster(), Arc::clone(&dv_tracer));
+    let dv_metrics = Arc::new(MetricsRegistry::enabled());
+    let dv_result = dv::run_instrumented(
+        cfg,
+        nodes,
+        MachineConfig::paper_cluster(),
+        Arc::clone(&dv_tracer),
+        Arc::clone(&dv_metrics),
+    );
     println!("\nExtension — the same GUPS run on the Data Vortex\n");
     println!("{}", dv_tracer.render_ascii(nodes, 100, None));
     println!(
@@ -57,4 +72,10 @@ fn main() {
         dv_result.mups_total(),
         result.mups_total()
     );
+
+    let mut report = Report::new("fig5");
+    report.add_run(&format!("mpi.n{nodes}"), &metrics);
+    report.add_run(&format!("dv.n{nodes}"), &dv_metrics);
+    report.set_trace(dump);
+    report.finish();
 }

@@ -1,6 +1,16 @@
 //! Figure 6: GUPS — updates per second per node (6a) and aggregate (6b).
+//!
+//! The fully instrumented benchmark: every run carries a tracer and a
+//! metrics registry, so `--json <path>` drops an artifact with switch
+//! deflection histograms, VIC group-counter stats, and per-state
+//! virtual-time totals alongside the figure's tables.
 
-use dv_bench::{f2, quick, table};
+use std::sync::Arc;
+
+use dv_bench::{f2, quick, Report};
+use dv_core::config::MachineConfig;
+use dv_core::metrics::MetricsRegistry;
+use dv_core::trace::Tracer;
 use dv_kernels::gups::{dv, mpi, GupsConfig};
 
 fn main() {
@@ -10,21 +20,46 @@ fn main() {
         // HPCC convention: updates = 4 × table size.
         GupsConfig { table_per_node: 1 << 13, updates_per_node: 4 << 13, bucket: 1024, stream_offset: 0 }
     };
+    let mut report = Report::new("fig6");
     let mut rows_per = Vec::new();
     let mut rows_agg = Vec::new();
     for nodes in [4usize, 8, 16, 32] {
-        let d = dv::run(cfg, nodes);
-        let m = mpi::run(cfg, nodes);
+        let machine = MachineConfig::paper_cluster();
+        let dv_tracer = Arc::new(Tracer::enabled());
+        let dv_metrics = Arc::new(MetricsRegistry::enabled());
+        let d = dv::run_instrumented(
+            cfg,
+            nodes,
+            machine.clone(),
+            Arc::clone(&dv_tracer),
+            Arc::clone(&dv_metrics),
+        );
+        let mpi_metrics = Arc::new(MetricsRegistry::enabled());
+        let m = mpi::run_instrumented(
+            cfg,
+            nodes,
+            machine,
+            Arc::new(Tracer::enabled()),
+            Arc::clone(&mpi_metrics),
+        );
         assert_eq!(d.checksum, m.checksum, "backends disagree on the table");
+        report.add_run(&format!("dv.n{nodes}"), &dv_metrics);
+        report.add_run(&format!("mpi.n{nodes}"), &mpi_metrics);
+        if nodes == 4 {
+            report.set_trace(dv_tracer.dump());
+        }
         rows_per.push(vec![nodes.to_string(), f2(d.mups_per_node()), f2(m.mups_per_node())]);
         rows_agg.push(vec![nodes.to_string(), f2(d.mups_total()), f2(m.mups_total())]);
     }
-    println!(
-        "Figure 6a — GUPS per processing element (MUPS), table 2^{} words/node, {} updates/node\n",
-        cfg.table_per_node.trailing_zeros(),
-        cfg.updates_per_node
+    report.section(
+        &format!(
+            "Figure 6a — GUPS per processing element (MUPS), table 2^{} words/node, {} updates/node",
+            cfg.table_per_node.trailing_zeros(),
+            cfg.updates_per_node
+        ),
+        &["nodes", "Data Vortex", "Infiniband"],
+        rows_per,
     );
-    println!("{}", table(&["nodes", "Data Vortex", "Infiniband"], &rows_per));
-    println!("Figure 6b — aggregate GUPS (MUPS)\n");
-    println!("{}", table(&["nodes", "Data Vortex", "Infiniband"], &rows_agg));
+    report.section("Figure 6b — aggregate GUPS (MUPS)", &["nodes", "Data Vortex", "Infiniband"], rows_agg);
+    report.finish();
 }

@@ -4,7 +4,7 @@
 //! cluster uses 2²⁰ (2¹⁶ with `--quick`) — the curves' *shape* (DV above
 //! MPI, gap widening with node count) is the reproduction target.
 
-use dv_bench::{f2, quick, table};
+use dv_bench::{f2, quick, Report};
 use dv_kernels::fft::{dv, mpi};
 
 fn main() {
@@ -20,6 +20,11 @@ fn main() {
             f2(d.gflops() / m.gflops()),
         ]);
     }
-    println!("Figure 7 — FFT-1D aggregate GFLOPS, N = 2^{}\n", n.trailing_zeros());
-    println!("{}", table(&["nodes", "Data Vortex", "Infiniband", "DV/IB"], &rows));
+    let mut report = Report::new("fig7");
+    report.section(
+        &format!("Figure 7 — FFT-1D aggregate GFLOPS, N = 2^{}", n.trailing_zeros()),
+        &["nodes", "Data Vortex", "Infiniband", "DV/IB"],
+        rows,
+    );
+    report.finish();
 }

@@ -4,7 +4,7 @@
 //! 64 roots; the simulation uses scale 14 (scale 12 with `--quick`) and 8
 //! roots. Harmonic-mean TEPS is the Graph500 reporting rule.
 
-use dv_bench::{f2, quick, table};
+use dv_bench::{f2, quick, Report};
 use dv_core::config::MachineConfig;
 use dv_core::stats::harmonic_mean;
 use dv_kernels::graph::{dv, kronecker_edges, mpi, partition_csr, pick_roots, validate_bfs, Csr, GraphConfig, VertexPart};
@@ -46,9 +46,14 @@ fn main() {
         let m = harmonic_mean(&mpi_teps) / 1e6;
         rows.push(vec![nodes.to_string(), f2(d), f2(m), f2(d / m)]);
     }
-    println!(
-        "Figure 8 — BFS harmonic-mean MTEPS, scale {scale}, edgefactor 16, {} roots (validated)\n",
-        roots.len()
+    let mut report = Report::new("fig8");
+    report.section(
+        &format!(
+            "Figure 8 — BFS harmonic-mean MTEPS, scale {scale}, edgefactor 16, {} roots (validated)",
+            roots.len()
+        ),
+        &["nodes", "Data Vortex", "Infiniband", "DV/IB"],
+        rows,
     );
-    println!("{}", table(&["nodes", "Data Vortex", "Infiniband", "DV/IB"], &rows));
+    report.finish();
 }

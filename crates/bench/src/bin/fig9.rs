@@ -2,7 +2,7 @@
 //! (SNAP best-effort port; Vorticity and Heat aggressively restructured).
 
 use dv_apps::fig9::{speedups, Fig9Sizes};
-use dv_bench::{f2, quick, table};
+use dv_bench::{f2, quick, Report};
 use dv_core::time::as_us_f64;
 
 fn main() {
@@ -19,7 +19,12 @@ fn main() {
             ]
         })
         .collect();
-    println!("Figure 9 — application speedup w.r.t. MPI-over-Infiniband\n");
-    println!("{}", table(&["app", "MPI (µs)", "DV (µs)", "speedup"], &rows));
+    let mut report = Report::new("fig9");
+    report.section(
+        "Figure 9 — application speedup w.r.t. MPI-over-Infiniband",
+        &["app", "MPI (µs)", "DV (µs)", "speedup"],
+        rows,
+    );
     println!("paper: SNAP 1.19x (best-effort port), Vorticity ~3.4x, Heat ~2.5x (restructured)");
+    report.finish();
 }

@@ -14,7 +14,10 @@
 //! barrier latency, per-node GUPS, and cycle-accurate switch behavior at
 //! 32 → 256 ports, testing the paper's scaling conjecture.
 
-use dv_bench::{f2, f3, quick, table};
+use std::sync::Arc;
+
+use dv_bench::{f2, f3, quick, Report};
+use dv_core::metrics::MetricsRegistry;
 use dv_core::time::as_us_f64;
 use dv_kernels::barrier::{barrier_latency, BarrierKind};
 use dv_kernels::gups::{self, GupsConfig};
@@ -22,6 +25,7 @@ use dv_switch::traffic::LoadSweep;
 use dv_switch::Topology;
 
 fn main() {
+    let mut report = Report::new("scaling_study");
     let sizes: &[usize] = if quick() { &[32, 64] } else { &[32, 64, 128, 256] };
 
     // 1. Switch structure growth.
@@ -36,16 +40,22 @@ fn main() {
             topo.min_hops(0, ports - 1).to_string(),
         ]);
     }
-    println!("Switch growth (A = 4): each port doubling adds one cylinder\n");
-    println!("{}", table(&["ports", "H", "cylinders", "switch nodes", "hops 0->last"], &rows));
+    report.section(
+        "Switch growth (A = 4): each port doubling adds one cylinder",
+        &["ports", "H", "cylinders", "switch nodes", "hops 0->last"],
+        rows,
+    );
 
     // 2. Cycle-accurate uniform-load behavior: throughput per port should
     //    hold, latency should grow only by the extra hops.
     let mut rows = Vec::new();
     for &ports in sizes {
+        let metrics = Arc::new(MetricsRegistry::enabled());
         let mut sweep = LoadSweep::new(Topology::for_ports(ports, 4));
         sweep.measure = if quick() { 1_000 } else { 3_000 };
+        sweep.metrics = Some(Arc::clone(&metrics));
         let p = sweep.run(0.7);
+        report.add_run(&format!("sweep.p{ports}"), &metrics);
         rows.push(vec![
             ports.to_string(),
             f3(p.accepted),
@@ -53,8 +63,11 @@ fn main() {
             f3(p.deflections_mean),
         ]);
     }
-    println!("Cycle-accurate switch, uniform traffic at 0.7 offered load\n");
-    println!("{}", table(&["ports", "accepted/port", "latency (cyc)", "deflections"], &rows));
+    report.section(
+        "Cycle-accurate switch, uniform traffic at 0.7 offered load",
+        &["ports", "accepted/port", "latency (cyc)", "deflections"],
+        rows,
+    );
 
     // 3. Hardware barrier at scale (the paper's conjecture: ~flat).
     let reps = if quick() { 50 } else { 200 };
@@ -69,8 +82,11 @@ fn main() {
             f2(as_us_f64(mpi) / as_us_f64(dv)),
         ]);
     }
-    println!("Global barrier latency (µs) projected past the paper's 32 nodes\n");
-    println!("{}", table(&["nodes", "Data Vortex", "Infiniband", "MPI/DV"], &rows));
+    report.section(
+        "Global barrier latency (µs) projected past the paper's 32 nodes",
+        &["nodes", "Data Vortex", "Infiniband", "MPI/DV"],
+        rows,
+    );
 
     // 4. GUPS per node at scale: does the flat curve hold?
     // Sample the stream past its sparse-polynomial head: on >32 nodes the
@@ -92,10 +108,14 @@ fn main() {
             f2(d.ups() / m.ups()),
         ]);
     }
-    println!("GUPS per node (MUPS) projected past 32 nodes\n");
-    println!("{}", table(&["nodes", "Data Vortex", "Infiniband", "DV/MPI"], &rows));
+    report.section(
+        "GUPS per node (MUPS) projected past 32 nodes",
+        &["nodes", "Data Vortex", "Infiniband", "DV/MPI"],
+        rows,
+    );
     println!(
         "Conjecture check: DV per-node GUPS and barrier latency should stay ~flat while\n\
          MPI keeps degrading — the additional cylinders only add a few hops of latency."
     );
+    report.finish();
 }

@@ -5,12 +5,16 @@
 //! accepted throughput, latency, and deflections, plus the topology
 //! summary of Figure 1 and the analytic-model calibration.
 
-use dv_bench::{f2, f3, quick, table};
+use std::sync::Arc;
+
+use dv_bench::{f2, f3, quick, Report};
 use dv_core::config::DvParams;
+use dv_core::metrics::MetricsRegistry;
 use dv_switch::traffic::{Arrival, LoadSweep, Pattern};
 use dv_switch::{SwitchModel, Topology};
 
 fn main() {
+    let mut report = Report::new("switch_study");
     let topo = Topology::new(8, 4);
     println!(
         "Data Vortex switch: H={} A={} -> C={} cylinders, {} ports, {} switching nodes\n",
@@ -24,9 +28,11 @@ fn main() {
     let measure = if quick() { 1_000 } else { 5_000 };
     let loads = [0.1, 0.3, 0.5, 0.7, 0.9];
     for pattern in [Pattern::Uniform, Pattern::Hotspot, Pattern::Tornado, Pattern::BitReverse] {
+        let metrics = Arc::new(MetricsRegistry::enabled());
         let mut sweep = LoadSweep::new(topo.clone());
         sweep.pattern = pattern;
         sweep.measure = measure;
+        sweep.metrics = Some(Arc::clone(&metrics));
         let mut rows = Vec::new();
         for &l in &loads {
             let p = sweep.run(l);
@@ -35,31 +41,35 @@ fn main() {
                 f3(p.accepted),
                 f2(p.latency_mean),
                 f2(p.total_latency_mean),
-                format!("<2^{}", p.total_latency_p99_log2 + 1),
+                format!("<2^{}", p.total_latency_p99_log2.saturating_add(1)),
                 f3(p.deflections_mean),
             ]);
         }
-        println!("pattern: {pattern:?} (Bernoulli arrivals)\n");
-        println!(
-            "{}",
-            table(
-                &["offered", "accepted", "switch lat (cyc)", "total lat (cyc)", "p99 lat", "deflections"],
-                &rows
-            )
+        report.section(
+            &format!("pattern: {pattern:?} (Bernoulli arrivals)"),
+            &["offered", "accepted", "switch lat (cyc)", "total lat (cyc)", "p99 lat", "deflections"],
+            rows,
         );
+        report.add_run(&format!("sweep.{pattern:?}"), &metrics);
     }
 
     // Bursty traffic (the Yang & Bergman study).
+    let metrics = Arc::new(MetricsRegistry::enabled());
     let mut sweep = LoadSweep::new(topo.clone());
     sweep.arrival = Arrival::Bursty { mean_burst: 8.0 };
     sweep.measure = measure;
+    sweep.metrics = Some(Arc::clone(&metrics));
     let mut rows = Vec::new();
     for &l in &loads {
         let p = sweep.run(l);
         rows.push(vec![f2(p.offered), f3(p.accepted), f2(p.total_latency_mean), f3(p.deflections_mean)]);
     }
-    println!("pattern: Uniform, bursty arrivals (mean burst 8)\n");
-    println!("{}", table(&["offered", "accepted", "total lat (cyc)", "deflections"], &rows));
+    report.section(
+        "pattern: Uniform, bursty arrivals (mean burst 8)",
+        &["offered", "accepted", "total lat (cyc)", "deflections"],
+        rows,
+    );
+    report.add_run("sweep.bursty", &metrics);
 
     // Analytic model calibration against the cycle simulator.
     let mut model = SwitchModel::from_params(&DvParams::default());
@@ -68,4 +78,5 @@ fn main() {
         "analytic model: calibrated saturation deflection penalty = {:.2} hops (paper: \"statistically by two hops\")",
         calibrated
     );
+    report.finish();
 }

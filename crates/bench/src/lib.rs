@@ -20,6 +20,10 @@
 
 use std::fmt::Write as _;
 
+pub mod report;
+
+pub use report::{json_path, Report};
+
 /// Render an aligned text table (markdown-flavored).
 pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();

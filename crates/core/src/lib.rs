@@ -22,11 +22,19 @@
 //! * [`sync`] — the simulation-safe [`sync::Mutex`] (poison-recovering
 //!   `lock()`, debug-mode lock-order auditing) used by every crate that
 //!   shares state between simulated processes.
+//! * [`metrics`] — the deterministic metrics registry (counters, gauges,
+//!   log₂ histograms keyed by name + sorted labels) every layer records
+//!   into; snapshots render as canonical JSON and FNV-hash bit-identically
+//!   across runs.
+//! * [`json`] — a dependency-free JSON tree with a deterministic renderer
+//!   and parser, used for `BENCH_*.json` benchmark artifacts.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod json;
+pub mod metrics;
 pub mod packet;
 pub mod rng;
 pub mod stats;

@@ -1,0 +1,563 @@
+//! Deterministic, dependency-free metrics: counters, gauges, histograms.
+//!
+//! Every layer of the workspace (switch, VIC, scheduler, comm paths)
+//! records what it did into a [`MetricsRegistry`]; a benchmark harvests
+//! a [`MetricsSnapshot`] at the end of a run and emits it as JSON
+//! (`BENCH_*.json`). Two properties carry the design:
+//!
+//! * **Cheap when off.** A disabled registry costs one relaxed atomic
+//!   load per record call and performs no allocation — the same contract
+//!   as [`crate::trace::Tracer`]. Labels are passed as borrowed slices of
+//!   [`LabelValue`] (stack-only) and are converted to owned strings only
+//!   when the registry is enabled.
+//! * **Deterministic when on.** Metrics are keyed by a static `&str`
+//!   name plus a `BTreeMap` of labels, so iteration order — and therefore
+//!   the rendered JSON — is stable. A [`MetricsSnapshot`] is FNV-hashable
+//!   like an [`OrderAudit`] trace: two runs of the same workload must
+//!   produce bit-identical snapshots, and `tests/determinism.rs` asserts
+//!   exactly that.
+//!
+//! Naming scheme: `<crate>.<component>.<metric>` (e.g.
+//! `vic.gc.decrements`, `switch.cycle.hops`, `mpi.coll.time_ps`).
+//! Durations are recorded in picoseconds with a `_ps` suffix.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::json::Json;
+use crate::stats::Log2Histogram;
+use crate::sync::Mutex;
+use crate::time::Time;
+use crate::trace::Tracer;
+
+/// FNV-1a offset basis (shared with `dv_sim::OrderAudit`).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Default histogram depth: log₂ buckets up to 2^47 (enough for any
+/// picosecond duration the simulations produce).
+const HIST_BUCKETS: usize = 48;
+
+/// A borrowed label value; built on the caller's stack so the disabled
+/// path never allocates.
+#[derive(Debug, Clone)]
+pub enum LabelValue {
+    /// An integer label (rendered in decimal).
+    U64(u64),
+    /// A static string label.
+    Str(&'static str),
+    /// An owned string label (allocated by the caller).
+    Owned(String),
+}
+
+impl LabelValue {
+    fn render(&self) -> String {
+        match self {
+            LabelValue::U64(x) => x.to_string(),
+            LabelValue::Str(s) => (*s).to_string(),
+            LabelValue::Owned(s) => s.clone(),
+        }
+    }
+}
+
+impl From<u64> for LabelValue {
+    fn from(x: u64) -> Self {
+        LabelValue::U64(x)
+    }
+}
+
+impl From<usize> for LabelValue {
+    fn from(x: usize) -> Self {
+        LabelValue::U64(x as u64)
+    }
+}
+
+impl From<u32> for LabelValue {
+    fn from(x: u32) -> Self {
+        LabelValue::U64(x as u64)
+    }
+}
+
+impl From<&'static str> for LabelValue {
+    fn from(s: &'static str) -> Self {
+        LabelValue::Str(s)
+    }
+}
+
+impl From<String> for LabelValue {
+    fn from(s: String) -> Self {
+        LabelValue::Owned(s)
+    }
+}
+
+/// Labels as recorded: a sorted map, so iteration (and JSON) is stable.
+pub type Labels = BTreeMap<String, String>;
+
+type Key = (&'static str, Labels);
+
+fn owned_labels(labels: &[(&str, LabelValue)]) -> Labels {
+    labels.iter().map(|(k, v)| ((*k).to_string(), v.render())).collect()
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<Key, u64>,
+    gauges: BTreeMap<Key, f64>,
+    histograms: BTreeMap<Key, Log2Histogram>,
+}
+
+/// The metrics sink shared by one simulated cluster run.
+///
+/// Clusters thread an `Arc<MetricsRegistry>` through their worlds the
+/// same way they thread a `Tracer`; benchmarks create an enabled one,
+/// run, then call [`MetricsRegistry::snapshot`].
+pub struct MetricsRegistry {
+    enabled: AtomicBool,
+    inner: Mutex<Inner>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl MetricsRegistry {
+    /// A registry that records everything.
+    pub fn enabled() -> Self {
+        Self { enabled: AtomicBool::new(true), inner: Mutex::new(Inner::default()) }
+    }
+
+    /// A registry that drops everything (one atomic load per call, no
+    /// allocation).
+    pub fn disabled() -> Self {
+        Self { enabled: AtomicBool::new(false), inner: Mutex::new(Inner::default()) }
+    }
+
+    /// A shared disabled registry (the default for un-instrumented runs).
+    pub fn disabled_shared() -> Arc<Self> {
+        Arc::new(Self::disabled())
+    }
+
+    /// Is recording on?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Add `by` to an unlabeled counter.
+    pub fn incr(&self, name: &'static str, by: u64) {
+        self.incr_labeled(name, &[], by);
+    }
+
+    /// Add `by` to a labeled counter.
+    pub fn incr_labeled(&self, name: &'static str, labels: &[(&str, LabelValue)], by: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        *self.inner.lock().counters.entry((name, owned_labels(labels))).or_insert(0) += by;
+    }
+
+    /// Set an unlabeled gauge (last write wins).
+    pub fn gauge(&self, name: &'static str, value: f64) {
+        self.gauge_labeled(name, &[], value);
+    }
+
+    /// Set a labeled gauge (last write wins).
+    pub fn gauge_labeled(&self, name: &'static str, labels: &[(&str, LabelValue)], value: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.inner.lock().gauges.insert((name, owned_labels(labels)), value);
+    }
+
+    /// Raise a labeled gauge to at least `value` (high-water marks).
+    pub fn gauge_max(&self, name: &'static str, labels: &[(&str, LabelValue)], value: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        let slot = inner.gauges.entry((name, owned_labels(labels))).or_insert(f64::NEG_INFINITY);
+        if value > *slot {
+            *slot = value;
+        }
+    }
+
+    /// Count one sample into an unlabeled log₂ histogram.
+    pub fn observe(&self, name: &'static str, sample: u64) {
+        self.observe_labeled(name, &[], sample);
+    }
+
+    /// Count one sample into a labeled log₂ histogram.
+    pub fn observe_labeled(&self, name: &'static str, labels: &[(&str, LabelValue)], sample: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.inner
+            .lock()
+            .histograms
+            .entry((name, owned_labels(labels)))
+            .or_insert_with(|| Log2Histogram::new(HIST_BUCKETS))
+            .push(sample);
+    }
+
+    /// Fold a whole pre-accumulated histogram into a labeled one (used by
+    /// components that keep local histograms out of their hot loops).
+    pub fn observe_histogram(
+        &self,
+        name: &'static str,
+        labels: &[(&str, LabelValue)],
+        hist: &Log2Histogram,
+    ) {
+        if !self.is_enabled() || hist.total() == 0 {
+            return;
+        }
+        self.inner
+            .lock()
+            .histograms
+            .entry((name, owned_labels(labels)))
+            .or_insert_with(|| Log2Histogram::new(HIST_BUCKETS))
+            .merge(hist);
+    }
+
+    /// Copy out everything recorded so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock();
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|((n, l), v)| (((*n).to_string(), l.clone()), *v))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|((n, l), v)| (((*n).to_string(), l.clone()), *v))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|((n, l), h)| {
+                    (
+                        ((*n).to_string(), l.clone()),
+                        HistogramSnapshot { buckets: trim(h.buckets()), total: h.total() },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+fn trim(buckets: &[u64]) -> Vec<u64> {
+    let last = buckets.iter().rposition(|&c| c != 0).map_or(0, |i| i + 1);
+    buckets[..last].to_vec()
+}
+
+/// Frozen histogram contents (trailing empty buckets trimmed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts; bucket `i` covers `[2^i, 2^(i+1))`, bucket 0
+    /// also catches zero.
+    pub buckets: Vec<u64>,
+    /// Total samples.
+    pub total: u64,
+}
+
+/// Owned metric key: name plus sorted labels.
+pub type MetricKey = (String, Labels);
+
+/// An immutable copy of a registry's contents, with deterministic
+/// iteration order, canonical JSON rendering, and an FNV-1a hash for
+/// bit-exactness assertions.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    counters: BTreeMap<MetricKey, u64>,
+    gauges: BTreeMap<MetricKey, f64>,
+    histograms: BTreeMap<MetricKey, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// All counters in key order.
+    pub fn counters(&self) -> &BTreeMap<MetricKey, u64> {
+        &self.counters
+    }
+
+    /// All gauges in key order.
+    pub fn gauges(&self) -> &BTreeMap<MetricKey, f64> {
+        &self.gauges
+    }
+
+    /// All histograms in key order.
+    pub fn histograms(&self) -> &BTreeMap<MetricKey, HistogramSnapshot> {
+        &self.histograms
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// A counter's value by name and rendered labels (diagnostics/tests).
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let key =
+            (name.to_string(), labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect());
+        self.counters.get(&key).copied()
+    }
+
+    /// Sum of a counter across all label sets with the given name.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters.iter().filter(|((n, _), _)| n == name).map(|(_, v)| v).sum()
+    }
+
+    /// The canonical JSON tree (keys in sorted order; see the module docs
+    /// for the schema).
+    pub fn to_json(&self) -> Json {
+        let key_obj = |(name, labels): &MetricKey| -> Vec<(String, Json)> {
+            let mut members = vec![("name".to_string(), Json::str(name.clone()))];
+            if !labels.is_empty() {
+                members.push((
+                    "labels".to_string(),
+                    Json::Obj(
+                        labels.iter().map(|(k, v)| (k.clone(), Json::str(v.clone()))).collect(),
+                    ),
+                ));
+            }
+            members
+        };
+        Json::Obj(vec![
+            (
+                "counters".to_string(),
+                Json::Arr(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| {
+                            let mut m = key_obj(k);
+                            m.push(("value".to_string(), Json::U64(*v)));
+                            Json::Obj(m)
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges".to_string(),
+                Json::Arr(
+                    self.gauges
+                        .iter()
+                        .map(|(k, v)| {
+                            let mut m = key_obj(k);
+                            m.push(("value".to_string(), Json::F64(*v)));
+                            Json::Obj(m)
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms".to_string(),
+                Json::Arr(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| {
+                            let mut m = key_obj(k);
+                            m.push(("total".to_string(), Json::U64(h.total)));
+                            m.push((
+                                "buckets".to_string(),
+                                Json::Arr(h.buckets.iter().map(|&c| Json::U64(c)).collect()),
+                            ));
+                            Json::Obj(m)
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Canonical compact rendering; identical snapshots yield identical
+    /// bytes.
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// FNV-1a hash over the canonical rendering — the metrics counterpart
+    /// of `OrderAudit::hash`.
+    pub fn fnv_hash(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for b in self.render().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
+
+    /// Rebuild a snapshot from its [`MetricsSnapshot::to_json`] form
+    /// (used by `dv-report` to read `BENCH_*.json` back).
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        let key_of = |entry: &Json| -> Result<MetricKey, String> {
+            let name = entry
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("metric entry is missing `name`")?
+                .to_string();
+            let labels = match entry.get("labels") {
+                None => Labels::new(),
+                Some(l) => l
+                    .as_obj()
+                    .ok_or("`labels` must be an object")?
+                    .iter()
+                    .map(|(k, v)| {
+                        v.as_str()
+                            .map(|v| (k.clone(), v.to_string()))
+                            .ok_or_else(|| format!("label {k:?} is not a string"))
+                    })
+                    .collect::<Result<_, _>>()?,
+            };
+            Ok((name, labels))
+        };
+        let section = |key: &str| -> Result<&[Json], String> {
+            json.get(key)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("snapshot is missing the `{key}` array"))
+        };
+        let mut out = MetricsSnapshot::default();
+        for entry in section("counters")? {
+            let v = entry.get("value").and_then(Json::as_u64).ok_or("counter without value")?;
+            out.counters.insert(key_of(entry)?, v);
+        }
+        for entry in section("gauges")? {
+            let v = entry.get("value").and_then(Json::as_f64).ok_or("gauge without value")?;
+            out.gauges.insert(key_of(entry)?, v);
+        }
+        for entry in section("histograms")? {
+            let total =
+                entry.get("total").and_then(Json::as_u64).ok_or("histogram without total")?;
+            let buckets = entry
+                .get("buckets")
+                .and_then(Json::as_arr)
+                .ok_or("histogram without buckets")?
+                .iter()
+                .map(|b| b.as_u64().ok_or("non-integer bucket count"))
+                .collect::<Result<Vec<_>, _>>()?;
+            out.histograms.insert(key_of(entry)?, HistogramSnapshot { buckets, total });
+        }
+        Ok(out)
+    }
+}
+
+/// Fold a tracer's per-node, per-state virtual-time totals into
+/// `trace.state_ps{node,state}` counters. Clusters call this at the end
+/// of a run when both the tracer and the registry are enabled.
+pub fn record_state_totals(tracer: &Tracer, metrics: &MetricsRegistry) {
+    if !metrics.is_enabled() || !tracer.is_enabled() {
+        return;
+    }
+    for ((node, state), total) in tracer.state_totals() {
+        metrics.incr_labeled(
+            "trace.state_ps",
+            &[("node", node.into()), ("state", state.name().into())],
+            total as Time,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::State;
+
+    fn sample_registry() -> MetricsRegistry {
+        let m = MetricsRegistry::enabled();
+        m.incr("a.b.count", 3);
+        m.incr_labeled("vic.gc.sets", &[("node", 2usize.into())], 1);
+        m.incr_labeled("vic.gc.sets", &[("node", 0usize.into())], 4);
+        m.gauge_labeled("pcie.util", &[("node", 1usize.into())], 0.75);
+        m.observe("lat_ps", 1000);
+        m.observe("lat_ps", 9);
+        m
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let m = MetricsRegistry::disabled();
+        m.incr("x", 1);
+        m.gauge("g", 1.0);
+        m.observe("h", 7);
+        m.incr_labeled("y", &[("k", "v".into())], 1);
+        assert!(m.snapshot().is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate_and_labels_separate() {
+        let s = sample_registry().snapshot();
+        assert_eq!(s.counter("a.b.count", &[]), Some(3));
+        assert_eq!(s.counter("vic.gc.sets", &[("node", "0")]), Some(4));
+        assert_eq!(s.counter("vic.gc.sets", &[("node", "2")]), Some(1));
+        assert_eq!(s.counter_total("vic.gc.sets"), 5);
+        assert_eq!(s.counter("vic.gc.sets", &[("node", "1")]), None);
+    }
+
+    #[test]
+    fn snapshots_hash_bit_identically() {
+        let a = sample_registry().snapshot();
+        let b = sample_registry().snapshot();
+        assert_eq!(a.render(), b.render());
+        assert_eq!(a.fnv_hash(), b.fnv_hash());
+        // Sensitivity: one extra increment must change the hash.
+        let m = sample_registry();
+        m.incr("a.b.count", 1);
+        assert_ne!(m.snapshot().fnv_hash(), a.fnv_hash());
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let s = sample_registry().snapshot();
+        let json = s.to_json();
+        let back = MetricsSnapshot::from_json(&Json::parse(&json.render()).unwrap()).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.fnv_hash(), s.fnv_hash());
+    }
+
+    #[test]
+    fn histogram_snapshot_trims_trailing_zeros() {
+        let m = MetricsRegistry::enabled();
+        m.observe("h", 4); // bucket 2
+        let s = m.snapshot();
+        let h = s.histograms().values().next().unwrap();
+        assert_eq!(h.buckets, vec![0, 0, 1]);
+        assert_eq!(h.total, 1);
+    }
+
+    #[test]
+    fn gauge_max_keeps_the_high_water_mark() {
+        let m = MetricsRegistry::enabled();
+        m.gauge_max("hwm", &[], 3.0);
+        m.gauge_max("hwm", &[], 1.0);
+        m.gauge_max("hwm", &[], 7.0);
+        assert_eq!(*m.snapshot().gauges().values().next().unwrap(), 7.0);
+    }
+
+    #[test]
+    fn observe_histogram_merges_prefolded_data() {
+        let mut local = Log2Histogram::new(8);
+        local.push(2);
+        local.push(300);
+        let m = MetricsRegistry::enabled();
+        m.observe_histogram("switch.cycle.hops", &[("cyl", 0usize.into())], &local);
+        m.observe_labeled("switch.cycle.hops", &[("cyl", 0usize.into())], 2);
+        let s = m.snapshot();
+        let h = s.histograms().values().next().unwrap();
+        assert_eq!(h.total, 3);
+    }
+
+    #[test]
+    fn state_totals_are_recorded_as_counters() {
+        let t = Tracer::enabled();
+        t.span(0, State::Compute, 0, 100);
+        t.span(0, State::Compute, 200, 250);
+        t.span(1, State::Send, 0, 30);
+        let m = MetricsRegistry::enabled();
+        record_state_totals(&t, &m);
+        let s = m.snapshot();
+        assert_eq!(s.counter("trace.state_ps", &[("node", "0"), ("state", "Compute")]), Some(150));
+        assert_eq!(s.counter("trace.state_ps", &[("node", "1"), ("state", "Send")]), Some(30));
+    }
+}

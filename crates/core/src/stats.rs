@@ -26,6 +26,27 @@ impl OnlineStats {
         self.max = self.max.max(x);
     }
 
+    /// Combine another accumulator into this one (Chan et al.'s parallel
+    /// variance update), so per-node accumulators can be merged into a
+    /// cluster-wide summary. The result matches pushing every sample into
+    /// a single accumulator.
+    pub fn merge(&mut self, other: &Self) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = self.n + other.n;
+        let d = other.mean - self.mean;
+        self.mean += d * other.n as f64 / n as f64;
+        self.m2 += other.m2 + d * d * (self.n as f64 * other.n as f64) / n as f64;
+        self.n = n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Number of samples seen.
     pub fn count(&self) -> u64 {
         self.n
@@ -118,7 +139,14 @@ impl Log2Histogram {
 
     /// The smallest `x` such that at least `q` (0..=1) of samples are
     /// `< 2^x` — a coarse quantile in log₂ space.
+    ///
+    /// Returns the sentinel `usize::MAX` on an empty histogram: an empty
+    /// histogram has no quantiles, and the old behavior (returning bucket
+    /// 0) was indistinguishable from "all samples were tiny".
     pub fn quantile_log2(&self, q: f64) -> usize {
+        if self.total == 0 {
+            return usize::MAX;
+        }
         let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
         let mut seen = 0;
         for (i, &c) in self.buckets.iter().enumerate() {
@@ -128,6 +156,17 @@ impl Log2Histogram {
             }
         }
         self.buckets.len() - 1
+    }
+
+    /// Fold another histogram into this one. Buckets beyond this
+    /// histogram's depth clamp into its last bucket, mirroring
+    /// [`Log2Histogram::push`]'s clamping.
+    pub fn merge(&mut self, other: &Self) {
+        let last = self.buckets.len() - 1;
+        for (i, &c) in other.buckets.iter().enumerate() {
+            self.buckets[i.min(last)] += c;
+        }
+        self.total += other.total;
     }
 }
 
@@ -180,5 +219,74 @@ mod tests {
         assert_eq!(h.buckets()[7], 2); // clamped large values
         assert_eq!(h.quantile_log2(0.25), 0);
         assert_eq!(h.quantile_log2(1.0), 7);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_a_sentinel() {
+        // Regression: an empty histogram used to answer 0, which looked
+        // exactly like "every sample was < 2".
+        let h = Log2Histogram::new(8);
+        assert_eq!(h.quantile_log2(0.5), usize::MAX);
+        assert_eq!(h.quantile_log2(1.0), usize::MAX);
+    }
+
+    #[test]
+    fn histogram_merge_matches_combined_pushes() {
+        let mut a = Log2Histogram::new(8);
+        let mut b = Log2Histogram::new(8);
+        let mut combined = Log2Histogram::new(8);
+        for x in [0, 3, 9, 100] {
+            a.push(x);
+            combined.push(x);
+        }
+        for x in [1, 7, 5000] {
+            b.push(x);
+            combined.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.buckets(), combined.buckets());
+        assert_eq!(a.total(), combined.total());
+    }
+
+    #[test]
+    fn histogram_merge_clamps_deeper_tails() {
+        let mut wide = Log2Histogram::new(16);
+        wide.push(40_000); // bucket 15
+        wide.push(2);
+        let mut narrow = Log2Histogram::new(4);
+        narrow.merge(&wide);
+        assert_eq!(narrow.total(), 2);
+        assert_eq!(narrow.buckets()[1], 1); // the 2
+        assert_eq!(narrow.buckets()[3], 1); // clamped tail
+    }
+
+    #[test]
+    fn online_stats_merge_matches_single_stream() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut whole = OnlineStats::new();
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        for (i, &x) in xs.iter().enumerate() {
+            whole.push(x);
+            if i < 3 {
+                left.push(x)
+            } else {
+                right.push(x)
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-12);
+        assert!((left.variance() - whole.variance()).abs() < 1e-12);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+        // Merging an empty accumulator is a no-op in both directions.
+        let empty = OnlineStats::new();
+        let before = left.mean();
+        left.merge(&empty);
+        assert_eq!(left.mean(), before);
+        let mut fresh = OnlineStats::new();
+        fresh.merge(&left);
+        assert_eq!(fresh.count(), left.count());
     }
 }

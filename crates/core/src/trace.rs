@@ -20,7 +20,7 @@ use crate::time::Time;
 use crate::NodeId;
 
 /// What a node is doing during a span.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum State {
     /// Application computation.
     Compute,
@@ -39,6 +39,17 @@ pub enum State {
 }
 
 impl State {
+    /// Every state, in declaration order.
+    pub const ALL: [State; 7] = [
+        State::Compute,
+        State::Send,
+        State::Recv,
+        State::Wait,
+        State::Barrier,
+        State::Collective,
+        State::Idle,
+    ];
+
     /// One-character glyph for ASCII rendering.
     pub fn glyph(self) -> char {
         match self {
@@ -50,6 +61,25 @@ impl State {
             State::Collective => 'c',
             State::Idle => ' ',
         }
+    }
+
+    /// Stable name, identical to the `Debug` form (used by [`Tracer::dump`]
+    /// and metric labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            State::Compute => "Compute",
+            State::Send => "Send",
+            State::Recv => "Recv",
+            State::Wait => "Wait",
+            State::Barrier => "Barrier",
+            State::Collective => "Collective",
+            State::Idle => "Idle",
+        }
+    }
+
+    /// Inverse of [`State::name`]; `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<State> {
+        State::ALL.into_iter().find(|s| s.name() == name)
     }
 }
 
@@ -150,15 +180,23 @@ impl Tracer {
     /// most virtual time in that cell. Mirrors the look of Figure 5
     /// ("blue represents computation, ... the other colors represent MPI
     /// functions") in plain text.
+    ///
+    /// A degenerate explicit window (`t1 <= t0`) yields an empty timeline
+    /// (header plus blank rows) instead of underflowing the `Time`
+    /// subtraction.
     pub fn render_ascii(&self, nodes: usize, width: usize, window: Option<(Time, Time)>) -> String {
         let spans = self.spans();
-        let (t0, t1) = window.unwrap_or_else(|| {
-            let lo = spans.iter().map(|s| s.start).min().unwrap_or(0);
-            let hi = spans.iter().map(|s| s.end).max().unwrap_or(1);
-            (lo, hi.max(lo + 1))
-        });
+        let (t0, t1) = match window {
+            Some((a, b)) if b <= a => (a, a), // degenerate: render empty rows
+            Some(w) => w,
+            None => {
+                let lo = spans.iter().map(|s| s.start).min().unwrap_or(0);
+                let hi = spans.iter().map(|s| s.end).max().unwrap_or(1);
+                (lo, hi.max(lo + 1))
+            }
+        };
         let width = width.max(1);
-        let cell = ((t1 - t0) as f64 / width as f64).max(1.0);
+        let cell = ((t1.saturating_sub(t0)) as f64 / width as f64).max(1.0);
 
         // Per node, per cell, accumulate time per state.
         let mut grid = vec![vec![[0u64; 7]; width]; nodes];
@@ -174,7 +212,7 @@ impl Tracer {
         let glyphs = ['#', 's', 'r', '.', 'B', 'c', ' '];
         #[allow(clippy::needless_range_loop)] // c indexes both time math and grid
         for s in &spans {
-            if s.node >= nodes || s.end <= t0 || s.start >= t1 {
+            if t1 <= t0 || s.node >= nodes || s.end <= t0 || s.start >= t1 {
                 continue;
             }
             let a = s.start.max(t0);
@@ -208,9 +246,21 @@ impl Tracer {
         out
     }
 
+    /// Total virtual time per `(node, state)` across all recorded spans.
+    /// Feeds the `trace.state_ps` metric (per-node time-in-state totals,
+    /// the numbers behind a Figure 5-style breakdown).
+    pub fn state_totals(&self) -> std::collections::BTreeMap<(NodeId, State), Time> {
+        let mut totals = std::collections::BTreeMap::new();
+        for s in self.inner.lock().spans.iter() {
+            *totals.entry((s.node, s.state)).or_insert(0) += s.end - s.start;
+        }
+        totals
+    }
+
     /// Dump a machine-readable text trace: `S node start end state` lines
     /// followed by `M src dst sent recv bytes` lines (times in ps). The
-    /// format is a deliberately simple cousin of Paraver's `.prv`.
+    /// format is a deliberately simple cousin of Paraver's `.prv`, and
+    /// [`Tracer::parse`] reads it back.
     pub fn dump(&self) -> String {
         let mut out = String::new();
         for s in self.spans() {
@@ -220,6 +270,45 @@ impl Tracer {
             let _ = writeln!(out, "M {} {} {} {} {}", m.src, m.dst, m.sent, m.recv, m.bytes);
         }
         out
+    }
+
+    /// Rebuild a tracer from [`Tracer::dump`] output, so traces can be
+    /// saved to disk, reloaded, and diffed (`dv-report` uses this to render
+    /// timelines out of `BENCH_*.json` artifacts). Blank lines are skipped;
+    /// anything else malformed is an error naming the offending line.
+    pub fn parse(text: &str) -> Result<Tracer, String> {
+        let tracer = Tracer::enabled();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let bad = |what: &str| format!("trace line {}: {what}: {line:?}", lineno + 1);
+            let fields: Vec<&str> = line.split_ascii_whitespace().collect();
+            match fields.as_slice() {
+                ["S", node, start, end, state] => {
+                    let node = node.parse().map_err(|_| bad("bad node"))?;
+                    let start = start.parse().map_err(|_| bad("bad start time"))?;
+                    let end = end.parse().map_err(|_| bad("bad end time"))?;
+                    let state =
+                        State::from_name(state).ok_or_else(|| bad("unknown state"))?;
+                    if end <= start {
+                        return Err(bad("span must have end > start"));
+                    }
+                    tracer.span(node, state, start, end);
+                }
+                ["M", src, dst, sent, recv, bytes] => {
+                    let src = src.parse().map_err(|_| bad("bad src"))?;
+                    let dst = dst.parse().map_err(|_| bad("bad dst"))?;
+                    let sent = sent.parse().map_err(|_| bad("bad sent time"))?;
+                    let recv = recv.parse().map_err(|_| bad("bad recv time"))?;
+                    let bytes = bytes.parse().map_err(|_| bad("bad byte count"))?;
+                    tracer.message(src, dst, sent, recv, bytes);
+                }
+                _ => return Err(bad("unrecognized record")),
+            }
+        }
+        Ok(tracer)
     }
 }
 
@@ -281,6 +370,78 @@ mod tests {
         let text = t.dump();
         assert_eq!(text.lines().filter(|l| l.starts_with('S')).count(), 2);
         assert_eq!(text.lines().filter(|l| l.starts_with('M')).count(), 1);
+    }
+
+    #[test]
+    fn ascii_render_survives_reversed_window() {
+        // Regression: a reversed or zero-width window used to underflow
+        // the unsigned `t1 - t0` subtraction and panic in debug builds.
+        let t = Tracer::enabled();
+        t.span(0, State::Compute, 0, us(10));
+        for window in [(us(10), us(2)), (us(5), us(5))] {
+            let art = t.render_ascii(1, 10, Some(window));
+            let row = art.lines().nth(1).unwrap();
+            let timeline = row.split('|').nth(1).unwrap();
+            assert!(
+                timeline.chars().all(|c| c == ' '),
+                "degenerate window must render an empty timeline: {art}"
+            );
+        }
+    }
+
+    #[test]
+    fn dump_parse_round_trips_exactly() {
+        let t = Tracer::enabled();
+        t.span(0, State::Compute, 0, us(2));
+        t.span(1, State::Barrier, us(1), us(3));
+        t.span(0, State::Wait, us(2), us(4));
+        t.message(0, 1, us(1), us(2), 4096);
+        t.message(1, 0, us(3), us(4), 8);
+        let text = t.dump();
+        let back = Tracer::parse(&text).expect("dump output must parse");
+        assert_eq!(back.spans(), t.spans());
+        assert_eq!(back.messages(), t.messages());
+        // And the round trip is a fixed point at the text level too.
+        assert_eq!(back.dump(), text);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        for bad in [
+            "S 0 0",                  // too few fields
+            "S 0 0 100 Napping",      // unknown state
+            "S 0 100 100 Compute",    // zero-length span
+            "M 0 1 5 6",              // too few fields
+            "M 0 1 5 6 seven",        // non-numeric bytes
+            "X 0 1 2 3",              // unknown record type
+        ] {
+            assert!(Tracer::parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+        // Blank lines are fine.
+        assert!(Tracer::parse("\n\nS 0 0 100 Compute\n\n").is_ok());
+    }
+
+    #[test]
+    fn state_totals_sum_spans_per_node_and_state() {
+        let t = Tracer::enabled();
+        t.span(0, State::Compute, 0, 100);
+        t.span(0, State::Compute, 300, 450);
+        t.span(0, State::Send, 100, 130);
+        t.span(2, State::Compute, 0, 10);
+        let totals = t.state_totals();
+        assert_eq!(totals[&(0, State::Compute)], 250);
+        assert_eq!(totals[&(0, State::Send)], 30);
+        assert_eq!(totals[&(2, State::Compute)], 10);
+        assert_eq!(totals.len(), 3);
+    }
+
+    #[test]
+    fn state_names_round_trip() {
+        for s in State::ALL {
+            assert_eq!(State::from_name(s.name()), Some(s));
+            assert_eq!(format!("{s:?}"), s.name());
+        }
+        assert_eq!(State::from_name("Napping"), None);
     }
 
     #[test]

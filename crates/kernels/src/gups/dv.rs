@@ -9,6 +9,7 @@
 //! coordination idiom Section III describes.
 
 use dv_core::config::MachineConfig;
+use dv_core::metrics::MetricsRegistry;
 use dv_core::packet::{Packet, PacketHeader, SCRATCH_GC};
 use dv_api::{Aggregator, DvCluster, DvCtx, SendMode};
 use dv_sim::SimCtx;
@@ -55,7 +56,20 @@ pub fn run_traced(
     machine: MachineConfig,
     tracer: std::sync::Arc<dv_core::trace::Tracer>,
 ) -> GupsResult {
-    run_inner(cfg, nodes, machine, true, tracer)
+    run_inner(cfg, nodes, machine, true, tracer, MetricsRegistry::disabled_shared())
+}
+
+/// [`run`] with both a trace recorder and a metrics registry attached —
+/// the fully observable entry point the benchmark binaries use for
+/// `--json` artifacts.
+pub fn run_instrumented(
+    cfg: GupsConfig,
+    nodes: usize,
+    machine: MachineConfig,
+    tracer: std::sync::Arc<dv_core::trace::Tracer>,
+    metrics: std::sync::Arc<MetricsRegistry>,
+) -> GupsResult {
+    run_inner(cfg, nodes, machine, true, tracer, metrics)
 }
 
 /// [`run`] with explicit machine config and a switch for the source
@@ -67,7 +81,14 @@ pub fn run_with(
     machine: MachineConfig,
     aggregate: bool,
 ) -> GupsResult {
-    run_inner(cfg, nodes, machine, aggregate, std::sync::Arc::new(dv_core::trace::Tracer::disabled()))
+    run_inner(
+        cfg,
+        nodes,
+        machine,
+        aggregate,
+        std::sync::Arc::new(dv_core::trace::Tracer::disabled()),
+        MetricsRegistry::disabled_shared(),
+    )
 }
 
 fn run_inner(
@@ -76,6 +97,7 @@ fn run_inner(
     machine: MachineConfig,
     aggregate: bool,
     tracer: std::sync::Arc<dv_core::trace::Tracer>,
+    metrics: std::sync::Arc<MetricsRegistry>,
 ) -> GupsResult {
     let dist = BlockDist::new(cfg.global_words(nodes), nodes);
     assert!(
@@ -83,7 +105,8 @@ fn run_inner(
         "GUPS completion slots exceed the VIC status page ({nodes} nodes)"
     );
     let compute = machine.compute.clone();
-    let cluster = DvCluster::new(nodes).with_config(machine).with_tracer(tracer);
+    let cluster =
+        DvCluster::new(nodes).with_config(machine).with_tracer(tracer).with_metrics(metrics);
     let (elapsed, results) = cluster.run(move |dv, ctx| {
         let me = dv.node();
         let p = dv.nodes();

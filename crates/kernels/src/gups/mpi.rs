@@ -6,6 +6,7 @@
 //! rate bound — the mechanism behind the falling MPI curve of Figure 6a.
 
 use dv_core::config::MachineConfig;
+use dv_core::metrics::MetricsRegistry;
 use mini_mpi::{MpiCluster, Payload};
 
 use crate::util::{charge, charge_updates, BlockDist};
@@ -34,9 +35,23 @@ pub fn run_traced(
     machine: MachineConfig,
     tracer: std::sync::Arc<dv_core::trace::Tracer>,
 ) -> GupsResult {
+    run_instrumented(cfg, nodes, machine, tracer, MetricsRegistry::disabled_shared())
+}
+
+/// [`run`] with both a trace recorder and a metrics registry attached —
+/// the fully observable entry point the benchmark binaries use for
+/// `--json` artifacts.
+pub fn run_instrumented(
+    cfg: GupsConfig,
+    nodes: usize,
+    machine: MachineConfig,
+    tracer: std::sync::Arc<dv_core::trace::Tracer>,
+    metrics: std::sync::Arc<MetricsRegistry>,
+) -> GupsResult {
     let dist = BlockDist::new(cfg.global_words(nodes), nodes);
     let compute = machine.compute.clone();
-    let cluster = MpiCluster::new(nodes).with_config(machine).with_tracer(tracer);
+    let cluster =
+        MpiCluster::new(nodes).with_config(machine).with_tracer(tracer).with_metrics(metrics);
     let (elapsed, results) = cluster.run(move |comm, ctx| {
         let me = comm.rank();
         let p = comm.size();

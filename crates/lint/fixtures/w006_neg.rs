@@ -1,0 +1,19 @@
+// Negative fixture for DV-W006: libraries hand text and numbers back to
+// the caller (or a metrics registry) instead of printing. Identifiers
+// merely *containing* "print" are different tokens and stay clean.
+
+use std::fmt::Write as _;
+
+struct Fingerprinter {
+    blueprint: String,
+}
+
+fn render_progress(done: usize, total: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{done}/{total} packets delivered");
+    out
+}
+
+fn fingerprint(f: &Fingerprinter) -> usize {
+    f.blueprint.len()
+}

@@ -1,0 +1,11 @@
+// Positive fixture for DV-W006: a library crate writing to the process's
+// stdout/stderr directly.
+
+fn report_progress(done: usize, total: usize) {
+    println!("{done}/{total} packets delivered");
+    if done > total {
+        eprintln!("delivered more than offered?");
+    }
+    print!("...");
+    eprint!("!");
+}

@@ -45,6 +45,12 @@ const ALL_BUT_BENCH: &[&str] = &[
     "core", "sim", "switch", "vic", "mpi", "api", "kernels", "apps", "lint", "datavortex", "tests",
 ];
 
+/// Library crates: everything a downstream program links against. Binaries
+/// (`dv-bench`) and the lint tool itself own their stdout; libraries do
+/// not.
+const LIBRARY: &[&str] =
+    &["core", "sim", "switch", "vic", "mpi", "api", "kernels", "apps", "datavortex"];
+
 /// A single static-analysis rule.
 pub struct Rule {
     /// Stable identifier (`DV-W001`...).
@@ -146,6 +152,10 @@ fn w005_float_reduce_unordered(file: &SourceFile, line: &str) -> bool {
         && (file.code_contains("HashMap") || file.code_contains("HashSet"))
 }
 
+fn w006_print_in_library(_: &SourceFile, line: &str) -> bool {
+    any_token(line, &["println", "eprintln", "print", "eprint"])
+}
+
 /// Every shipped rule, in id order.
 pub static RULES: &[Rule] = &[
     Rule {
@@ -197,6 +207,16 @@ pub static RULES: &[Rule] = &[
                reducing floats",
         crates: SIM_REACHABLE,
         matcher: w005_float_reduce_unordered,
+    },
+    Rule {
+        id: "DV-W006",
+        severity: Severity::Warning,
+        summary: "print!/println!/eprint!/eprintln! in a library crate: libraries must \
+                  not write to the process's stdout/stderr behind the caller's back",
+        hint: "record through dv_core::metrics / dv_core::trace and let the caller \
+               render, or return the text; allowlist diagnostic test probes in lint.toml",
+        crates: LIBRARY,
+        matcher: w006_print_in_library,
     },
 ];
 
@@ -269,6 +289,12 @@ mod tests {
             "apps",
             include_str!("../fixtures/w005_pos.rs"),
             include_str!("../fixtures/w005_neg.rs"),
+        ),
+        (
+            "DV-W006",
+            "core",
+            include_str!("../fixtures/w006_pos.rs"),
+            include_str!("../fixtures/w006_neg.rs"),
         ),
     ];
 
@@ -354,5 +380,13 @@ fn ok() {
         assert_eq!(rule("DV-W003").unwrap().severity, Severity::Error);
         assert_eq!(rule("DV-W004").unwrap().severity, Severity::Warning);
         assert_eq!(rule("DV-W005").unwrap().severity, Severity::Warning);
+        assert_eq!(rule("DV-W006").unwrap().severity, Severity::Warning);
+    }
+
+    #[test]
+    fn printing_is_fine_in_the_bench_harness() {
+        let src = "fn t() { println!(\"table\"); }\n";
+        assert!(scan_source("bench", "crates/bench/src/x.rs", src).is_empty());
+        assert!(!scan_source("core", "crates/core/src/x.rs", src).is_empty());
     }
 }

@@ -3,6 +3,7 @@
 use std::sync::Arc;
 
 use dv_core::config::MachineConfig;
+use dv_core::metrics::{record_state_totals, MetricsRegistry};
 use dv_core::time::Time;
 use dv_core::trace::Tracer;
 use dv_sim::{JoinSlot, Sim, SimCtx};
@@ -28,17 +29,31 @@ pub struct MpiCluster {
     pub config: MachineConfig,
     /// Trace recorder (disabled by default).
     pub tracer: Arc<Tracer>,
+    /// Metrics registry (disabled by default).
+    pub metrics: Arc<MetricsRegistry>,
 }
 
 impl MpiCluster {
     /// Cluster of `nodes` ranks on the paper's machine.
     pub fn new(nodes: usize) -> Self {
-        Self { nodes, config: MachineConfig::paper_cluster(), tracer: Arc::new(Tracer::disabled()) }
+        Self {
+            nodes,
+            config: MachineConfig::paper_cluster(),
+            tracer: Arc::new(Tracer::disabled()),
+            metrics: MetricsRegistry::disabled_shared(),
+        }
     }
 
     /// Enable tracing (for Figure 5 style output).
     pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
         self.tracer = tracer;
+        self
+    }
+
+    /// Attach a metrics registry; the run records `mpi.*`, `sim.sched.*`,
+    /// and (when tracing too) `trace.state_ps` per-state time totals.
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = metrics;
         self
     }
 
@@ -67,9 +82,15 @@ impl MpiCluster {
         T: Send + 'static,
         F: Fn(&Comm, &SimCtx) -> T + Send + Sync + 'static,
     {
-        let sim = Sim::new();
+        let mut sim = Sim::new();
+        sim.set_metrics(Arc::clone(&self.metrics));
         let fabric = IbFabric::new(self.nodes, self.config.ib.clone());
-        let world = World::new(fabric, self.config.mpi.clone(), Arc::clone(&self.tracer));
+        let world = World::new_with_metrics(
+            fabric,
+            self.config.mpi.clone(),
+            Arc::clone(&self.tracer),
+            Arc::clone(&self.metrics),
+        );
         let body = Arc::new(body);
         let slots: Vec<JoinSlot<T>> = (0..self.nodes).map(|_| JoinSlot::new()).collect();
         #[allow(clippy::needless_range_loop)] // rank is also the program's identity
@@ -82,6 +103,7 @@ impl MpiCluster {
             });
         }
         let (elapsed, trace_hash) = sim.run_hashed();
+        record_state_totals(&self.tracer, &self.metrics);
         let results = slots
             .into_iter()
             .map(|s| s.take().expect("rank did not produce a result"))

@@ -7,6 +7,7 @@
 //! the ⌈log₂ p⌉ rounds of the dissemination barrier are what makes the
 //! MPI barrier in Figure 4 grow with node count.
 
+use dv_core::time::Time;
 use dv_core::trace::State;
 use dv_sim::SimCtx;
 
@@ -67,6 +68,15 @@ impl ReduceOp {
 }
 
 impl Comm {
+    /// Record one finished collective: a `mpi.coll.calls{op}` count and the
+    /// call's virtual duration into the `mpi.coll.time_ps{op}` histogram.
+    fn record_coll(&self, ctx: &SimCtx, op: &'static str, t0: Time) {
+        let m = self.metrics();
+        let label = [("op", op.into())];
+        m.incr_labeled("mpi.coll.calls", &label, 1);
+        m.observe_labeled("mpi.coll.time_ps", &label, ctx.now() - t0);
+    }
+
     /// Dissemination barrier: ⌈log₂ p⌉ rounds of pairwise token exchange.
     pub fn barrier(&self, ctx: &SimCtx) {
         let t0 = ctx.now();
@@ -85,6 +95,7 @@ impl Comm {
             round += 1;
         }
         self.tracer().span(me, State::Barrier, t0, ctx.now());
+        self.record_coll(ctx, "barrier", t0);
     }
 
     /// Binomial-tree broadcast from `root`.
@@ -134,6 +145,7 @@ impl Comm {
         }
         self.wait_all(ctx, reqs);
         self.tracer().span(me, State::Collective, t0, ctx.now());
+        self.record_coll(ctx, "bcast", t0);
         payload
     }
 
@@ -163,6 +175,7 @@ impl Comm {
             mask <<= 1;
         }
         self.tracer().span(me, State::Collective, t0, ctx.now());
+        self.record_coll(ctx, "reduce", t0);
         if me == root {
             debug_assert!(is_root_path);
             Some(acc)
@@ -181,9 +194,10 @@ impl Comm {
     /// Gather all contributions at `root` (linear); `Some(vec)` on root,
     /// indexed by rank.
     pub fn gather(&self, ctx: &SimCtx, root: usize, contribution: Payload) -> Option<Vec<Payload>> {
+        let t0 = ctx.now();
         let n = self.size();
         let me = self.rank();
-        if me == root {
+        let out = if me == root {
             let mut out: Vec<Payload> = (0..n).map(|_| Payload::Empty).collect();
             out[me] = contribution;
             for _ in 0..n - 1 {
@@ -194,14 +208,17 @@ impl Comm {
         } else {
             self.send(ctx, root, GATHER_TAG, contribution);
             None
-        }
+        };
+        self.record_coll(ctx, "gather", t0);
+        out
     }
 
     /// Scatter per-rank payloads from `root` (linear).
     pub fn scatter(&self, ctx: &SimCtx, root: usize, data: Option<Vec<Payload>>) -> Payload {
+        let t0 = ctx.now();
         let n = self.size();
         let me = self.rank();
-        if me == root {
+        let mine = if me == root {
             let mut data = data.expect("root must supply scatter data");
             assert_eq!(data.len(), n);
             let mine = std::mem::replace(&mut data[me], Payload::Empty);
@@ -215,7 +232,9 @@ impl Comm {
             mine
         } else {
             self.recv_from(ctx, root, SCATTER_TAG).payload
-        }
+        };
+        self.record_coll(ctx, "scatter", t0);
+        mine
     }
 
     /// Ring allgather: p−1 steps, each forwarding one block.
@@ -242,6 +261,7 @@ impl Comm {
             blocks[recv_idx] = env.payload;
         }
         self.tracer().span(me, State::Collective, t0, ctx.now());
+        self.record_coll(ctx, "allgather", t0);
         blocks
     }
 
@@ -263,6 +283,7 @@ impl Comm {
             out[src] = env.payload;
         }
         self.tracer().span(me, State::Collective, t0, ctx.now());
+        self.record_coll(ctx, "alltoall", t0);
         out
     }
 }

@@ -23,6 +23,7 @@ use std::sync::Arc;
 use dv_core::sync::Mutex;
 
 use dv_core::config::MpiParams;
+use dv_core::metrics::MetricsRegistry;
 use dv_core::time::{self, Time};
 use dv_core::trace::{State, Tracer};
 use dv_sim::{Port, SimCtx, WaitSet};
@@ -89,11 +90,23 @@ pub struct World {
     pending: Mutex<BTreeMap<u64, PendingSend>>,
     next_id: AtomicU64,
     tracer: Arc<Tracer>,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl World {
-    /// Build the world for `nodes` ranks.
+    /// Build the world for `nodes` ranks (metrics disabled).
     pub fn new(fabric: IbFabric, params: MpiParams, tracer: Arc<Tracer>) -> Arc<Self> {
+        Self::new_with_metrics(fabric, params, tracer, MetricsRegistry::disabled_shared())
+    }
+
+    /// [`World::new`] with a metrics registry; point-to-point traffic is
+    /// recorded under `mpi.*` and collectives under `mpi.coll.*`.
+    pub fn new_with_metrics(
+        fabric: IbFabric,
+        params: MpiParams,
+        tracer: Arc<Tracer>,
+        metrics: Arc<MetricsRegistry>,
+    ) -> Arc<Self> {
         let nodes = fabric.nodes();
         Arc::new(Self {
             fabric,
@@ -102,6 +115,7 @@ impl World {
             pending: Mutex::new_named("mpi.pending", BTreeMap::new()),
             next_id: AtomicU64::new(1),
             tracer,
+            metrics,
         })
     }
 
@@ -140,6 +154,11 @@ impl Comm {
         &self.world.tracer
     }
 
+    /// The metrics registry attached to this world.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.world.metrics
+    }
+
     /// MPI runtime parameters.
     pub fn params(&self) -> &MpiParams {
         &self.world.params
@@ -157,7 +176,15 @@ impl Comm {
         ctx.delay(p.overhead_send);
         let bytes = payload.len_bytes();
         let env_bytes = bytes + 64; // header/envelope on the wire
-        let req = if bytes <= p.eager_limit {
+        let eager = bytes <= p.eager_limit;
+        {
+            let m = &self.world.metrics;
+            let path = [("path", if eager { "eager" } else { "rndv" }.into())];
+            m.incr_labeled("mpi.msgs", &path, 1);
+            m.incr_labeled("mpi.bytes", &path, env_bytes);
+            m.observe("mpi.msg_bytes", bytes);
+        }
+        let req = if eager {
             // Bounce-buffer copy on the send side.
             ctx.delay(time::transfer_time(bytes, p.copy_gbps));
             let sent_at = ctx.now();

@@ -59,6 +59,21 @@ impl Ord for Event {
     }
 }
 
+/// Scheduler activity counters, kept as plain integers so the hot
+/// `pop_valid` loop pays no metrics overhead; `dv-sim` publishes them
+/// into a `MetricsRegistry` once at the end of a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Committed `Resume` events (process wakeups that actually ran).
+    pub resumes: u64,
+    /// Committed `Call` events (kernel closures).
+    pub calls: u64,
+    /// Resume events discarded because their waker generation was stale.
+    pub stale_wakeups: u64,
+    /// Processes registered with the kernel.
+    pub processes: u64,
+}
+
 /// The discrete-event kernel: the virtual clock plus the pending-event
 /// queue. Shared behind a mutex; only one simulated process runs at a time,
 /// so the lock is uncontended in steady state.
@@ -72,6 +87,7 @@ pub struct Kernel {
     pub(crate) proc_names: Vec<String>,
     /// Rolling hash of every committed event (see [`OrderAudit`]).
     audit: OrderAudit,
+    stats: SchedStats,
 }
 
 impl Kernel {
@@ -83,7 +99,13 @@ impl Kernel {
             park_generation: Vec::new(),
             proc_names: Vec::new(),
             audit: OrderAudit::new(),
+            stats: SchedStats::default(),
         }
+    }
+
+    /// Scheduler activity counters accumulated so far.
+    pub fn sched_stats(&self) -> SchedStats {
+        self.stats
     }
 
     /// Current virtual time.
@@ -140,6 +162,7 @@ impl Kernel {
         let pid = self.park_generation.len();
         self.park_generation.push(0);
         self.proc_names.push(name);
+        self.stats.processes += 1;
         pid
     }
 
@@ -155,13 +178,16 @@ impl Kernel {
                         self.park_generation[w.pid] = w.generation.wrapping_add(1);
                         self.now = ev.time;
                         self.audit.record_resume(ev.time, w.pid, w.generation);
+                        self.stats.resumes += 1;
                         return Some((ev.time, EventKind::Resume(w)));
                     }
-                    // Stale wakeup: drop silently.
+                    // Stale wakeup: drop silently (but count it).
+                    self.stats.stale_wakeups += 1;
                 }
                 kind @ EventKind::Call(_) => {
                     self.now = ev.time;
                     self.audit.record_call(ev.time, ev.seq);
+                    self.stats.calls += 1;
                     return Some((ev.time, kind));
                 }
             }

@@ -42,7 +42,7 @@ mod sim;
 mod sync;
 
 pub use audit::OrderAudit;
-pub use kernel::{Kernel, Pid, Waker};
+pub use kernel::{Kernel, Pid, SchedStats, Waker};
 pub use sim::{Sim, SimCtx};
 pub use sync::{JoinSlot, Pipe, Port, WaitSet};
 

@@ -6,6 +6,7 @@ use std::thread::JoinHandle;
 
 use std::sync::mpsc::{channel, Receiver, Sender};
 
+use dv_core::metrics::MetricsRegistry;
 use dv_core::sync::Mutex;
 
 use dv_core::time::Time;
@@ -67,6 +68,7 @@ struct Shared {
 pub struct Sim {
     shared: Arc<Shared>,
     report_rx: Receiver<Report>,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl Default for Sim {
@@ -84,7 +86,13 @@ impl Sim {
             registry: Mutex::new_named("sim.registry", Registry { slots: Vec::new(), live_foreground: 0 }),
             report_tx,
         });
-        Self { shared, report_rx }
+        Self { shared, report_rx, metrics: MetricsRegistry::disabled_shared() }
+    }
+
+    /// Attach a metrics registry; at the end of [`Sim::run_hashed`] the
+    /// kernel's scheduler counters are published into it as `sim.sched.*`.
+    pub fn set_metrics(&mut self, metrics: Arc<MetricsRegistry>) {
+        self.metrics = metrics;
     }
 
     /// Spawn a foreground process. The simulation runs until every
@@ -182,6 +190,15 @@ impl Sim {
         }
         let (now, hash) = {
             let k = self.shared.kernel.lock();
+            if self.metrics.is_enabled() {
+                let s = k.sched_stats();
+                self.metrics.incr("sim.sched.resumes", s.resumes);
+                self.metrics.incr("sim.sched.calls", s.calls);
+                self.metrics.incr("sim.sched.stale_wakeups", s.stale_wakeups);
+                self.metrics.incr("sim.sched.processes", s.processes);
+                self.metrics.incr("sim.sched.trace_events", k.trace_events());
+                self.metrics.incr("sim.clock.end_ps", k.now());
+            }
             (k.now(), k.trace_hash())
         };
         self.shutdown();

@@ -14,6 +14,9 @@
 
 use std::collections::VecDeque;
 
+use dv_core::metrics::MetricsRegistry;
+use dv_core::stats::Log2Histogram;
+
 use crate::topology::Topology;
 
 /// A packet in flight through the switch.
@@ -84,20 +87,33 @@ pub struct SwitchSim {
     injected: u64,
     ejected: u64,
     in_flight: usize,
+    // Instrumentation kept as plain accumulators (no registry calls in the
+    // per-cycle loop); [`SwitchSim::publish_metrics`] folds them into a
+    // `MetricsRegistry` once at the end of a run.
+    hop_hist: Log2Histogram,
+    deflection_hist: Log2Histogram,
+    contention_deflections: u64,
+    /// Per-cylinder sum of occupied cells over all cycles (cell-cycles).
+    occupancy_sum: Vec<u64>,
 }
 
 impl SwitchSim {
     /// A switch with the given topology, empty.
     pub fn new(topo: Topology) -> Self {
         let cells = topo.ports();
+        let cylinders = topo.cylinders();
         Self {
-            grid: vec![vec![None; cells]; topo.cylinders()],
+            grid: vec![vec![None; cells]; cylinders],
             queues: vec![VecDeque::new(); topo.ports()],
             topo,
             cycle: 0,
             injected: 0,
             ejected: 0,
             in_flight: 0,
+            hop_hist: Log2Histogram::new(12),
+            deflection_hist: Log2Histogram::new(12),
+            contention_deflections: 0,
+            occupancy_sum: vec![0; cylinders],
         }
     }
 
@@ -176,6 +192,8 @@ impl SwitchSim {
                             f.hops -= 1; // ejection is not a hop
                             self.ejected += 1;
                             self.in_flight -= 1;
+                            self.hop_hist.push(f.hops as u64);
+                            self.deflection_hist.push(f.deflections as u64);
                             out.push(Delivered {
                                 src_port: f.src_port,
                                 dst_port: f.dst_port,
@@ -200,6 +218,7 @@ impl SwitchSim {
                             // Blocked by the deflection signal: stay in the
                             // cylinder on the deflection path.
                             f.deflections += 1;
+                            self.contention_deflections += 1;
                             let dh = topo.deflect_height(c, h);
                             let tgt = self.cell(dh, a1);
                             debug_assert!(
@@ -238,8 +257,38 @@ impl SwitchSim {
         }
 
         self.grid = next;
+        for (c, cyl) in self.grid.iter().enumerate() {
+            self.occupancy_sum[c] += cyl.iter().filter(|cell| cell.is_some()).count() as u64;
+        }
         self.cycle += 1;
         out
+    }
+
+    /// Fold the switch's accumulated statistics into a registry under
+    /// `switch.cycle.*`. Histograms cover delivered packets; occupancy is
+    /// reported per cylinder both as raw cell-cycles and as the mean
+    /// fraction of occupied cells per cycle.
+    pub fn publish_metrics(&self, metrics: &MetricsRegistry) {
+        if !metrics.is_enabled() {
+            return;
+        }
+        metrics.incr("switch.cycle.cycles", self.cycle);
+        metrics.incr("switch.cycle.injected", self.injected);
+        metrics.incr("switch.cycle.ejected", self.ejected);
+        metrics.incr("switch.cycle.contention_deflections", self.contention_deflections);
+        metrics.observe_histogram("switch.cycle.hops", &[], &self.hop_hist);
+        metrics.observe_histogram("switch.cycle.deflections", &[], &self.deflection_hist);
+        for (c, &sum) in self.occupancy_sum.iter().enumerate() {
+            metrics.incr_labeled("switch.cycle.occupancy_cell_cycles", &[("cyl", c.into())], sum);
+            if self.cycle > 0 {
+                let cells = (self.topo.ports() * self.cycle as usize) as f64;
+                metrics.gauge_labeled(
+                    "switch.cycle.mean_occupancy",
+                    &[("cyl", c.into())],
+                    sum as f64 / cells,
+                );
+            }
+        }
     }
 
     /// Step until all queued and in-flight packets are delivered, or until
@@ -365,6 +414,39 @@ mod tests {
             let min = topo.min_hops(d.src_port, d.dst_port) as u32;
             assert!(d.hops >= min, "hops below minimum");
         }
+    }
+
+    #[test]
+    fn publish_metrics_reports_hops_and_occupancy() {
+        let mut sw = SwitchSim::new(topo32());
+        sw.enqueue(0, 21, 7);
+        sw.enqueue(3, 9, 8);
+        let delivered = sw.drain(1_000);
+        assert_eq!(delivered.len(), 2);
+        let m = MetricsRegistry::enabled();
+        sw.publish_metrics(&m);
+        let s = m.snapshot();
+        assert_eq!(s.counter("switch.cycle.injected", &[]), Some(2));
+        assert_eq!(s.counter("switch.cycle.ejected", &[]), Some(2));
+        let hops = s
+            .histograms()
+            .iter()
+            .find(|((n, _), _)| n == "switch.cycle.hops")
+            .map(|(_, h)| h.total)
+            .unwrap();
+        assert_eq!(hops, 2);
+        // Every cylinder reports an occupancy counter.
+        let cyls = sw.topology().cylinders();
+        let occ = s
+            .counters()
+            .iter()
+            .filter(|((n, _), _)| n == "switch.cycle.occupancy_cell_cycles")
+            .count();
+        assert_eq!(occ, cyls);
+        // A disabled registry stays empty.
+        let off = MetricsRegistry::disabled();
+        sw.publish_metrics(&off);
+        assert!(off.snapshot().is_empty());
     }
 
     #[test]

@@ -6,6 +6,9 @@
 //! inject Bernoulli or bursty traffic at each port at a given offered load
 //! and measure accepted throughput, latency, and deflection statistics.
 
+use std::sync::Arc;
+
+use dv_core::metrics::MetricsRegistry;
 use dv_core::rng::SplitMix64;
 use dv_core::stats::{Log2Histogram, OnlineStats};
 
@@ -87,6 +90,10 @@ pub struct LoadSweep {
     /// spans several internal hops. Offered/accepted loads are expressed
     /// per port *slot*.
     pub speedup: u32,
+    /// Optional metrics sink; when set, each [`LoadSweep::run`] publishes
+    /// the switch's `switch.cycle.*` statistics plus per-point
+    /// `switch.sweep.*` metrics labeled by the offered load.
+    pub metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl LoadSweep {
@@ -100,6 +107,7 @@ impl LoadSweep {
             measure: 3_000,
             seed: 0xDA7A_0037,
             speedup: 4,
+            metrics: None,
         }
     }
 
@@ -204,6 +212,17 @@ impl LoadSweep {
                     defl.push(d.deflections as f64);
                 }
             }
+        }
+
+        if let Some(m) = &self.metrics {
+            sw.publish_metrics(m);
+            // Label by offered load in permille so the label is an integer
+            // (stable text) rather than a formatted float.
+            let load = [("offered_permille", ((offered * 1000.0).round() as u64).into())];
+            m.incr_labeled("switch.sweep.delivered", &load, delivered_count);
+            m.observe_histogram("switch.sweep.total_latency_cycles", &load, &lat_hist);
+            m.gauge_labeled("switch.sweep.accepted", &load, delivered_count as f64 / (self.measure as f64 * ports as f64) * su);
+            m.gauge_labeled("switch.sweep.deflections_mean", &load, defl.mean());
         }
 
         SweepPoint {

@@ -18,6 +18,7 @@ pub struct SurpriseFifo {
     queue: VecDeque<(Time, Word)>,
     capacity: usize,
     dropped: u64,
+    high_water: usize,
     waiters: WaitSet,
 }
 
@@ -25,7 +26,7 @@ impl SurpriseFifo {
     /// FIFO with the given capacity in packets.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
-        Self { queue: VecDeque::new(), capacity, dropped: 0, waiters: WaitSet::new() }
+        Self { queue: VecDeque::new(), capacity, dropped: 0, high_water: 0, waiters: WaitSet::new() }
     }
 
     /// Buffer an arriving payload; returns `false` (and counts a drop) on
@@ -37,6 +38,7 @@ impl SurpriseFifo {
             return false;
         }
         self.queue.push_back((at, payload));
+        self.high_water = self.high_water.max(self.queue.len());
         true
     }
 
@@ -58,6 +60,11 @@ impl SurpriseFifo {
     /// Packets lost to overflow so far.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Deepest the queue has ever been (high-water mark).
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 
     /// Capacity in packets.
@@ -98,6 +105,24 @@ mod tests {
         // Draining makes room again.
         f.pop();
         assert!(f.push(4, 4));
+    }
+
+    #[test]
+    fn high_water_tracks_deepest_fill() {
+        let mut f = SurpriseFifo::new(8);
+        f.push(1, 1);
+        f.push(2, 2);
+        f.push(3, 3);
+        assert_eq!(f.high_water(), 3);
+        f.pop();
+        f.pop();
+        assert_eq!(f.high_water(), 3, "draining must not lower the mark");
+        f.push(4, 4);
+        assert_eq!(f.high_water(), 3);
+        for i in 0..5 {
+            f.push(10 + i, 0);
+        }
+        assert_eq!(f.high_water(), 7);
     }
 
     #[test]

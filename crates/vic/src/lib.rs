@@ -35,4 +35,4 @@ pub use counters::GroupCounter;
 pub use fifo::SurpriseFifo;
 pub use memory::DvMemory;
 pub use pcie::PciePath;
-pub use vic::Vic;
+pub use vic::{Vic, VicStats};

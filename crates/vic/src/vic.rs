@@ -1,6 +1,7 @@
 //! The VIC proper: packet delivery into DV memory / FIFO / counters.
 
 use dv_core::config::DvParams;
+use dv_core::metrics::MetricsRegistry;
 use dv_core::packet::{AddressSpace, Packet, PacketHeader, GROUP_COUNTERS, SCRATCH_GC};
 use dv_core::time::Time;
 use dv_core::{NodeId, Word};
@@ -9,6 +10,26 @@ use dv_sim::Kernel;
 use crate::counters::GroupCounter;
 use crate::fifo::SurpriseFifo;
 use crate::memory::DvMemory;
+
+/// Per-VIC activity counters, accumulated as plain integers on the
+/// delivery path (no registry overhead per packet) and folded into a
+/// `MetricsRegistry` once per run by [`Vic::publish_metrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VicStats {
+    /// DV-memory word writes (packet and block deliveries).
+    pub mem_writes: u64,
+    /// Surprise-FIFO packet arrivals (including dropped ones).
+    pub fifo_pushes: u64,
+    /// Group-counter set operations (remote packets and host presets).
+    pub gc_sets: u64,
+    /// Group-counter decrements (block decrements count their length).
+    pub gc_decrements: u64,
+    /// Sets that overwrote a counter some decrement had already driven
+    /// negative — the decrement-before-set race of Section III.
+    pub gc_set_races: u64,
+    /// Query packets answered.
+    pub queries: u64,
+}
 
 /// One node's Vortex Interface Controller.
 pub struct Vic {
@@ -19,6 +40,7 @@ pub struct Vic {
     /// The surprise-packet FIFO.
     pub fifo: SurpriseFifo,
     delivered: u64,
+    stats: VicStats,
 }
 
 impl Vic {
@@ -30,6 +52,7 @@ impl Vic {
             counters: (0..GROUP_COUNTERS).map(|_| GroupCounter::new()).collect(),
             fifo: SurpriseFifo::new(dv.fifo_capacity),
             delivered: 0,
+            stats: VicStats::default(),
         }
     }
 
@@ -48,11 +71,44 @@ impl Vic {
         &self.counters[idx as usize]
     }
 
+    /// This VIC's accumulated activity counters.
+    pub fn stats(&self) -> VicStats {
+        self.stats
+    }
+
+    /// Fold this VIC's counters into a registry as `vic.*` metrics labeled
+    /// with the node id (FIFO depth high-water mark and drops included).
+    pub fn publish_metrics(&self, metrics: &MetricsRegistry) {
+        if !metrics.is_enabled() {
+            return;
+        }
+        let node = [("node", self.node.into())];
+        metrics.incr_labeled("vic.delivered", &node, self.delivered);
+        metrics.incr_labeled("vic.mem.writes", &node, self.stats.mem_writes);
+        metrics.incr_labeled("vic.fifo.pushes", &node, self.stats.fifo_pushes);
+        metrics.incr_labeled("vic.fifo.dropped", &node, self.fifo.dropped());
+        metrics.gauge_max("vic.fifo.high_water", &node, self.fifo.high_water() as f64);
+        metrics.incr_labeled("vic.gc.sets", &node, self.stats.gc_sets);
+        metrics.incr_labeled("vic.gc.decrements", &node, self.stats.gc_decrements);
+        metrics.incr_labeled("vic.gc.set_races", &node, self.stats.gc_set_races);
+        metrics.incr_labeled("vic.queries", &node, self.stats.queries);
+    }
+
+    fn apply_set(stats: &mut VicStats, gc: &mut GroupCounter, expected: u64) {
+        stats.gc_sets += 1;
+        if gc.value() < 0 {
+            // Decrements raced ahead of this set and are about to be
+            // erased — the decrement-before-set failure of Section III.
+            stats.gc_set_races += 1;
+        }
+        gc.set(expected);
+    }
+
     /// Host-side preset of a local group counter (wakes waiters if the
     /// preset is zero or already satisfied).
     pub fn set_counter(&mut self, kernel: &mut Kernel, idx: u8, expected: u64) {
         let gc = &mut self.counters[idx as usize];
-        gc.set(expected);
+        Self::apply_set(&mut self.stats, gc, expected);
         if gc.is_zero() {
             gc.waiters().wake_all(kernel);
         }
@@ -79,21 +135,24 @@ impl Vic {
         let mut reply = None;
         match pkt.header.space {
             AddressSpace::DvMemory => {
+                self.stats.mem_writes += 1;
                 self.memory.write(pkt.header.address, pkt.payload);
             }
             AddressSpace::SurpriseFifo => {
+                self.stats.fifo_pushes += 1;
                 self.fifo.push(at, pkt.payload);
                 self.fifo.waiters().wake_all(kernel);
             }
             AddressSpace::GroupCounterSet => {
                 let idx = (pkt.header.address as usize) % GROUP_COUNTERS;
                 let gc = &mut self.counters[idx];
-                gc.set(pkt.payload);
+                Self::apply_set(&mut self.stats, gc, pkt.payload);
                 if gc.is_zero() {
                     gc.waiters().wake_all(kernel);
                 }
             }
             AddressSpace::Query => {
+                self.stats.queries += 1;
                 let value = self.memory.read(pkt.header.address);
                 let return_header = PacketHeader::decode(pkt.payload);
                 reply = Some(Packet::new(return_header, value));
@@ -103,6 +162,7 @@ impl Vic {
         if gc_idx != SCRATCH_GC {
             let gc = &mut self.counters[gc_idx as usize];
             gc.decrement();
+            self.stats.gc_decrements += 1;
             if gc.is_zero() {
                 gc.waiters().wake_all(kernel);
             }
@@ -116,9 +176,11 @@ impl Vic {
     pub fn deliver_block(&mut self, kernel: &mut Kernel, address: u32, words: &[Word], gc_idx: u8) {
         self.memory.write_range(address, words);
         self.delivered += words.len() as u64;
+        self.stats.mem_writes += words.len() as u64;
         if gc_idx != SCRATCH_GC {
             let gc = &mut self.counters[gc_idx as usize];
             gc.decrement_by(words.len() as u64);
+            self.stats.gc_decrements += words.len() as u64;
             if gc.is_zero() {
                 gc.waiters().wake_all(kernel);
             }
@@ -227,6 +289,37 @@ mod tests {
             vic.deliver(k, 0, Packet::new(data, 0));
             // All 3 packets arrived but the counter is stuck at 1.
             assert_eq!(vic.counter(7).value(), 1);
+        });
+    }
+
+    #[test]
+    fn stats_count_deliveries_and_detect_set_races() {
+        with_kernel(|k| {
+            let mut vic = Vic::new(3, &DvParams::default());
+            // A clean set-then-decrement sequence: no race.
+            vic.set_counter(k, 5, 1);
+            vic.deliver(k, 0, Packet::new(PacketHeader::dv_memory(0, 3, 10, 5), 1));
+            assert_eq!(vic.stats().gc_set_races, 0);
+            // Decrement-before-set: the set must count as a race.
+            vic.deliver(k, 0, Packet::new(PacketHeader::dv_memory(0, 3, 11, 7), 2));
+            vic.deliver(k, 0, Packet::new(PacketHeader::gc_set(0, 3, 7), 3));
+            assert_eq!(vic.stats().gc_set_races, 1);
+            // FIFO and query traffic.
+            vic.deliver(k, 1, Packet::new(PacketHeader::fifo(0, 3, SCRATCH_GC), 9));
+            let rh = PacketHeader::dv_memory(3, 0, 0, SCRATCH_GC);
+            vic.deliver(k, 2, Packet::new(PacketHeader::query(0, 3, 10), rh.encode()));
+            let s = vic.stats();
+            assert_eq!(s.mem_writes, 2);
+            assert_eq!(s.fifo_pushes, 1);
+            assert_eq!(s.queries, 1);
+            assert_eq!(s.gc_sets, 2); // host preset + remote set packet
+            assert_eq!(s.gc_decrements, 2);
+            // Publishing lands labeled counters in a registry.
+            let m = MetricsRegistry::enabled();
+            vic.publish_metrics(&m);
+            let snap = m.snapshot();
+            assert_eq!(snap.counter("vic.gc.set_races", &[("node", "3")]), Some(1));
+            assert_eq!(snap.counter("vic.fifo.pushes", &[("node", "3")]), Some(1));
         });
     }
 

@@ -2,11 +2,15 @@
 //! identical inputs give identical virtual times *and* identical data.
 //! This is the property that makes the simulation a usable instrument.
 
+use std::sync::Arc;
+
 use datavortex::api::{DvCluster, SendMode};
 use datavortex::core::config::MachineConfig;
+use datavortex::core::metrics::MetricsRegistry;
 use datavortex::core::packet::SCRATCH_GC;
 use datavortex::core::sync::lock_order_conflicts;
 use datavortex::core::time::Time;
+use datavortex::core::trace::Tracer;
 use datavortex::kernels::graph;
 use datavortex::kernels::gups::{self, GupsConfig};
 use datavortex::kernels::{barrier, fft};
@@ -134,6 +138,73 @@ fn trace_hash_is_stable_under_host_parallelism() {
     for h in handles {
         assert_eq!(h.join().expect("workload thread panicked"), mpi_baseline);
     }
+}
+
+/// A fully instrumented GUPS run; returns the canonical metrics JSON and
+/// its FNV hash.
+fn instrumented_gups(nodes: usize) -> (String, u64) {
+    let cfg =
+        GupsConfig { table_per_node: 1 << 9, updates_per_node: 1 << 10, bucket: 512, stream_offset: 0 };
+    let metrics = Arc::new(MetricsRegistry::enabled());
+    let _ = gups::dv::run_instrumented(
+        cfg,
+        nodes,
+        MachineConfig::paper_cluster(),
+        Arc::new(Tracer::enabled()),
+        Arc::clone(&metrics),
+    );
+    let snap = metrics.snapshot();
+    (snap.render(), snap.fnv_hash())
+}
+
+#[test]
+fn metrics_snapshot_reproduces_byte_identically() {
+    // The metrics counterpart of the trace-hash tests: two identical runs
+    // must agree on every counter, gauge, and histogram bucket — down to
+    // the canonical JSON bytes and the FNV hash over them.
+    let (json1, h1) = instrumented_gups(4);
+    let (json2, h2) = instrumented_gups(4);
+    assert_eq!(json1, json2, "metrics JSON must be byte-identical across runs");
+    assert_eq!(h1, h2);
+    // Sensitivity: a different cluster size must hash differently.
+    let (_, h8) = instrumented_gups(8);
+    assert_ne!(h1, h8);
+}
+
+#[test]
+fn metrics_snapshot_is_stable_under_host_parallelism() {
+    // Instrumentation must not open a nondeterminism channel: concurrent
+    // host threads racing over cores cannot change what gets counted.
+    let baseline = instrumented_gups(4);
+    let handles: Vec<_> =
+        (0..4).map(|_| std::thread::spawn(|| instrumented_gups(4))).collect();
+    for h in handles {
+        let got = h.join().expect("workload thread panicked");
+        assert_eq!(got, baseline, "metrics diverged under concurrent hosts");
+    }
+}
+
+#[test]
+fn instrumented_runs_count_what_the_run_did() {
+    let cfg =
+        GupsConfig { table_per_node: 1 << 9, updates_per_node: 1 << 10, bucket: 512, stream_offset: 0 };
+    let metrics = Arc::new(MetricsRegistry::enabled());
+    let r = gups::dv::run_instrumented(
+        cfg,
+        4,
+        MachineConfig::paper_cluster(),
+        Arc::new(Tracer::enabled()),
+        Arc::clone(&metrics),
+    );
+    let snap = metrics.snapshot();
+    // Every simulated process was registered with the scheduler.
+    assert_eq!(snap.counter("sim.sched.processes", &[]), Some(4));
+    // All remote updates crossed the network as packets.
+    assert!(snap.counter_total("api.net.packets") > 0);
+    // The group-counter engine was exercised on every node.
+    assert!(snap.counter_total("vic.gc.decrements") > 0);
+    // Virtual-state totals cover the whole run on some node.
+    assert!(snap.counter_total("trace.state_ps") >= r.elapsed);
 }
 
 #[test]

@@ -1,0 +1,60 @@
+//! The disabled metrics path must be free: no locks (beyond one relaxed
+//! atomic load) and, checked here, no heap allocation. A counting global
+//! allocator wraps the system one; the disabled-registry hot loop must
+//! leave the counter untouched.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use datavortex::core::metrics::MetricsRegistry;
+use datavortex::core::stats::Log2Histogram;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+// One test function: the allocation counter is process-global, so a
+// second test running on a sibling thread would bump it mid-measurement.
+#[test]
+fn disabled_registry_never_allocates() {
+    let m = MetricsRegistry::disabled();
+    let mut hist = Log2Histogram::new(16);
+    hist.push(7);
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..10_000u64 {
+        m.incr("bench.counter", 1);
+        m.incr_labeled("bench.labeled", &[("node", i.into()), ("path", "eager".into())], 1);
+        m.gauge("bench.gauge", i as f64);
+        m.gauge_max("bench.gauge_max", &[("node", i.into())], i as f64);
+        m.observe("bench.hist", i);
+        m.observe_labeled("bench.hist_labeled", &[("op", "sum".into())], i);
+        m.observe_histogram("bench.hist_bulk", &[], &hist);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(after, before, "disabled metrics path allocated {} times", after - before);
+    assert!(m.snapshot().is_empty());
+
+    // Sanity: the same calls on an enabled registry must produce data
+    // (and are allowed to allocate).
+    let m = MetricsRegistry::enabled();
+    m.incr("bench.counter", 2);
+    m.observe("bench.hist", 9);
+    let snap = m.snapshot();
+    assert_eq!(snap.counter("bench.counter", &[]), Some(2));
+    assert!(!snap.is_empty());
+}
