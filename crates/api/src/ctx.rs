@@ -58,6 +58,15 @@ pub const STATUS_PAGE_WORDS: usize = 1024;
 /// Cost of polling the pushed status page (a local read + fence).
 const STATUS_POLL: Time = time::ns(120);
 
+/// A credit-checked FIFO send was refused: the destination's surprise
+/// FIFO cannot be assumed to have room for the batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backpressure {
+    /// The destination credit observed at refusal time (capacity minus
+    /// queued minus in-flight; may be negative under overload).
+    pub credit: i64,
+}
+
 /// One node's view of the Data Vortex system.
 pub struct DvCtx {
     world: Arc<DvWorld>,
@@ -224,6 +233,34 @@ impl DvCtx {
         self.send_packets(ctx, packets, mode)
     }
 
+    /// Credit-checked FIFO send: consult the destination's visible credit
+    /// (capacity minus queued minus in-flight — the occupancy estimate the
+    /// VIC's pushed status page affords) and refuse the batch instead of
+    /// letting it overflow. The check is advisory, not a reservation:
+    /// concurrent senders can still race a full FIFO, so the recovery
+    /// layer remains responsible for actual loss. Costs one status poll;
+    /// a refusal counts `api.fifo.backpressure_rejects`.
+    pub fn fifo_try_send(
+        &self,
+        ctx: &SimCtx,
+        dest: NodeId,
+        words: &[Word],
+        gc: u8,
+        mode: SendMode,
+    ) -> Result<Time, Backpressure> {
+        ctx.delay(STATUS_POLL);
+        let credit = self.world.fifo_credit(dest);
+        if credit < words.len() as i64 {
+            self.world.metrics.incr_labeled(
+                "api.fifo.backpressure_rejects",
+                &[("node", (self.node as u64).into())],
+                1,
+            );
+            return Err(Backpressure { credit });
+        }
+        Ok(self.send_fifo(ctx, dest, words, gc, mode))
+    }
+
     // ------------------------------------------------------------------
     // Group counters
     // ------------------------------------------------------------------
@@ -319,6 +356,25 @@ impl DvCtx {
     /// own DV memory (uses [`QUERY_GC`] and DV-memory slot 0 of the last
     /// page as a scratch reply slot).
     pub fn read_word(&self, ctx: &SimCtx, dest: NodeId, remote_addr: u32) -> Word {
+        self.read_word_deadline(ctx, dest, remote_addr, None)
+            .expect("read_word without a deadline cannot time out")
+    }
+
+    /// [`DvCtx::read_word`] with a reply deadline: `None` on timeout —
+    /// the query or its reply was lost (or is still in flight). Callers
+    /// that retry must tolerate a *stale* reply from a timed-out attempt
+    /// landing later: each call re-arms [`QUERY_GC`] to 1 and reuses the
+    /// same reply slot, so a late reply can satisfy the next wait with the
+    /// older value. Reads of monotonic counters (the recovery layer's
+    /// accepted counts) are safe — a stale value is merely conservative —
+    /// but arbitrary reads under retry need their own sequencing.
+    pub fn read_word_deadline(
+        &self,
+        ctx: &SimCtx,
+        dest: NodeId,
+        remote_addr: u32,
+        deadline: Option<Time>,
+    ) -> Option<Word> {
         let reply_addr = (dv_vic::DvMemory::words() - 1) as u32;
         self.gc_set_local(ctx, QUERY_GC, 1);
         self.query_to(
@@ -330,12 +386,13 @@ impl DvCtx {
             QUERY_GC,
             SendMode::DirectWrite { cached_headers: false },
         );
-        let ok = self.gc_wait_zero(ctx, QUERY_GC, None);
-        debug_assert!(ok);
+        if !self.gc_wait_zero(ctx, QUERY_GC, deadline) {
+            return None;
+        }
         // Fetch the landed value across PCIe.
         let (_, end) = self.world.pcie[self.node].pio_read(ctx.now(), 1);
         ctx.wait_until(end);
-        self.world.vics[self.node].lock().memory.read(reply_addr)
+        Some(self.world.vics[self.node].lock().memory.read(reply_addr))
     }
 
     // ------------------------------------------------------------------

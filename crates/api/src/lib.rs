@@ -19,7 +19,13 @@
 //!   Figure 4;
 //! * a source-side [`aggregate::Aggregator`] that batches packets bound
 //!   for *different* destinations into one PCIe transfer — the paper's
-//!   "aggregation at source", the key to GUPS/BFS performance.
+//!   "aggregation at source", the key to GUPS/BFS performance;
+//! * a recovery layer ([`reliable::ReliableFifo`]) that turns the lossy
+//!   surprise FIFO into an exactly-once word stream — credit/backpressure
+//!   on the send side ([`ctx::DvCtx::fifo_try_send`]), acknowledgment via
+//!   query packets against hardware accepted counts, and bounded
+//!   windowed retransmission — so irregular kernels complete correctly
+//!   under overflow or an injected fault plan.
 //!
 //! Network timing comes from the calibrated `dv-switch` model plus
 //! per-VIC injection/ejection pipes at the 4.4 GB/s port rate; host↔VIC
@@ -34,10 +40,12 @@ pub mod cluster;
 pub mod coll;
 pub mod ctx;
 pub mod gas;
+pub mod reliable;
 pub mod world;
 
 pub use aggregate::Aggregator;
 pub use cluster::DvCluster;
-pub use ctx::{DvCtx, SendMode};
+pub use ctx::{Backpressure, DvCtx, SendMode};
 pub use gas::GlobalArray;
+pub use reliable::{ReliableConfig, ReliableFifo};
 pub use world::DvWorld;

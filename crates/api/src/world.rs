@@ -7,12 +7,12 @@ use dv_core::sync::Mutex;
 
 use dv_core::config::MachineConfig;
 use dv_core::metrics::MetricsRegistry;
-use dv_core::packet::{Packet, PACKET_BYTES, PAYLOAD_BYTES};
+use dv_core::packet::{AddressSpace, Packet, PACKET_BYTES, PAYLOAD_BYTES};
 use dv_core::time::Time;
 use dv_core::trace::Tracer;
 use dv_core::{NodeId, Word};
 use dv_sim::{Kernel, Pipe, WaitSet};
-use dv_switch::SwitchModel;
+use dv_switch::{LinkFaultInjector, SwitchModel};
 use dv_vic::{PciePath, Vic};
 
 /// State of the hardware barrier engine (implemented with the two reserved
@@ -43,6 +43,12 @@ pub struct DvWorld {
     /// Packets currently inside the switch (for the load-dependent
     /// deflection penalty).
     in_flight: AtomicI64,
+    /// Deterministic link-fault decisions (from `config.faults`; `None`
+    /// simulates fault-free links).
+    fault_injector: Option<LinkFaultInjector>,
+    /// Surprise-FIFO packets in flight toward each node (transmitted but
+    /// not yet delivered) — the basis of sender-side credit.
+    fifo_inflight: Vec<AtomicI64>,
     /// Hardware barrier engine.
     pub barrier: Mutex<BarrierState>,
     /// Trace recorder.
@@ -76,12 +82,23 @@ impl DvWorld {
         }
         let switch = SwitchModel::from_params(&config.dv);
         let link = config.dv.link_gbps;
+        let fault_injector =
+            config.faults.as_ref().map(|plan| LinkFaultInjector::new(plan.clone(), nodes));
         Arc::new(Self {
-            vics: (0..nodes).map(|n| Arc::new(Mutex::new_named("api.vic", Vic::new(n, &config.dv)))).collect(),
+            vics: (0..nodes)
+                .map(|n| {
+                    Arc::new(Mutex::new_named(
+                        "api.vic",
+                        Vic::with_faults(n, &config.dv, config.faults.clone()),
+                    ))
+                })
+                .collect(),
             pcie: (0..nodes).map(|_| PciePath::new(config.pcie.clone())).collect(),
             inject: (0..nodes).map(|_| Pipe::new(link)).collect(),
             eject: (0..nodes).map(|_| Pipe::new(link)).collect(),
             in_flight: AtomicI64::new(0),
+            fault_injector,
+            fifo_inflight: (0..nodes).map(|_| AtomicI64::new(0)).collect(),
             barrier: Mutex::new_named("api.barrier", BarrierState { epoch: 0, count: 0, waiters: WaitSet::new() }),
             tracer,
             metrics,
@@ -114,6 +131,14 @@ impl DvWorld {
     /// replies) interleave freely, and the paper-level semantics "order of
     /// arrival is not guaranteed" is part of the API contract (see the
     /// group-counter race tests).
+    ///
+    /// When a fault plan is attached, per-packet link faults apply here:
+    /// dropped packets paid full wire cost but are never delivered,
+    /// duplicated packets deliver twice, delayed `GroupCounterSet` packets
+    /// eject late (letting decrements overtake the set — the Section III
+    /// race on demand), and a stalled batch holds its ejection port.
+    /// The checked DMA block path ([`DvWorld::transmit_blocks`]) is *not*
+    /// fault-injected.
     pub fn transmit(
         self: &Arc<Self>,
         kernel: &mut Kernel,
@@ -137,7 +162,65 @@ impl DvWorld {
         // Ejection port serializes arrivals at the destination.
         let head_at_dst = inj_start + traversal;
         let (_, eject_end) = self.eject[dst].reserve_duration(head_at_dst, n * word_time);
-        let eject_end = eject_end.max(inj_end + traversal);
+        let mut eject_end = eject_end.max(inj_end + traversal);
+
+        // Fault application. Pipe/switch costs above are for the offered
+        // batch: a packet lost in flight still occupied the wire.
+        let mut delayed: Vec<(Time, Packet)> = Vec::new();
+        let deliver = if let Some(inj) = &self.fault_injector {
+            if let Some(stall) = inj.batch_stall(src, dst) {
+                eject_end += stall;
+                if self.metrics.is_enabled() {
+                    self.metrics.incr("fault.eject.stalls", 1);
+                    self.metrics.incr("fault.eject.stall_ps", stall);
+                }
+            }
+            let mut kept = Vec::with_capacity(packets.len());
+            let (mut drops, mut dups, mut delayed_sets) = (0u64, 0u64, 0u64);
+            for pkt in packets {
+                let f = inj.packet_fault(src, dst);
+                if f.drop {
+                    drops += 1;
+                    continue;
+                }
+                if pkt.header.space == AddressSpace::GroupCounterSet {
+                    if let Some(d) = f.gc_set_delay {
+                        delayed_sets += 1;
+                        delayed.push((eject_end + d, pkt));
+                        continue;
+                    }
+                }
+                if f.dup {
+                    dups += 1;
+                    kept.push(pkt);
+                }
+                kept.push(pkt);
+            }
+            if self.metrics.is_enabled() {
+                if drops > 0 {
+                    self.metrics.incr("fault.link.drops", drops);
+                }
+                if dups > 0 {
+                    self.metrics.incr("fault.link.dups", dups);
+                }
+                if delayed_sets > 0 {
+                    self.metrics.incr("fault.gc.delayed_sets", delayed_sets);
+                }
+            }
+            kept
+        } else {
+            packets
+        };
+
+        // Sender-side credit: surprise packets now committed to the wire
+        // count against the destination FIFO until delivery resolves them.
+        let fifo_n = deliver
+            .iter()
+            .filter(|p| p.header.space == AddressSpace::SurpriseFifo)
+            .count() as i64;
+        if fifo_n > 0 {
+            self.fifo_inflight[dst].fetch_add(fifo_n, Ordering::Relaxed);
+        }
 
         // Load accounting: in the switch from injection until ejection.
         self.in_flight.fetch_add(n as i64, Ordering::Relaxed);
@@ -145,10 +228,13 @@ impl DvWorld {
         self.tracer.message(src, dst, inj_start, eject_end, n * PACKET_BYTES);
         kernel.call_at(eject_end, move |k| {
             world.in_flight.fetch_sub(n as i64, Ordering::Relaxed);
+            if fifo_n > 0 {
+                world.fifo_inflight[dst].fetch_sub(fifo_n, Ordering::Relaxed);
+            }
             let mut replies: Vec<Packet> = Vec::new();
             {
                 let mut vic = world.vics[dst].lock();
-                for pkt in packets {
+                for pkt in deliver {
                     if let Some(reply) = vic.deliver(k, k.now(), pkt) {
                         replies.push(reply);
                     }
@@ -164,7 +250,25 @@ impl DvWorld {
                 }
             }
         });
+        for (when, pkt) in delayed {
+            let world = Arc::clone(self);
+            kernel.call_at(when, move |k| {
+                let mut vic = world.vics[dst].lock();
+                let reply = vic.deliver(k, k.now(), pkt);
+                debug_assert!(reply.is_none(), "GroupCounterSet packets never reply");
+            });
+        }
         eject_end
+    }
+
+    /// Sender-visible credit for `dst`'s surprise FIFO: remaining capacity
+    /// minus packets already in flight toward it. May go negative when
+    /// senders outrun the drain; non-positive credit means a fresh push is
+    /// likely to overflow.
+    pub fn fifo_credit(&self, dst: NodeId) -> i64 {
+        let capacity = self.config.dv.fifo_capacity as i64;
+        let queued = self.vics[dst].lock().fifo.len() as i64;
+        capacity - queued - self.fifo_inflight[dst].load(Ordering::Relaxed)
     }
 
     /// Record one network batch: counts, batch-size histogram, and the

@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use dv_bench::{f2, quick, Report};
+use dv_bench::{f2, faults, quick, Report};
 use dv_core::config::MachineConfig;
 use dv_core::metrics::MetricsRegistry;
 use dv_core::trace::Tracer;
@@ -20,11 +20,16 @@ fn main() {
         // HPCC convention: updates = 4 × table size.
         GupsConfig { table_per_node: 1 << 13, updates_per_node: 4 << 13, bucket: 1024, stream_offset: 0 }
     };
+    // Optional chaos mode: the Data Vortex runs carry the fault plan (the
+    // InfiniBand model is unaffected), so the checksum comparison below
+    // doubles as an end-to-end recovery check.
+    let fault_plan = faults();
     let mut report = Report::new("fig6");
     let mut rows_per = Vec::new();
     let mut rows_agg = Vec::new();
     for nodes in [4usize, 8, 16, 32] {
-        let machine = MachineConfig::paper_cluster();
+        let mut machine = MachineConfig::paper_cluster();
+        machine.faults = fault_plan.clone();
         let dv_tracer = Arc::new(Tracer::enabled());
         let dv_metrics = Arc::new(MetricsRegistry::enabled());
         let d = dv::run_instrumented(

@@ -4,13 +4,16 @@
 //! 64 roots; the simulation uses scale 14 (scale 12 with `--quick`) and 8
 //! roots. Harmonic-mean TEPS is the Graph500 reporting rule.
 
-use dv_bench::{f2, quick, Report};
+use dv_bench::{f2, faults, quick, Report};
 use dv_core::config::MachineConfig;
 use dv_core::stats::harmonic_mean;
 use dv_kernels::graph::{dv, kronecker_edges, mpi, partition_csr, pick_roots, validate_bfs, Csr, GraphConfig, VertexPart};
 
 fn main() {
     let (scale, roots_n) = if quick() { (12, 4) } else { (14, 8) };
+    // Optional chaos mode for the Data Vortex searches; every tree is
+    // still validated, so recovery correctness is checked per root.
+    let fault_plan = faults();
     let gcfg = GraphConfig { scale, edgefactor: 16, seed: 0x6500 };
     let edges = kronecker_edges(&gcfg);
     let csr = Csr::build(gcfg.vertices(), &edges);
@@ -29,9 +32,11 @@ fn main() {
                 .map(|&root| {
                     let locals = &locals;
                     let csr = &csr;
+                    let fault_plan = fault_plan.clone();
                     s.spawn(move || {
-                        let d =
-                            dv::run(locals, gcfg.vertices(), root, MachineConfig::paper_cluster());
+                        let mut machine = MachineConfig::paper_cluster();
+                        machine.faults = fault_plan;
+                        let d = dv::run(locals, gcfg.vertices(), root, machine);
                         validate_bfs(csr, root, &d.parents).expect("DV BFS tree invalid");
                         let m =
                             mpi::run(locals, gcfg.vertices(), root, MachineConfig::paper_cluster());

@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use dv_bench::{f2, f3, quick, Report};
+use dv_bench::{f2, f3, faults, quick, Report};
 use dv_core::config::DvParams;
 use dv_core::metrics::MetricsRegistry;
 use dv_switch::traffic::{Arrival, LoadSweep, Pattern};
@@ -26,6 +26,7 @@ fn main() {
     );
 
     let measure = if quick() { 1_000 } else { 5_000 };
+    let fault_plan = faults();
     let loads = [0.1, 0.3, 0.5, 0.7, 0.9];
     for pattern in [Pattern::Uniform, Pattern::Hotspot, Pattern::Tornado, Pattern::BitReverse] {
         let metrics = Arc::new(MetricsRegistry::enabled());
@@ -33,6 +34,7 @@ fn main() {
         sweep.pattern = pattern;
         sweep.measure = measure;
         sweep.metrics = Some(Arc::clone(&metrics));
+        sweep.faults = fault_plan.clone();
         let mut rows = Vec::new();
         for &l in &loads {
             let p = sweep.run(l);
@@ -59,6 +61,7 @@ fn main() {
     sweep.arrival = Arrival::Bursty { mean_burst: 8.0 };
     sweep.measure = measure;
     sweep.metrics = Some(Arc::clone(&metrics));
+    sweep.faults = fault_plan;
     let mut rows = Vec::new();
     for &l in &loads {
         let p = sweep.run(l);

@@ -57,6 +57,33 @@ pub fn quick() -> bool {
     std::env::args().any(|a| a == "--quick")
 }
 
+/// Parse `--faults <spec>` / `--faults=<spec>` into a deterministic fault
+/// plan (see `dv_core::fault::FaultPlan::parse` for the grammar, e.g.
+/// `seed=7,fifodrop=0.02`). Returns `None` when the flag is absent; exits
+/// with a diagnostic on a malformed spec.
+pub fn faults() -> Option<dv_core::fault::FaultPlan> {
+    let mut args = std::env::args();
+    let spec = loop {
+        let a = args.next()?;
+        if a == "--faults" {
+            break args.next().unwrap_or_else(|| {
+                eprintln!("--faults requires a spec (e.g. --faults seed=7,fifodrop=0.02)");
+                std::process::exit(2);
+            });
+        }
+        if let Some(s) = a.strip_prefix("--faults=") {
+            break s.to_string();
+        }
+    };
+    match dv_core::fault::FaultPlan::parse(&spec) {
+        Ok(plan) => Some(plan),
+        Err(e) => {
+            eprintln!("invalid --faults spec {spec:?}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Format a float with 2 decimals.
 pub fn f2(x: f64) -> String {
     format!("{x:.2}")

@@ -253,6 +253,11 @@ pub struct MachineConfig {
     pub mpi: MpiParams,
     /// Host compute rates.
     pub compute: ComputeParams,
+    /// Optional deterministic fault-injection plan; `None` (the default)
+    /// simulates fault-free hardware. Applied by the Data Vortex packet
+    /// path (switch links, VIC ejection, surprise-FIFO admission); the
+    /// checked DMA block path and the InfiniBand model are unaffected.
+    pub faults: Option<crate::fault::FaultPlan>,
 }
 
 impl MachineConfig {

@@ -19,6 +19,10 @@
 //!   reproduce Figure 5 of the paper).
 //! * [`rng`] — deterministic random streams, including the exact HPCC
 //!   RandomAccess (GUPS) polynomial stream.
+//! * [`fault`] — seeded, deterministic fault-injection plans (link
+//!   drops/duplications, ejection stalls, forced FIFO overflow, group
+//!   counter set delays); every decision is a pure function of the seed
+//!   and a per-site sequence number, so chaos runs replay exactly.
 //! * [`sync`] — the simulation-safe [`sync::Mutex`] (poison-recovering
 //!   `lock()`, debug-mode lock-order auditing) used by every crate that
 //!   shares state between simulated processes.
@@ -33,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod fault;
 pub mod json;
 pub mod metrics;
 pub mod packet;

@@ -9,12 +9,21 @@
 //! Remote visits are single FIFO packets `(vertex, parent)`; levels
 //! complete with the DV-memory sent-count protocol; termination uses
 //! all-to-all frontier-count posts.
+//!
+//! Visits ride the `dv-api` recovery layer ([`ReliableFifo`]), one epoch
+//! per BFS level: visits lost to FIFO overflow (or an injected fault
+//! plan) are retransmitted against the hardware accepted counts *before*
+//! the sent counts are posted, so levels complete exactly. Parallel edges
+//! produce duplicate `(vertex, parent)` words; the layer's outbound dedup
+//! absorbs them (each logical pair crosses the wire once per level), and
+//! pairs are unique across levels because a vertex joins the frontier at
+//! most once.
 
 use std::sync::Arc;
 
 use dv_core::config::MachineConfig;
 use dv_core::packet::{Packet, PacketHeader, SCRATCH_GC};
-use dv_api::{Aggregator, DvCluster, DvCtx, SendMode};
+use dv_api::{Aggregator, DvCluster, DvCtx, ReliableFifo, SendMode};
 use dv_sim::SimCtx;
 
 use crate::util::{charge_edges, pack2, unpack2};
@@ -48,11 +57,17 @@ fn apply_visits(part: &VertexPart, me: usize, st: &mut LevelState, words: &[u64]
     }
 }
 
-fn drain(dv: &DvCtx, ctx: &SimCtx, part: &VertexPart, me: usize, st: &mut LevelState) -> u64 {
-    let words = dv.fifo_drain(ctx, usize::MAX);
-    let n = words.len() as u64;
+fn drain(
+    rel: &mut ReliableFifo,
+    dv: &DvCtx,
+    ctx: &SimCtx,
+    part: &VertexPart,
+    me: usize,
+    st: &mut LevelState,
+) -> u64 {
+    let words = rel.drain_unique(ctx, dv);
     apply_visits(part, me, st, &words);
-    n
+    words.len() as u64
 }
 
 /// Run one BFS from `root` on the Data Vortex.
@@ -77,6 +92,7 @@ pub fn run(locals: &[Csr], n: usize, root: u32, machine: MachineConfig) -> BfsRu
             st.parents[part.local(root)] = root as i64;
             frontier.push(root);
         }
+        let mut rel = ReliableFifo::new(dv);
         dv.barrier(ctx);
 
         loop {
@@ -97,13 +113,10 @@ pub fn run(locals: &[Csr], n: usize, root: u32, machine: MachineConfig) -> BfsRu
                             st.parents[lv] = u as i64;
                             st.next.push(v);
                         }
-                    } else {
+                    } else if rel.send(ctx, dv, &mut agg, owner, pack2(v, u)) {
+                        // Parallel edges dedup at the send side: only
+                        // words actually on the wire count as promises.
                         sent[owner] += 1;
-                        agg.push(
-                            ctx,
-                            dv,
-                            Packet::new(PacketHeader::fifo(me, owner, SCRATCH_GC), pack2(v, u)),
-                        );
                     }
                     since_drain += 1;
                     if since_drain >= AGG / 2 {
@@ -113,13 +126,21 @@ pub fn run(locals: &[Csr], n: usize, root: u32, machine: MachineConfig) -> BfsRu
                         // while peers flood it.
                         charge_edges(ctx, &compute, since_drain as u64);
                         since_drain = 0;
-                        received += drain(dv, ctx, &part, me, &mut st);
+                        received += drain(&mut rel, dv, ctx, &part, me, &mut st);
                     }
                 }
             }
             charge_edges(ctx, &compute, frontier.len() as u64 + since_drain as u64);
-            received += drain(dv, ctx, &part, me, &mut st);
+            received += drain(&mut rel, dv, ctx, &part, me, &mut st);
             agg.flush(ctx, dv);
+
+            // Reconcile this level's sends against the hardware accepted
+            // counts, retransmitting losses; only verified sends back the
+            // promises posted below.
+            let mut recovered = Vec::new();
+            rel.verify_epoch(ctx, dv, &mut recovered);
+            apply_visits(&part, me, &mut st, &recovered);
+            received += recovered.len() as u64;
 
             // --- post per-peer sent counts ------------------------------
             let posts: Vec<Packet> = (0..p)
@@ -134,9 +155,11 @@ pub fn run(locals: &[Csr], n: usize, root: u32, machine: MachineConfig) -> BfsRu
             dv.send_packets(ctx, posts, SendMode::DirectWrite { cached_headers: true });
 
             // --- drain until every promised visit arrived ---------------
+            // Promises are posted post-verification, so every expected
+            // visit is already accepted into our FIFO (loss surfaced as
+            // retransmission on the sender, never as a hang here).
             loop {
-                assert_eq!(dv.fifo_dropped(), 0, "FIFO overflow lost visits mid-level");
-                received += drain(dv, ctx, &part, me, &mut st);
+                received += drain(&mut rel, dv, ctx, &part, me, &mut st);
                 let slots = dv.peek_local(ctx, CNT_BASE, p);
                 let all_posted = (0..p).filter(|&s| s != me).all(|s| slots[s] != 0);
                 if all_posted {
@@ -145,7 +168,8 @@ pub fn run(locals: &[Csr], n: usize, root: u32, machine: MachineConfig) -> BfsRu
                         break;
                     }
                 }
-                if let Some(w) = dv.fifo_recv_deadline(ctx, ctx.now() + dv_core::time::us(2)) {
+                if let Some(w) = rel.recv_unique_deadline(ctx, dv, ctx.now() + dv_core::time::us(2))
+                {
                     apply_visits(&part, me, &mut st, &[w]);
                     received += 1;
                 }
@@ -172,20 +196,24 @@ pub fn run(locals: &[Csr], n: usize, root: u32, machine: MachineConfig) -> BfsRu
                         .sum::<u64>();
                     break;
                 }
-                let _ = dv.fifo_recv_deadline(ctx, ctx.now() + dv_core::time::us(1));
+                // Anything buffered here is a retransmission duplicate
+                // (all unique visits were drained above); discard it.
+                let stray = rel.recv_unique_deadline(ctx, dv, ctx.now() + dv_core::time::us(1));
+                debug_assert!(stray.is_none(), "new visit arrived after level completion");
             }
 
             // --- reset level slots, then fence ---------------------------
             dv.write_local(ctx, CNT_BASE, &vec![0u64; p]);
             dv.write_local(ctx, FS_BASE, &vec![0u64; p]);
             dv.fast_barrier(ctx);
+            rel.end_epoch();
 
             frontier = std::mem::take(&mut st.next);
             if total_next == 0 {
                 break;
             }
         }
-        assert_eq!(dv.fifo_dropped(), 0, "FIFO overflow lost visits");
+        rel.publish(dv);
         (scanned, st.parents)
     });
 

@@ -1,0 +1,112 @@
+//! Link-fault application for the modeled switch path.
+//!
+//! [`LinkFaultInjector`] owns the per-link sequence counters that key a
+//! [`FaultPlan`]'s stateless decisions: packet `k` on link `src → dst`
+//! always rolls the same fate, no matter which host thread advances the
+//! simulation. The injector decides; the caller (the cluster runtime's
+//! transmit path) applies — dropping packets before delivery, delivering
+//! duplicates, stalling batch ejection, or delaying `GroupCounterSet`
+//! packets so decrements overtake their set (the Section III race, on
+//! demand).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dv_core::fault::FaultPlan;
+use dv_core::time::Time;
+use dv_core::NodeId;
+
+/// Per-packet fate on a link (one consumed sequence number).
+#[derive(Debug, Clone, Copy)]
+pub struct PacketFault {
+    /// Lose the packet in flight.
+    pub drop: bool,
+    /// Deliver the packet twice.
+    pub dup: bool,
+    /// Extra in-flight delay, *iff* the packet is a `GroupCounterSet`.
+    pub gc_set_delay: Option<Time>,
+}
+
+/// Deterministic fault decisions for every ordered link of a cluster.
+pub struct LinkFaultInjector {
+    plan: FaultPlan,
+    nodes: usize,
+    /// Per-link packet sequence numbers (index `src * nodes + dst`).
+    pkt_seq: Vec<AtomicU64>,
+    /// Per-link batch sequence numbers (ejection stalls are per batch).
+    batch_seq: Vec<AtomicU64>,
+}
+
+impl LinkFaultInjector {
+    /// Injector for a `nodes`-port cluster.
+    pub fn new(plan: FaultPlan, nodes: usize) -> Self {
+        let links = nodes * nodes;
+        Self {
+            plan,
+            nodes,
+            pkt_seq: (0..links).map(|_| AtomicU64::new(0)).collect(),
+            batch_seq: (0..links).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    fn link(&self, src: NodeId, dst: NodeId) -> usize {
+        src * self.nodes + dst
+    }
+
+    /// Decide the fate of the next packet on `src → dst`, consuming one
+    /// sequence number. The deterministic event order of the simulation
+    /// makes the counter advance identically across runs.
+    pub fn packet_fault(&self, src: NodeId, dst: NodeId) -> PacketFault {
+        let seq = self.pkt_seq[self.link(src, dst)].fetch_add(1, Ordering::Relaxed);
+        let (s, d) = (src as u64, dst as u64);
+        PacketFault {
+            drop: self.plan.link_drops(s, d, seq),
+            dup: self.plan.link_dups(s, d, seq),
+            gc_set_delay: self.plan.gc_set_delayed(s, d, seq),
+        }
+    }
+
+    /// Decide whether the next batch ejecting at `dst` from `src` stalls,
+    /// consuming one batch sequence number.
+    pub fn batch_stall(&self, src: NodeId, dst: NodeId) -> Option<Time> {
+        let seq = self.batch_seq[self.link(src, dst)].fetch_add(1, Ordering::Relaxed);
+        self.plan.eject_stall(src as u64, dst as u64, seq)
+    }
+
+    /// Packets decided so far on `src → dst` (lets tests replay the plan
+    /// over the exact sequence range the run consumed).
+    pub fn packets_decided(&self, src: NodeId, dst: NodeId) -> u64 {
+        self.pkt_seq[self.link(src, dst)].load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injector_consumes_per_link_sequences() {
+        let plan = FaultPlan { link_drop: 0.5, ..Default::default() };
+        let inj = LinkFaultInjector::new(plan.clone(), 4);
+        let fates: Vec<bool> = (0..100).map(|_| inj.packet_fault(1, 2).drop).collect();
+        assert_eq!(inj.packets_decided(1, 2), 100);
+        assert_eq!(inj.packets_decided(2, 1), 0);
+        // Replaying the plan over the consumed range reproduces the fates.
+        let replay: Vec<bool> = (0..100).map(|q| plan.link_drops(1, 2, q)).collect();
+        assert_eq!(fates, replay);
+    }
+
+    #[test]
+    fn inert_plan_never_faults() {
+        let inj = LinkFaultInjector::new(FaultPlan::default(), 2);
+        for _ in 0..32 {
+            let f = inj.packet_fault(0, 1);
+            assert!(!f.drop && !f.dup && f.gc_set_delay.is_none());
+            assert!(inj.batch_stall(0, 1).is_none());
+        }
+    }
+}

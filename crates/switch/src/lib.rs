@@ -16,15 +16,19 @@
 //! [`traffic`] provides the synthetic patterns from the original Data
 //! Vortex evaluation literature (uniform, hotspot, tornado, bit-reverse,
 //! bursty) for the robustness studies the paper cites (refs [14][15]).
+//! [`faults`] applies a `dv_core::fault::FaultPlan` to the injection and
+//! ejection sides of the switch with deterministic per-link sequencing.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cycle;
+pub mod faults;
 pub mod model;
 pub mod topology;
 pub mod traffic;
 
 pub use cycle::{Delivered, SwitchSim};
+pub use faults::{LinkFaultInjector, PacketFault};
 pub use model::SwitchModel;
 pub use topology::Topology;

@@ -8,6 +8,7 @@
 
 use std::sync::Arc;
 
+use dv_core::fault::{FaultPlan, STREAM_SWEEP};
 use dv_core::metrics::MetricsRegistry;
 use dv_core::rng::SplitMix64;
 use dv_core::stats::{Log2Histogram, OnlineStats};
@@ -20,7 +21,11 @@ use crate::topology::Topology;
 pub enum Pattern {
     /// Uniformly random destination (excluding self).
     Uniform,
-    /// With probability 1/2 target port 0, otherwise uniform.
+    /// With probability 1/2 target port 0, otherwise uniform excluding
+    /// self — the uniform half matches [`Pattern::Uniform`] exactly. The
+    /// hot half keeps port 0 even when port 0 itself fires (the hot spot
+    /// models an external sink, e.g. a storage or I/O node, so its own
+    /// traffic still converges there).
     Hotspot,
     /// Fixed partner: `dst = src + P/2 mod P` (worst case for rings).
     Tornado,
@@ -94,6 +99,12 @@ pub struct LoadSweep {
     /// the switch's `switch.cycle.*` statistics plus per-point
     /// `switch.sweep.*` metrics labeled by the offered load.
     pub metrics: Option<Arc<MetricsRegistry>>,
+    /// Optional fault plan: its `drop` rate loses packets at the
+    /// injection port (decided on the deterministic [`STREAM_SWEEP`]
+    /// stream, one sequence number per fired arrival), reported as
+    /// `switch.sweep.fault_drops`. Dropped arrivals count as offered but
+    /// never as accepted traffic.
+    pub faults: Option<FaultPlan>,
 }
 
 impl LoadSweep {
@@ -108,7 +119,22 @@ impl LoadSweep {
             seed: 0xDA7A_0037,
             speedup: 4,
             metrics: None,
+            faults: None,
         }
+    }
+
+    /// Uniform destination excluding self. A 1-port switch has no
+    /// non-self destination, so it degenerates to self-traffic — the only
+    /// traffic a single port can offer (`next_below(0)` would be invalid).
+    fn uniform_dst(rng: &mut SplitMix64, ports: usize, src: usize) -> usize {
+        if ports <= 1 {
+            return 0;
+        }
+        let mut d = rng.next_below(ports as u64 - 1) as usize;
+        if d >= src {
+            d += 1;
+        }
+        d
     }
 
     fn bitrev(x: usize, bits: u32) -> usize {
@@ -154,6 +180,8 @@ impl LoadSweep {
         let mut defl = OnlineStats::new();
         let mut delivered_count = 0u64;
         let mut tag = 0u64;
+        let mut fault_seq = 0u64;
+        let mut fault_drops = 0u64;
 
         let total_cycles = self.warmup + self.measure;
         for cycle in 0..total_cycles {
@@ -182,24 +210,28 @@ impl LoadSweep {
                     continue;
                 }
                 let dst = match self.pattern {
-                    Pattern::Uniform => {
-                        let mut d = rng.next_below(ports as u64 - 1) as usize;
-                        if d >= src {
-                            d += 1;
-                        }
-                        d
-                    }
+                    Pattern::Uniform => Self::uniform_dst(&mut rng, ports, src),
                     Pattern::Hotspot => {
                         if rng.next_f64() < 0.5 {
                             0
                         } else {
-                            rng.next_below(ports as u64) as usize
+                            Self::uniform_dst(&mut rng, ports, src)
                         }
                     }
                     Pattern::Tornado => (src + ports / 2) % ports,
                     Pattern::BitReverse => Self::bitrev(src, port_bits) % ports,
                     Pattern::Permutation => perm[src],
                 };
+                if let Some(plan) = &self.faults {
+                    let seq = fault_seq;
+                    fault_seq += 1;
+                    if plan.link_drop > 0.0
+                        && plan.roll(STREAM_SWEEP, src as u64, dst as u64, seq) < plan.link_drop
+                    {
+                        fault_drops += 1;
+                        continue;
+                    }
+                }
                 sw.enqueue(src, dst, tag);
                 tag += 1;
             }
@@ -220,6 +252,9 @@ impl LoadSweep {
             // (stable text) rather than a formatted float.
             let load = [("offered_permille", ((offered * 1000.0).round() as u64).into())];
             m.incr_labeled("switch.sweep.delivered", &load, delivered_count);
+            if self.faults.is_some() {
+                m.incr_labeled("switch.sweep.fault_drops", &load, fault_drops);
+            }
             m.observe_histogram("switch.sweep.total_latency_cycles", &load, &lat_hist);
             m.gauge_labeled("switch.sweep.accepted", &load, delivered_count as f64 / (self.measure as f64 * ports as f64) * su);
             m.gauge_labeled("switch.sweep.deflections_mean", &load, defl.mean());
@@ -328,5 +363,54 @@ mod tests {
         let b = sweep().run(0.3);
         assert_eq!(a.delivered, b.delivered);
         assert_eq!(a.latency_mean, b.latency_mean);
+    }
+
+    #[test]
+    fn uniform_dst_handles_the_single_port_degenerate_case() {
+        // ports == 1 used to hit `next_below(0)` (a debug-assert
+        // violation); it now degenerates to self-traffic, the only
+        // destination a 1-port switch has.
+        let mut rng = SplitMix64::new(1);
+        assert_eq!(LoadSweep::uniform_dst(&mut rng, 1, 0), 0);
+        for ports in [2usize, 3, 8] {
+            for src in 0..ports {
+                for _ in 0..200 {
+                    let d = LoadSweep::uniform_dst(&mut rng, ports, src);
+                    assert_ne!(d, src, "ports={ports}");
+                    assert!(d < ports);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hotspot_uniform_half_excludes_self_like_uniform() {
+        // The smallest legal topology: 2 ports. Port 1's non-hot traffic
+        // can only go to port 0, and port 0's only to port 1 — with the
+        // old `next_below(ports)` selection, self-traffic would sneak in.
+        let mut s = LoadSweep::new(Topology::new(2, 1));
+        s.pattern = Pattern::Hotspot;
+        s.warmup = 50;
+        s.measure = 500;
+        let p = s.run(0.4);
+        assert!(p.delivered > 0);
+    }
+
+    #[test]
+    fn fault_plan_drops_at_injection_deterministically() {
+        use dv_core::fault::FaultPlan;
+        let run = || {
+            let mut s = sweep();
+            s.faults = Some(FaultPlan { seed: 11, link_drop: 0.2, ..Default::default() });
+            s.metrics = Some(Arc::new(MetricsRegistry::enabled()));
+            let p = s.run(0.5);
+            let snap = s.metrics.as_ref().unwrap().snapshot();
+            (p.delivered, snap.fnv_hash())
+        };
+        let (delivered, hash) = run();
+        let (d2, h2) = run();
+        assert_eq!((delivered, hash), (d2, h2), "faulted sweep must replay exactly");
+        let clean = sweep().run(0.5);
+        assert!(delivered < clean.delivered, "20% injection drops must reduce deliveries");
     }
 }

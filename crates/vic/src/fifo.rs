@@ -42,6 +42,14 @@ impl SurpriseFifo {
         true
     }
 
+    /// Count a loss without touching the queue: the fault layer forces an
+    /// overflow-equivalent rejection of an arriving packet. Keeping the
+    /// count here means [`SurpriseFifo::dropped`] stays the single source
+    /// of truth for every lost FIFO packet, genuine or injected.
+    pub fn force_drop(&mut self) {
+        self.dropped += 1;
+    }
+
     /// Pop the oldest buffered packet.
     pub fn pop(&mut self) -> Option<(Time, Word)> {
         self.queue.pop_front()

@@ -1,6 +1,7 @@
 //! The VIC proper: packet delivery into DV memory / FIFO / counters.
 
 use dv_core::config::DvParams;
+use dv_core::fault::FaultPlan;
 use dv_core::metrics::MetricsRegistry;
 use dv_core::packet::{AddressSpace, Packet, PacketHeader, GROUP_COUNTERS, SCRATCH_GC};
 use dv_core::time::Time;
@@ -11,6 +12,16 @@ use crate::counters::GroupCounter;
 use crate::fifo::SurpriseFifo;
 use crate::memory::DvMemory;
 
+/// First status-page slot of the per-source accepted-FIFO counts: the VIC
+/// maintains, in hardware, how many surprise packets from each source it
+/// has *accepted* into the FIFO (drops excluded) at
+/// `FIFO_RECV_BASE + src`. Senders read their slot back with a query
+/// packet — the acknowledgment substrate of the `dv-api` recovery layer.
+pub const FIFO_RECV_BASE: u32 = 768;
+/// Sources tracked by the hardware accepted-count block (bounded by the
+/// status page; larger clusters fall back to software acks).
+pub const FIFO_RECV_SLOTS: usize = 256;
+
 /// Per-VIC activity counters, accumulated as plain integers on the
 /// delivery path (no registry overhead per packet) and folded into a
 /// `MetricsRegistry` once per run by [`Vic::publish_metrics`].
@@ -18,8 +29,13 @@ use crate::memory::DvMemory;
 pub struct VicStats {
     /// DV-memory word writes (packet and block deliveries).
     pub mem_writes: u64,
-    /// Surprise-FIFO packet arrivals (including dropped ones).
+    /// Surprise-FIFO packets *accepted* into the queue (drops excluded —
+    /// a rejected packet was never pushed).
     pub fifo_pushes: u64,
+    /// Surprise-FIFO packets lost: genuine overflow plus injected drops.
+    pub fifo_drops: u64,
+    /// The subset of [`VicStats::fifo_drops`] forced by a fault plan.
+    pub fifo_forced_drops: u64,
     /// Group-counter set operations (remote packets and host presets).
     pub gc_sets: u64,
     /// Group-counter decrements (block decrements count their length).
@@ -41,11 +57,22 @@ pub struct Vic {
     pub fifo: SurpriseFifo,
     delivered: u64,
     stats: VicStats,
+    /// Optional fault plan (forced FIFO overflow is applied here, at the
+    /// admission point); decisions key off `fifo_push_seq`.
+    faults: Option<FaultPlan>,
+    fifo_push_seq: u64,
 }
 
 impl Vic {
     /// A VIC for `node` with the given hardware parameters.
     pub fn new(node: NodeId, dv: &DvParams) -> Self {
+        Self::with_faults(node, dv, None)
+    }
+
+    /// [`Vic::new`] with a deterministic fault plan attached: each FIFO
+    /// arrival consumes one sequence number of the plan's FIFO stream and
+    /// may be rejected as if the queue were full.
+    pub fn with_faults(node: NodeId, dv: &DvParams, faults: Option<FaultPlan>) -> Self {
         Self {
             node,
             memory: DvMemory::new(),
@@ -53,6 +80,8 @@ impl Vic {
             fifo: SurpriseFifo::new(dv.fifo_capacity),
             delivered: 0,
             stats: VicStats::default(),
+            faults,
+            fifo_push_seq: 0,
         }
     }
 
@@ -86,7 +115,8 @@ impl Vic {
         metrics.incr_labeled("vic.delivered", &node, self.delivered);
         metrics.incr_labeled("vic.mem.writes", &node, self.stats.mem_writes);
         metrics.incr_labeled("vic.fifo.pushes", &node, self.stats.fifo_pushes);
-        metrics.incr_labeled("vic.fifo.dropped", &node, self.fifo.dropped());
+        metrics.incr_labeled("vic.fifo.drops", &node, self.stats.fifo_drops);
+        metrics.incr_labeled("vic.fifo.forced_drops", &node, self.stats.fifo_forced_drops);
         metrics.gauge_max("vic.fifo.high_water", &node, self.fifo.high_water() as f64);
         metrics.incr_labeled("vic.gc.sets", &node, self.stats.gc_sets);
         metrics.incr_labeled("vic.gc.decrements", &node, self.stats.gc_decrements);
@@ -129,9 +159,19 @@ impl Vic {
     ///
     /// Every packet also decrements the group counter named in its header
     /// (the scratch counter ignores decrements).
+    ///
+    /// # Drop semantics
+    ///
+    /// A surprise packet the FIFO rejects (overflow, or a fault plan's
+    /// forced drop) is **not delivered**: it is excluded from `delivered`
+    /// and `fifo_pushes`, it wakes no FIFO waiter, and it does *not*
+    /// decrement its group counter. The packet simply never became
+    /// visible to software, so a completion protocol counting on that
+    /// decrement times out — a detectable loss — instead of completing
+    /// with data silently missing. The only traces it leaves are the drop
+    /// counters ([`VicStats::fifo_drops`], [`SurpriseFifo::dropped`]).
     pub fn deliver(&mut self, kernel: &mut Kernel, at: Time, pkt: Packet) -> Option<Packet> {
         debug_assert_eq!(pkt.header.dest, self.node, "packet routed to the wrong VIC");
-        self.delivered += 1;
         let mut reply = None;
         match pkt.header.space {
             AddressSpace::DvMemory => {
@@ -139,8 +179,30 @@ impl Vic {
                 self.memory.write(pkt.header.address, pkt.payload);
             }
             AddressSpace::SurpriseFifo => {
+                let forced = match &self.faults {
+                    Some(plan) => plan.fifo_forced_drop(self.node as u64, self.fifo_push_seq),
+                    None => false,
+                };
+                self.fifo_push_seq += 1;
+                let accepted = if forced {
+                    self.fifo.force_drop();
+                    self.stats.fifo_forced_drops += 1;
+                    false
+                } else {
+                    self.fifo.push(at, pkt.payload)
+                };
+                if !accepted {
+                    self.stats.fifo_drops += 1;
+                    return None;
+                }
                 self.stats.fifo_pushes += 1;
-                self.fifo.push(at, pkt.payload);
+                // Hardware-maintained per-source accepted count in the
+                // status page (the recovery layer's ack substrate). Not a
+                // software memory write, so not counted in `mem_writes`.
+                if pkt.header.src < FIFO_RECV_SLOTS {
+                    let slot = FIFO_RECV_BASE + pkt.header.src as u32;
+                    self.memory.write(slot, self.memory.read(slot) + 1);
+                }
                 self.fifo.waiters().wake_all(kernel);
             }
             AddressSpace::GroupCounterSet => {
@@ -158,6 +220,7 @@ impl Vic {
                 reply = Some(Packet::new(return_header, value));
             }
         }
+        self.delivered += 1;
         let gc_idx = pkt.header.group_counter;
         if gc_idx != SCRATCH_GC {
             let gc = &mut self.counters[gc_idx as usize];
@@ -320,6 +383,66 @@ mod tests {
             let snap = m.snapshot();
             assert_eq!(snap.counter("vic.gc.set_races", &[("node", "3")]), Some(1));
             assert_eq!(snap.counter("vic.fifo.pushes", &[("node", "3")]), Some(1));
+        });
+    }
+
+    #[test]
+    fn overflowed_fifo_packet_is_not_delivered_at_all() {
+        with_kernel(|k| {
+            let dv = DvParams { fifo_capacity: 2, ..Default::default() };
+            let mut vic = Vic::new(3, &dv);
+            vic.set_counter(k, 7, 3);
+            let h = PacketHeader::fifo(1, 3, 7);
+            for t in 0..3 {
+                vic.deliver(k, t, Packet::new(h, t as Word));
+            }
+            // The third packet overflowed: it is invisible everywhere
+            // except the drop counters.
+            let s = vic.stats();
+            assert_eq!(s.fifo_pushes, 2);
+            assert_eq!(s.fifo_drops, 1);
+            assert_eq!(s.fifo_forced_drops, 0);
+            assert_eq!(vic.fifo.dropped(), 1);
+            assert_eq!(vic.delivered(), 2);
+            // Only the two accepted packets decremented the counter: the
+            // completion protocol sees 1, not 0 — a detectable loss.
+            assert_eq!(vic.counter(7).value(), 1);
+        });
+    }
+
+    #[test]
+    fn forced_drops_follow_the_fault_plan() {
+        with_kernel(|k| {
+            let plan = FaultPlan { fifo_drop: 1.0, ..Default::default() };
+            let mut vic = Vic::with_faults(3, &DvParams::default(), Some(plan));
+            let h = PacketHeader::fifo(1, 3, SCRATCH_GC);
+            for t in 0..5 {
+                assert!(vic.deliver(k, t, Packet::new(h, t as Word)).is_none());
+            }
+            let s = vic.stats();
+            assert_eq!(s.fifo_pushes, 0);
+            assert_eq!(s.fifo_drops, 5);
+            assert_eq!(s.fifo_forced_drops, 5);
+            assert_eq!(vic.fifo.dropped(), 5);
+            assert!(vic.fifo.is_empty(), "forced drops never enqueue");
+        });
+    }
+
+    #[test]
+    fn hardware_recv_counts_track_accepted_pushes_per_source() {
+        with_kernel(|k| {
+            let dv = DvParams { fifo_capacity: 3, ..Default::default() };
+            let mut vic = Vic::new(3, &dv);
+            for _ in 0..2 {
+                vic.deliver(k, 0, Packet::new(PacketHeader::fifo(1, 3, SCRATCH_GC), 9));
+            }
+            vic.deliver(k, 0, Packet::new(PacketHeader::fifo(2, 3, SCRATCH_GC), 9));
+            // FIFO is now full; the next arrival drops and must NOT bump
+            // its source's accepted count.
+            vic.deliver(k, 0, Packet::new(PacketHeader::fifo(1, 3, SCRATCH_GC), 9));
+            assert_eq!(vic.memory.read(FIFO_RECV_BASE + 1), 2);
+            assert_eq!(vic.memory.read(FIFO_RECV_BASE + 2), 1);
+            assert_eq!(vic.stats().fifo_drops, 1);
         });
     }
 
