@@ -5,7 +5,7 @@
 //! `DWr/NoCached`, `DWr/Cached`, `DMA/Cached`, `MPI`.
 
 use dv_api::SendMode;
-use dv_bench::{f2, quick, Report};
+use dv_bench::{f2, quick, serial, Report};
 use dv_kernels::pingpong::{dv_pingpong, mpi_pingpong};
 
 fn main() {
@@ -13,15 +13,30 @@ fn main() {
     let sizes: Vec<usize> = (0..=max_log).step_by(2).map(|l| 1usize << l).collect();
     let reps = |words: usize| if words >= 1 << 14 { 1 } else { 4 };
 
-    let mut rows_abs = Vec::new();
-    let mut rows_pct = Vec::new();
-    for &words in &sizes {
+    // One simulated cluster run per (size, mode): independent, seeded, and
+    // deterministic, so the sizes fan out across threads and the curves
+    // are assembled in input order — byte-identical to `--serial`.
+    let measure = |words: usize| {
         let r = reps(words);
         let nc = dv_pingpong(words, r, SendMode::DirectWrite { cached_headers: false });
         let ca = dv_pingpong(words, r, SendMode::DirectWrite { cached_headers: true });
         let dm = dv_pingpong(words, r, SendMode::Dma { cached_headers: true });
         let mp = mpi_pingpong(words, r);
-        let bw = [nc.bandwidth_gbps(), ca.bandwidth_gbps(), dm.bandwidth_gbps(), mp.bandwidth_gbps()];
+        [nc.bandwidth_gbps(), ca.bandwidth_gbps(), dm.bandwidth_gbps(), mp.bandwidth_gbps()]
+    };
+    let curves: Vec<[f64; 4]> = if serial() {
+        sizes.iter().map(|&w| measure(w)).collect()
+    } else {
+        std::thread::scope(|s| {
+            let handles: Vec<_> =
+                sizes.iter().map(|&w| s.spawn(move || measure(w))).collect();
+            handles.into_iter().map(|h| h.join().expect("pingpong thread panicked")).collect()
+        })
+    };
+
+    let mut rows_abs = Vec::new();
+    let mut rows_pct = Vec::new();
+    for (&words, bw) in sizes.iter().zip(curves) {
         rows_abs.push(vec![
             words.to_string(),
             f2(bw[0]),

@@ -1,0 +1,216 @@
+//! Simulator-throughput smoke test: the perf trajectory artifact.
+//!
+//! Measures the cycle-accurate switch's cycles/sec and packets/sec on a
+//! saturated 64-port (H=16, A=4) uniform sweep, for both the optimized
+//! zero-allocation hot path (`SwitchSim::step_into`) and the frozen
+//! pre-refactor reference (`ReferenceSwitchSim::step_reference`), and
+//! reports the speedup. CI writes the result to `BENCH_switch.json`
+//! (dv-bench-v1) so every PR leaves a perf data point to regress against.
+//!
+//! Unlike every other `BENCH_*.json`, this artifact records **wall-clock
+//! host measurements** — it is deliberately *not* byte-reproducible across
+//! runs or machines. Compare trends, not bytes. (The delivered-packet
+//! counts in the tables *are* deterministic; only the rates vary.)
+
+use std::time::Instant;
+
+use dv_bench::{f2, quick, Report};
+use dv_core::rng::SplitMix64;
+use dv_switch::traffic::LoadSweep;
+use dv_switch::{ReferenceSwitchSim, SwitchSim, Topology};
+
+/// The two simulator generations under one driver.
+trait Sim {
+    fn enqueue(&mut self, src: usize, dst: usize, tag: u64);
+    fn outstanding(&self) -> usize;
+    /// Advance one cycle; return how many packets ejected.
+    fn step_count(&mut self) -> usize;
+    fn ejected(&self) -> u64;
+}
+
+/// Optimized path, driven through the reused-buffer API it is built for.
+struct NewSim {
+    sim: SwitchSim,
+    buf: Vec<dv_switch::Delivered>,
+}
+
+impl Sim for NewSim {
+    fn enqueue(&mut self, src: usize, dst: usize, tag: u64) {
+        self.sim.enqueue(src, dst, tag);
+    }
+    fn outstanding(&self) -> usize {
+        self.sim.outstanding()
+    }
+    fn step_count(&mut self) -> usize {
+        self.buf.clear();
+        self.sim.step_into(&mut self.buf);
+        self.buf.len()
+    }
+    fn ejected(&self) -> u64 {
+        self.sim.ejected()
+    }
+}
+
+impl Sim for ReferenceSwitchSim {
+    fn enqueue(&mut self, src: usize, dst: usize, tag: u64) {
+        ReferenceSwitchSim::enqueue(self, src, dst, tag);
+    }
+    fn outstanding(&self) -> usize {
+        ReferenceSwitchSim::outstanding(self)
+    }
+    fn step_count(&mut self) -> usize {
+        self.step_reference().len()
+    }
+    fn ejected(&self) -> u64 {
+        ReferenceSwitchSim::ejected(self)
+    }
+}
+
+/// Saturated uniform traffic: every cycle each port fires with p=0.95 at a
+/// uniform non-self destination (bounded backlog, exactly as `LoadSweep`
+/// bounds its injection FIFOs — the cap is consulted per arrival, so the
+/// simulator's `outstanding()` cost is part of what is measured, just as
+/// it is in a real sweep).
+///
+/// The arrival stream is seeded and independent of simulator state, so it
+/// is generated once up front and replayed into both simulator
+/// generations: the comparison measures the simulators, not the shared
+/// random-number generator. `offsets[c]..offsets[c + 1]` indexes cycle
+/// `c`'s arrivals.
+fn build_trace(ports: usize, cycles: u64) -> (Vec<u32>, Vec<(u16, u16)>) {
+    let mut rng = SplitMix64::new(0x5A7A_0064);
+    let mut offsets = Vec::with_capacity(cycles as usize + 1);
+    let mut arrivals = Vec::new();
+    offsets.push(0u32);
+    for _ in 0..cycles {
+        for src in 0..ports {
+            if rng.next_f64() >= 0.95 {
+                continue;
+            }
+            let mut dst = rng.next_below(ports as u64 - 1) as usize;
+            if dst >= src {
+                dst += 1;
+            }
+            arrivals.push((src as u16, dst as u16));
+        }
+        offsets.push(arrivals.len() as u32);
+    }
+    (offsets, arrivals)
+}
+
+/// Replay a pre-generated offered stream (see [`build_trace`]).
+fn drive<S: Sim>(
+    sim: &mut S,
+    ports: usize,
+    offsets: &[u32],
+    arrivals: &[(u16, u16)],
+) -> (u64, f64) {
+    let t0 = Instant::now();
+    for w in offsets.windows(2) {
+        for &(src, dst) in &arrivals[w[0] as usize..w[1] as usize] {
+            if sim.outstanding() <= ports * 64 {
+                sim.enqueue(src as usize, dst as usize, 0);
+            }
+        }
+        sim.step_count();
+    }
+    (sim.ejected(), t0.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let mut report = Report::new("perf_smoke");
+    let topo = Topology::new(16, 4); // 64 ports, 5 cylinders
+    let ports = topo.ports();
+
+    // The reference is given proportionally fewer cycles (it is the slow
+    // one); rates normalize the comparison.
+    let (ref_cycles, new_cycles) = if quick() { (3_000, 30_000) } else { (20_000, 200_000) };
+
+    // One trace, sliced: the reference replays the first `ref_cycles`
+    // cycles of the exact stream the optimized path replays in full.
+    let (offsets, arrivals) = build_trace(ports, new_cycles);
+
+    // Each side runs `REPS` fresh, identical simulations, alternating so
+    // host-load transients hit both; the best (smallest) time per side
+    // estimates the unloaded rate. Delivered counts are deterministic —
+    // identical across repetitions — so only the wall clock varies.
+    const REPS: usize = 5;
+    let mut ref_secs = f64::INFINITY;
+    let mut new_secs = f64::INFINITY;
+    let mut ref_delivered = 0;
+    let mut new_delivered = 0;
+    for _ in 0..REPS {
+        let mut ref_sim = ReferenceSwitchSim::new(topo.clone());
+        let (d, s) = drive(&mut ref_sim, ports, &offsets[..=ref_cycles as usize], &arrivals);
+        ref_delivered = d;
+        ref_secs = ref_secs.min(s);
+
+        let mut new_sim =
+            NewSim { sim: SwitchSim::new(topo.clone()), buf: Vec::with_capacity(ports) };
+        let (d, s) = drive(&mut new_sim, ports, &offsets, &arrivals);
+        new_delivered = d;
+        new_secs = new_secs.min(s);
+    }
+    let ref_cps = ref_cycles as f64 / ref_secs;
+    let new_cps = new_cycles as f64 / new_secs;
+    let new_pps = new_delivered as f64 / new_secs;
+
+    let speedup = new_cps / ref_cps;
+    report.section(
+        &format!("Saturated uniform sweep, {ports} ports (H=16, A=4), offered 0.95"),
+        &["impl", "cycles", "delivered", "cycles/sec", "packets/sec"],
+        vec![
+            vec![
+                "reference (pre-refactor)".into(),
+                ref_cycles.to_string(),
+                ref_delivered.to_string(),
+                f2(ref_cps),
+                f2(ref_delivered as f64 / ref_secs),
+            ],
+            vec![
+                "arena+worklist".into(),
+                new_cycles.to_string(),
+                new_delivered.to_string(),
+                f2(new_cps),
+                f2(new_pps),
+            ],
+        ],
+    );
+    report.section(
+        "Hot-path speedup (arena+worklist over pre-refactor reference)",
+        &["metric", "value"],
+        vec![
+            vec!["cycles/sec speedup".into(), f2(speedup)],
+            vec!["target".into(), ">= 5.00".into()],
+        ],
+    );
+
+    // Sweep-level wall clock: the parallel driver on the study grid.
+    let loads = [0.1, 0.3, 0.5, 0.7, 0.9];
+    let mut sweep = LoadSweep::new(topo);
+    sweep.measure = if quick() { 1_000 } else { 5_000 };
+    let t0 = Instant::now();
+    let serial = sweep.sweep(&loads);
+    let serial_secs = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let parallel = sweep.sweep_parallel(&loads);
+    let parallel_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(serial, parallel, "parallel sweep diverged from serial");
+    report.section(
+        &format!("Load sweep wall clock, {} points, 64 ports", loads.len()),
+        &["driver", "seconds", "speedup"],
+        vec![
+            vec!["serial".into(), format!("{serial_secs:.3}"), "1.00".into()],
+            vec![
+                "parallel (thread::scope)".into(),
+                format!("{parallel_secs:.3}"),
+                f2(serial_secs / parallel_secs),
+            ],
+        ],
+    );
+
+    if speedup < 5.0 {
+        println!("WARNING: hot-path speedup {speedup:.2}x below the 5x target");
+    }
+    report.finish();
+}

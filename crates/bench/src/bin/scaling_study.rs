@@ -16,7 +16,7 @@
 
 use std::sync::Arc;
 
-use dv_bench::{f2, f3, quick, Report};
+use dv_bench::{f2, f3, quick, serial, Report};
 use dv_core::metrics::MetricsRegistry;
 use dv_core::time::as_us_f64;
 use dv_kernels::barrier::{barrier_latency, BarrierKind};
@@ -47,14 +47,29 @@ fn main() {
     );
 
     // 2. Cycle-accurate uniform-load behavior: throughput per port should
-    //    hold, latency should grow only by the extra hops.
-    let mut rows = Vec::new();
-    for &ports in sizes {
+    //    hold, latency should grow only by the extra hops. Each topology
+    //    is an independent seeded simulation, so the points fan out across
+    //    threads and are joined — and reported — in input order (bytes
+    //    identical to the serial path; `--serial` forces it for CI's cmp).
+    let sweep_at = |ports: usize| {
         let metrics = Arc::new(MetricsRegistry::enabled());
         let mut sweep = LoadSweep::new(Topology::for_ports(ports, 4));
         sweep.measure = if quick() { 1_000 } else { 3_000 };
         sweep.metrics = Some(Arc::clone(&metrics));
         let p = sweep.run(0.7);
+        (metrics, p)
+    };
+    let results: Vec<_> = if serial() {
+        sizes.iter().map(|&ports| sweep_at(ports)).collect()
+    } else {
+        std::thread::scope(|s| {
+            let handles: Vec<_> =
+                sizes.iter().map(|&ports| s.spawn(move || sweep_at(ports))).collect();
+            handles.into_iter().map(|h| h.join().expect("sweep thread panicked")).collect()
+        })
+    };
+    let mut rows = Vec::new();
+    for (&ports, (metrics, p)) in sizes.iter().zip(results) {
         report.add_run(&format!("sweep.p{ports}"), &metrics);
         rows.push(vec![
             ports.to_string(),

@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use dv_bench::{f2, f3, faults, quick, Report};
+use dv_bench::{f2, f3, faults, quick, serial, Report};
 use dv_core::config::DvParams;
 use dv_core::metrics::MetricsRegistry;
 use dv_switch::traffic::{Arrival, LoadSweep, Pattern};
@@ -35,9 +35,12 @@ fn main() {
         sweep.measure = measure;
         sweep.metrics = Some(Arc::clone(&metrics));
         sweep.faults = fault_plan.clone();
+        // The parallel driver is byte-identical to the serial one; CI cmps
+        // a --serial run against this output to prove it.
+        let points =
+            if serial() { sweep.sweep(&loads) } else { sweep.sweep_parallel(&loads) };
         let mut rows = Vec::new();
-        for &l in &loads {
-            let p = sweep.run(l);
+        for p in points {
             rows.push(vec![
                 f2(p.offered),
                 f3(p.accepted),
@@ -62,9 +65,9 @@ fn main() {
     sweep.measure = measure;
     sweep.metrics = Some(Arc::clone(&metrics));
     sweep.faults = fault_plan;
+    let points = if serial() { sweep.sweep(&loads) } else { sweep.sweep_parallel(&loads) };
     let mut rows = Vec::new();
-    for &l in &loads {
-        let p = sweep.run(l);
+    for p in points {
         rows.push(vec![f2(p.offered), f3(p.accepted), f2(p.total_latency_mean), f3(p.deflections_mean)]);
     }
     report.section(

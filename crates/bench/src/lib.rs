@@ -14,8 +14,11 @@
 //! | `fig9` | Fig. 9 | application speedups (SNAP / Vorticity / Heat) |
 //! | `switch_study` | (supplementary) | cycle-accurate switch load sweeps |
 //! | `ablate_aggregation` | (ablation) | GUPS with source aggregation on/off |
+//! | `perf_smoke` | (perf trajectory) | simulator cycles/sec vs the frozen reference |
 //!
-//! All binaries accept `--quick` for reduced problem sizes. Criterion
+//! All binaries accept `--quick` for reduced problem sizes; the sweep
+//! binaries accept `--serial` to disable the parallel sweep driver (CI
+//! `cmp`s serial vs parallel output for byte equality). Criterion
 //! micro-benchmarks of the hot substrates live in `benches/micro.rs`.
 
 use std::fmt::Write as _;
@@ -55,6 +58,13 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
 /// True when `--quick` was passed (CI-friendly sizes).
 pub fn quick() -> bool {
     std::env::args().any(|a| a == "--quick")
+}
+
+/// True when `--serial` was passed: run sweeps on the serial driver
+/// instead of the (byte-identical) parallel one. CI uses this to `cmp`
+/// the two paths' JSON artifacts.
+pub fn serial() -> bool {
+    std::env::args().any(|a| a == "--serial")
 }
 
 /// Parse `--faults <spec>` / `--faults=<spec>` into a deterministic fault

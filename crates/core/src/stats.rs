@@ -120,6 +120,7 @@ impl Log2Histogram {
     }
 
     /// Count one sample.
+    #[inline]
     pub fn push(&mut self, x: u64) {
         let idx = if x <= 1 { 0 } else { (63 - x.leading_zeros()) as usize };
         let idx = idx.min(self.buckets.len() - 1);

@@ -11,6 +11,40 @@
 //! The only queues are at the injection ports (packets waiting to enter the
 //! outermost cylinder), which is also where the real switch applies
 //! backpressure.
+//!
+//! ## Hot-path layout
+//!
+//! [`SwitchSim::step_into`] is the throughput bottleneck of every load
+//! sweep, so it is built to do zero heap allocation per cycle
+//! (`tests/switch_alloc.rs` proves it with a counting global allocator):
+//!
+//! * The node grid is one flat double-buffered `Vec<Slot>` arena indexed
+//!   `[c * ports + a * H + h]`; the two buffers swap each cycle instead of
+//!   reallocating, and neither is ever cleared — a cell's slot bytes are
+//!   meaningful only while its occupancy bit is set, so stale slots simply
+//!   lose.
+//! * A per-cylinder `u64` occupancy bitmap, one bit per cell, is the single
+//!   source of occupancy truth *and* the active worklist: the per-cycle
+//!   cost scales with in-flight packets (plus an `O(ports/64)` word scan),
+//!   not `cylinders × ports` slot reads, and the "is the inner cell free?"
+//!   probe of the routing decision is a register-resident bit test instead
+//!   of a random load into the next cylinder's arena. Iterating set bits
+//!   LSB-first yields cells in ascending index order, which reproduces the
+//!   `(a, h)` scan of the frozen reference implementation
+//!   ([`crate::reference::ReferenceSwitchSim`]) bit-for-bit — the
+//!   `Delivered` stream is identical, as `crates/switch/tests/equivalence.rs`
+//!   asserts — without ever sorting anything. Words are consumed (zeroed)
+//!   as they are scanned, so after the end-of-cycle swap the scratch side
+//!   is already clear.
+//! * Occupancy statistics are tracked by popcounting the bitmaps instead of
+//!   rescanning every cell.
+//! * The routing-invariant payload (ports, tag, timestamps) lives in a
+//!   stable pool written once at injection and read once at ejection; the
+//!   arena moves only a 12-byte `{pool handle, deflections, destination}`
+//!   [`Slot`] per hop. Hop counts are not carried at all — a flit moves
+//!   exactly one hop per in-flight cycle, so
+//!   `hops = eject_cycle − inject_cycle − 1` (the equivalence suite checks
+//!   this reproduces the reference's per-packet counts exactly).
 
 use std::collections::VecDeque;
 
@@ -19,18 +53,56 @@ use dv_core::stats::Log2Histogram;
 
 use crate::topology::Topology;
 
-/// A packet in flight through the switch.
+/// A queued packet, as compact as an input FIFO entry can be: the
+/// destination coordinates and injection cycle are derived when the
+/// packet actually enters the switch.
+#[derive(Debug, Clone, Copy)]
+struct Queued {
+    src_port: u32,
+    dst_port: u32,
+    tag: u64,
+    enqueue_cycle: u64,
+}
+
+/// A packet's routing-invariant payload: written into the pool once at
+/// injection, read back once at ejection. Nothing here changes while the
+/// packet is in flight, so hops never copy it.
 #[derive(Debug, Clone, Copy)]
 struct Flit {
-    dst_h: usize,
-    dst_a: usize,
-    src_port: usize,
-    dst_port: usize,
+    src_port: u32,
+    dst_port: u32,
     tag: u64,
     inject_cycle: u64,
     enqueue_cycle: u64,
-    hops: u32,
+}
+
+/// Placeholder payload for free pool entries (never read: a pool entry is
+/// only consulted through a live slot's handle).
+const EMPTY_FLIT: Flit =
+    Flit { src_port: 0, dst_port: 0, tag: 0, inject_cycle: 0, enqueue_cycle: 0 };
+
+/// One arena cell: meaningful only while the cell's occupancy bit is set
+/// (see the module docs — the bitmap is the single source of occupancy
+/// truth, and neither arena buffer is ever cleared). 12 bytes, so a hop
+/// moves 12 bytes instead of a whole packet record — and it carries the
+/// destination coordinates, so routing a flit never has to chase its pool
+/// handle.
+///
+/// Padded to 16 aligned bytes so a hop's slot copy is a single 16-byte
+/// vector load and store.
+#[derive(Debug, Clone, Copy)]
+#[repr(align(16))]
+struct Slot {
+    /// Index of the packet's payload in the pool.
+    handle: u32,
+    /// Contention deflections suffered so far — the only per-packet state
+    /// that mutates in flight, so it rides in the slot.
     deflections: u32,
+    /// Destination height (duplicated from the pool: every hop's routing
+    /// decision needs it, and a dependent pool load would stall the hop).
+    dst_h: u16,
+    /// Destination angle (same reasoning; read on the innermost cylinder).
+    dst_a: u16,
 }
 
 /// A packet that reached its output port.
@@ -80,9 +152,46 @@ impl Delivered {
 /// ```
 pub struct SwitchSim {
     topo: Topology,
-    /// `grid[c][a * H + h]`.
-    grid: Vec<Vec<Option<Flit>>>,
-    queues: Vec<VecDeque<Flit>>,
+    // Topology scalars hoisted out of the per-cycle loop at construction
+    // (the step path never touches `topo` and never clones it).
+    angles: usize,
+    cylinders: usize,
+    ports: usize,
+    /// `height - 1` (height is a power of two): `h = cell & h_mask`.
+    h_mask: usize,
+    /// `log2(height)`: `a = cell >> h_shift`.
+    h_shift: u32,
+    /// `topo.height_mask(c)` for every routing cylinder.
+    bit_masks: Vec<usize>,
+    /// Current-cycle arena, `[c * ports + a * H + h]`.
+    cur: Vec<Slot>,
+    /// Next-cycle arena (swapped with `cur` at the end of each step).
+    nxt: Vec<Slot>,
+    /// `u64` words per cylinder in the occupancy bitmaps.
+    words: usize,
+    /// Occupancy bitmap (and active worklist) for `cur`: bit `cell % 64`
+    /// of word `c * words + cell / 64` is set iff the cell holds a live
+    /// flit. LSB-first iteration visits cells in ascending `a * H + h`
+    /// order; words are zeroed as they are consumed, so after the
+    /// end-of-step swap the scratch side is already clear.
+    occ_cur: Vec<u64>,
+    /// Occupancy bitmap under construction for `nxt` (same layout).
+    occ_nxt: Vec<u64>,
+    /// Ports with a non-empty injection queue, as a bitmap (`words` words).
+    /// Injection scans `!occ_nxt & q_bits` — the ports that both hold a
+    /// packet and face a free outermost-cylinder cell — instead of probing
+    /// every port.
+    q_bits: Vec<u64>,
+    /// Stable packet-payload pool; slots refer into it by handle. Sized to
+    /// the cell count (the maximum possible in-flight population), so a
+    /// free handle always exists when injection finds a free cell.
+    pool: Vec<Flit>,
+    /// Free pool handles (LIFO).
+    free: Vec<u32>,
+    queues: Vec<VecDeque<Queued>>,
+    /// Total packets across all input queues (kept so
+    /// [`SwitchSim::outstanding`] is O(1) — sweeps call it per arrival).
+    queued: usize,
     cycle: u64,
     injected: u64,
     ejected: u64,
@@ -100,11 +209,27 @@ pub struct SwitchSim {
 impl SwitchSim {
     /// A switch with the given topology, empty.
     pub fn new(topo: Topology) -> Self {
-        let cells = topo.ports();
+        let ports = topo.ports();
         let cylinders = topo.cylinders();
+        let cells = ports * cylinders;
+        let empty = Slot { handle: 0, deflections: 0, dst_h: 0, dst_a: 0 };
         Self {
-            grid: vec![vec![None; cells]; cylinders],
-            queues: vec![VecDeque::new(); topo.ports()],
+            angles: topo.angles,
+            cylinders,
+            ports,
+            h_mask: topo.height - 1,
+            h_shift: topo.height_bits(),
+            bit_masks: (0..cylinders - 1).map(|c| topo.height_mask(c)).collect(),
+            cur: vec![empty; cells],
+            nxt: vec![empty; cells],
+            words: ports.div_ceil(64),
+            occ_cur: vec![0; ports.div_ceil(64) * cylinders],
+            occ_nxt: vec![0; ports.div_ceil(64) * cylinders],
+            q_bits: vec![0; ports.div_ceil(64)],
+            pool: vec![EMPTY_FLIT; cells],
+            free: (0..cells as u32).collect(),
+            queues: vec![VecDeque::new(); ports],
+            queued: 0,
             topo,
             cycle: 0,
             injected: 0,
@@ -127,9 +252,10 @@ impl SwitchSim {
         self.cycle
     }
 
-    /// Packets queued at input ports plus in flight.
+    /// Packets queued at input ports plus in flight (O(1): both sides are
+    /// maintained incrementally).
     pub fn outstanding(&self) -> usize {
-        self.in_flight + self.queues.iter().map(VecDeque::len).sum::<usize>()
+        self.in_flight + self.queued
     }
 
     /// Packets accepted into the outermost cylinder so far.
@@ -144,123 +270,341 @@ impl SwitchSim {
 
     /// Queue a packet at `src_port` bound for `dst_port`.
     pub fn enqueue(&mut self, src_port: usize, dst_port: usize, tag: u64) {
-        assert!(src_port < self.topo.ports() && dst_port < self.topo.ports());
-        let (dst_h, dst_a) = self.topo.port_position(dst_port);
-        self.queues[src_port].push_back(Flit {
-            dst_h,
-            dst_a,
-            src_port,
-            dst_port,
+        assert!(src_port < self.ports && dst_port < self.ports);
+        self.queues[src_port].push_back(Queued {
+            src_port: src_port as u32,
+            dst_port: dst_port as u32,
             tag,
-            inject_cycle: 0,
             enqueue_cycle: self.cycle,
-            hops: 0,
-            deflections: 0,
         });
+        self.q_bits[src_port >> 6] |= 1 << (src_port & 63);
+        self.queued += 1;
     }
 
-    fn cell(&self, h: usize, a: usize) -> usize {
-        a * self.topo.height + h
-    }
+    /// Advance one cycle, appending the packets ejected during it to
+    /// `out`. This is the allocation-free hot path: with `out` capacity
+    /// pre-grown (one port can eject at most one packet per cycle), a step
+    /// performs no heap allocation at all.
+    pub fn step_into(&mut self, out: &mut Vec<Delivered>) {
+        let words = self.words;
+        self.move_flits(out);
 
-    /// Advance one cycle; returns the packets ejected during it.
-    pub fn step(&mut self) -> Vec<Delivered> {
-        let topo = self.topo.clone();
-        let cylinders = topo.cylinders();
-        let angles = topo.angles;
-        let height = topo.height;
-        let mut next: Vec<Vec<Option<Flit>>> =
-            vec![vec![None; topo.ports()]; cylinders];
-        let mut out = Vec::new();
-
-        // Inner cylinders first: same-cylinder movement has priority (it
-        // carries the deflection signal), so by the time an outer cylinder
-        // tries to descend, the inner cylinder's claims are final.
-        for c in (0..cylinders).rev() {
-            let innermost = c == cylinders - 1;
-            for a in 0..angles {
-                for h in 0..height {
-                    let cur = self.cell(h, a);
-                    let Some(mut f) = self.grid[c][cur].take() else {
-                        continue;
-                    };
-                    f.hops += 1;
-                    let a1 = (a + 1) % angles;
-                    if innermost {
-                        debug_assert_eq!(h, f.dst_h, "innermost height must be matched");
-                        if a == f.dst_a {
-                            f.hops -= 1; // ejection is not a hop
-                            self.ejected += 1;
-                            self.in_flight -= 1;
-                            self.hop_hist.push(f.hops as u64);
-                            self.deflection_hist.push(f.deflections as u64);
-                            out.push(Delivered {
-                                src_port: f.src_port,
-                                dst_port: f.dst_port,
-                                tag: f.tag,
-                                enqueue_cycle: f.enqueue_cycle,
-                                inject_cycle: f.inject_cycle,
-                                eject_cycle: self.cycle,
-                                hops: f.hops,
-                                deflections: f.deflections,
-                            });
-                        } else {
-                            let tgt = self.cell(h, a1);
-                            debug_assert!(next[c][tgt].is_none());
-                            next[c][tgt] = Some(f);
-                        }
-                    } else if topo.bit_matches(c, h, f.dst_h) {
-                        // Normal path: descend, same height, next angle.
-                        let tgt = self.cell(h, a1);
-                        if next[c + 1][tgt].is_none() {
-                            next[c + 1][tgt] = Some(f);
-                        } else {
-                            // Blocked by the deflection signal: stay in the
-                            // cylinder on the deflection path.
-                            f.deflections += 1;
-                            self.contention_deflections += 1;
-                            let dh = topo.deflect_height(c, h);
-                            let tgt = self.cell(dh, a1);
-                            debug_assert!(
-                                next[c][tgt].is_none(),
-                                "same-cylinder moves cannot conflict"
-                            );
-                            next[c][tgt] = Some(f);
-                        }
-                    } else {
-                        // Bit mismatch: routing deflection path toggles the
-                        // bit under scrutiny.
-                        let dh = topo.deflect_height(c, h);
-                        let tgt = self.cell(dh, a1);
-                        debug_assert!(next[c][tgt].is_none());
-                        next[c][tgt] = Some(f);
+        // Injection last: an input port only fires into an empty cell of
+        // the outermost cylinder (backpressure otherwise). Port index ==
+        // cell index in cylinder 0 (`position_port(h, a) = a*H + h`), so
+        // `!occ_nxt & q_bits` is exactly the set of ports that can fire.
+        if self.queued > 0 {
+            for w in 0..self.words {
+                let mut bits = !self.occ_nxt[w] & self.q_bits[w];
+                while bits != 0 {
+                    let port = (w << 6) | bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let q = self.queues[port].pop_front().unwrap();
+                    if self.queues[port].is_empty() {
+                        self.q_bits[w] &= !(1u64 << (port & 63));
                     }
+                    self.queued -= 1;
+                    self.injected += 1;
+                    self.in_flight += 1;
+                    let dst = q.dst_port as usize;
+                    let handle = self.free.pop().expect("pool is sized to the cell count");
+                    let slot = Slot {
+                        handle,
+                        deflections: 0,
+                        // `port_position` via the hoisted mask/shift:
+                        // height is a power of two, but a runtime `%`/`/`
+                        // would still compile to real divisions.
+                        dst_h: (dst & self.h_mask) as u16,
+                        dst_a: (dst >> self.h_shift) as u16,
+                    };
+                    self.pool[handle as usize] = Flit {
+                        src_port: q.src_port,
+                        dst_port: q.dst_port,
+                        tag: q.tag,
+                        inject_cycle: self.cycle,
+                        enqueue_cycle: q.enqueue_cycle,
+                    };
+                    self.nxt[port] = slot;
+                    self.occ_nxt[w] |= 1 << (port & 63);
                 }
             }
         }
 
-        // Injection last: an input port only fires into an empty cell of
-        // the outermost cylinder (backpressure otherwise).
-        for port in 0..topo.ports() {
-            if self.queues[port].is_empty() {
-                continue;
+        // Commit: the next buffer becomes current. The consumed bitmap is
+        // already all-zero, so after the swap it is ready to be next
+        // cycle's scratch; occupancy is popcounted off the bitmaps instead
+        // of rescanning the arena. The narrow movement path already
+        // accumulated cylinders 1.. while their words were in registers,
+        // leaving only cylinder 0 (injection just changed it).
+        std::mem::swap(&mut self.cur, &mut self.nxt);
+        std::mem::swap(&mut self.occ_cur, &mut self.occ_nxt);
+        if words == 1 {
+            self.occupancy_sum[0] += self.occ_cur[0].count_ones() as u64;
+        } else {
+            for (c, sum) in self.occupancy_sum.iter_mut().enumerate() {
+                *sum += self.occ_cur[c * words..(c + 1) * words]
+                    .iter()
+                    .map(|w| w.count_ones() as u64)
+                    .sum::<u64>();
             }
-            let (h, a) = topo.port_position(port);
-            let cellidx = self.cell(h, a);
-            if next[0][cellidx].is_none() {
-                let mut f = self.queues[port].pop_front().unwrap();
-                f.inject_cycle = self.cycle;
-                self.injected += 1;
-                self.in_flight += 1;
-                next[0][cellidx] = Some(f);
-            }
-        }
-
-        self.grid = next;
-        for (c, cyl) in self.grid.iter().enumerate() {
-            self.occupancy_sum[c] += cyl.iter().filter(|cell| cell.is_some()).count() as u64;
         }
         self.cycle += 1;
+    }
+
+    /// The movement phase of one cycle: walk every cylinder's occupancy
+    /// bitmap innermost-first, moving (or ejecting) each live flit.
+    fn move_flits(&mut self, out: &mut Vec<Delivered>) {
+        if self.words == 1 {
+            self.move_flits_narrow(out);
+        } else {
+            self.move_flits_wide(out);
+        }
+    }
+
+    /// Movement phase for switches of at most 64 ports (`words == 1`),
+    /// where a cylinder's whole occupancy bitmap is a single `u64`.
+    ///
+    /// Scanning innermost-first, only two occupancy words are ever live at
+    /// once — the one being built for the cylinder under scan
+    /// (deflections and circles) and the finished one of the cylinder
+    /// inside it (the descend target) — so both stay in registers for the
+    /// whole pass and `occ_nxt` is written once per cylinder. The descend
+    /// "is the inner cell free?" probe and the occupancy updates are plain
+    /// register ALU ops; per-move memory traffic is one slot load and one
+    /// slot store.
+    ///
+    /// Extracted `#[inline(never)]`: inlined into `step_into`'s (and its
+    /// callers') much larger frame the register allocator spills the loop
+    /// state to the stack and the hot loop runs ~40% slower. The routing
+    /// decision is branchless — `select_unpredictable` picks the descend
+    /// vs. deflect target arithmetically, because contention outcomes are
+    /// data-dependent and mispredict badly under load.
+    #[inline(never)]
+    fn move_flits_narrow(&mut self, out: &mut Vec<Delivered>) {
+        let h_mask = self.h_mask;
+        let h_shift = self.h_shift;
+        let angles = self.angles;
+        let ports = self.ports;
+        let cycle = self.cycle;
+        let cur = &self.cur[..];
+        let nxt = &mut self.nxt[..];
+        let occ_cur = &mut self.occ_cur[..];
+        let occ_nxt = &mut self.occ_nxt[..];
+        let pool = &self.pool[..];
+        let free_list = &mut self.free;
+        let hop_hist = &mut self.hop_hist;
+        let deflection_hist = &mut self.deflection_hist;
+        let occupancy_sum = &mut self.occupancy_sum[..];
+        let mut ejected = 0u64;
+        let mut contended = 0u64;
+
+        // Occupancy of the cylinder just inside the one under scan; for
+        // the cylinder under scan, deflections and circles accumulate in
+        // `occ_this` and descents into `occ_inner`.
+        let mut occ_inner = 0u64;
+        for c in (0..self.cylinders).rev() {
+            let innermost = c == self.cylinders - 1;
+            let base = c * ports;
+            let mut bits = std::mem::take(&mut occ_cur[c]);
+            let mut occ_this = 0u64;
+            if innermost {
+                while bits != 0 {
+                    let cell = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let slot = cur[base + cell];
+                    let h = cell & h_mask;
+                    let a = cell >> h_shift;
+                    let a1 = if a + 1 == angles { 0 } else { a + 1 };
+                    debug_assert_eq!(h, slot.dst_h as usize);
+                    if a == slot.dst_a as usize {
+                        let p = pool[slot.handle as usize];
+                        let hops = (cycle - p.inject_cycle - 1) as u32;
+                        ejected += 1;
+                        free_list.push(slot.handle);
+                        hop_hist.push(hops as u64);
+                        deflection_hist.push(slot.deflections as u64);
+                        out.push(Delivered {
+                            src_port: p.src_port as usize,
+                            dst_port: p.dst_port as usize,
+                            tag: p.tag,
+                            enqueue_cycle: p.enqueue_cycle,
+                            inject_cycle: p.inject_cycle,
+                            eject_cycle: cycle,
+                            hops,
+                            deflections: slot.deflections,
+                        });
+                    } else {
+                        let tgt = (a1 << h_shift) | h;
+                        debug_assert_eq!(occ_this >> tgt & 1, 0);
+                        nxt[base + tgt] = slot;
+                        occ_this |= 1 << tgt;
+                    }
+                }
+            } else {
+                let bmask = self.bit_masks[c];
+                while bits != 0 {
+                    let cell = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let slot = cur[base + cell];
+                    let h = cell & h_mask;
+                    let a = cell >> h_shift;
+                    let a1 = if a + 1 == angles { 0 } else { a + 1 };
+                    let matched = (h ^ slot.dst_h as usize) & bmask == 0;
+                    let probe = (a1 << h_shift) | h;
+                    let free = occ_inner >> probe & 1 == 0;
+                    let descend = matched & free;
+                    let defl = (matched & !free) as u32;
+                    contended += defl as u64;
+                    let xm = std::hint::select_unpredictable(descend, 0, bmask);
+                    let off = std::hint::select_unpredictable(descend, ports, 0);
+                    let tgt = (a1 << h_shift) | (h ^ xm);
+                    nxt[base + off + tgt] =
+                        Slot { deflections: slot.deflections + defl, ..slot };
+                    let down = (descend as u64).wrapping_neg();
+                    let bit = 1u64 << tgt;
+                    debug_assert_eq!((occ_inner & down | occ_this & !down) & bit, 0);
+                    occ_inner |= bit & down;
+                    occ_this |= bit & !down;
+                }
+                // The inner cylinder can no longer gain flits: publish it,
+                // and record its end-of-cycle occupancy while the word is
+                // still in a register (cylinder 0 is summed after
+                // injection instead — see `step_into`'s commit).
+                occ_nxt[c + 1] = occ_inner;
+                occupancy_sum[c + 1] += occ_inner.count_ones() as u64;
+            }
+            occ_inner = occ_this;
+        }
+        occ_nxt[0] = occ_inner;
+        self.ejected += ejected;
+        self.in_flight -= ejected as usize;
+        self.contention_deflections += contended;
+    }
+
+    /// Movement phase for switches wider than 64 ports (multi-word
+    /// occupancy bitmaps); same algorithm as
+    /// [`SwitchSim::move_flits_narrow`] with the occupancy words read and
+    /// written in memory. See that method for the layout and codegen
+    /// commentary.
+    #[inline(never)]
+    fn move_flits_wide(&mut self, out: &mut Vec<Delivered>) {
+        let words = self.words;
+        let h_mask = self.h_mask;
+        let h_shift = self.h_shift;
+        let angles = self.angles;
+        let ports = self.ports;
+        let cycle = self.cycle;
+        // Disjoint local reborrows: every data pointer stays in a register
+        // (a store through one slice provably cannot alias another, which
+        // indexing through `self` would not guarantee).
+        let cur = &self.cur[..];
+        let nxt = &mut self.nxt[..];
+        let occ_cur = &mut self.occ_cur[..];
+        let occ_nxt = &mut self.occ_nxt[..];
+        let pool = &self.pool[..];
+        let free_list = &mut self.free;
+        let hop_hist = &mut self.hop_hist;
+        let deflection_hist = &mut self.deflection_hist;
+        let mut ejected = 0u64;
+        let mut contended = 0u64;
+
+        // Inner cylinders first: same-cylinder movement has priority (it
+        // carries the deflection signal), so by the time an outer cylinder
+        // tries to descend, the inner cylinder's claims are final.
+        for c in (0..self.cylinders).rev() {
+            let innermost = c == self.cylinders - 1;
+            let bmask = if innermost { 0 } else { self.bit_masks[c] };
+            let base = c * ports;
+            let wbase = c * words;
+            for w in 0..words {
+                // Consume the word (leaving it clear for after the swap);
+                // LSB-first set-bit iteration matches the reference's
+                // ascending (a, h) cell scan.
+                let mut bits = std::mem::take(&mut occ_cur[wbase + w]);
+                let cell_base = w << 6;
+                while bits != 0 {
+                    let cell = cell_base | bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let slot = cur[base + cell];
+                    let h = cell & h_mask;
+                    let a = cell >> h_shift;
+                    let a1 = if a + 1 == angles { 0 } else { a + 1 };
+                    if innermost {
+                        debug_assert_eq!(
+                            h,
+                            slot.dst_h as usize,
+                            "innermost height must be matched"
+                        );
+                        if a == slot.dst_a as usize {
+                            let p = pool[slot.handle as usize];
+                            // A flit moves exactly one hop per in-flight
+                            // cycle, and the ejecting cycle is not a hop.
+                            let hops = (cycle - p.inject_cycle - 1) as u32;
+                            ejected += 1;
+                            free_list.push(slot.handle);
+                            hop_hist.push(hops as u64);
+                            deflection_hist.push(slot.deflections as u64);
+                            out.push(Delivered {
+                                src_port: p.src_port as usize,
+                                dst_port: p.dst_port as usize,
+                                tag: p.tag,
+                                enqueue_cycle: p.enqueue_cycle,
+                                inject_cycle: p.inject_cycle,
+                                eject_cycle: cycle,
+                                hops,
+                                deflections: slot.deflections,
+                            });
+                        } else {
+                            // Circle toward the output angle.
+                            let tgt = (a1 << h_shift) | h;
+                            debug_assert_eq!(occ_nxt[wbase + (tgt >> 6)] >> (tgt & 63) & 1, 0);
+                            nxt[base + tgt] = slot;
+                            occ_nxt[wbase + (tgt >> 6)] |= 1 << (tgt & 63);
+                        }
+                    } else {
+                        // Descend if the height bit under scrutiny matches
+                        // and the inner cell is free; otherwise stay in the
+                        // cylinder on the deflection path (toggling the
+                        // bit), counting a contention deflection when the
+                        // deflection signal — not a bit mismatch — forced
+                        // it. The freeness probe is a bit test on the inner
+                        // cylinder's occupancy word — no arena load.
+                        let matched = (h ^ slot.dst_h as usize) & bmask == 0;
+                        let probe = (a1 << h_shift) | h;
+                        let free =
+                            occ_nxt[wbase + words + (probe >> 6)] >> (probe & 63) & 1 == 0;
+                        let descend = matched & free;
+                        let defl = (matched & !free) as u32;
+                        contended += defl as u64;
+                        let xm = std::hint::select_unpredictable(descend, 0, bmask);
+                        let off = std::hint::select_unpredictable(descend, ports, 0);
+                        let woff = std::hint::select_unpredictable(descend, words, 0);
+                        let tgt = (a1 << h_shift) | (h ^ xm);
+                        debug_assert_eq!(
+                            occ_nxt[wbase + woff + (tgt >> 6)] >> (tgt & 63) & 1,
+                            0,
+                            "same-cylinder moves cannot conflict"
+                        );
+                        nxt[base + off + tgt] =
+                            Slot { deflections: slot.deflections + defl, ..slot };
+                        occ_nxt[wbase + woff + (tgt >> 6)] |= 1 << (tgt & 63);
+                    }
+                }
+            }
+        }
+        self.ejected += ejected;
+        self.in_flight -= ejected as usize;
+        self.contention_deflections += contended;
+    }
+
+    /// Advance one cycle; returns the packets ejected during it.
+    ///
+    /// Convenience wrapper over [`SwitchSim::step_into`]; throughput-bound
+    /// callers should reuse a buffer via `step_into` instead (this
+    /// allocates a fresh `Vec` whenever packets eject).
+    pub fn step(&mut self) -> Vec<Delivered> {
+        let mut out = Vec::new();
+        self.step_into(&mut out);
         out
     }
 
@@ -281,7 +625,7 @@ impl SwitchSim {
         for (c, &sum) in self.occupancy_sum.iter().enumerate() {
             metrics.incr_labeled("switch.cycle.occupancy_cell_cycles", &[("cyl", c.into())], sum);
             if self.cycle > 0 {
-                let cells = (self.topo.ports() * self.cycle as usize) as f64;
+                let cells = (self.ports * self.cycle as usize) as f64;
                 metrics.gauge_labeled(
                     "switch.cycle.mean_occupancy",
                     &[("cyl", c.into())],
@@ -297,7 +641,7 @@ impl SwitchSim {
         let mut all = Vec::new();
         let deadline = self.cycle + max_cycles;
         while self.outstanding() > 0 && self.cycle < deadline {
-            all.extend(self.step());
+            self.step_into(&mut all);
         }
         all
     }
@@ -468,5 +812,42 @@ mod tests {
             log
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn outstanding_counter_tracks_queues_and_flight() {
+        let mut sw = SwitchSim::new(topo32());
+        assert_eq!(sw.outstanding(), 0);
+        for p in 0..8 {
+            sw.enqueue(p, (p + 5) % 32, p as u64);
+        }
+        assert_eq!(sw.outstanding(), 8);
+        let mut delivered = 0;
+        while sw.outstanding() > 0 {
+            delivered += sw.step().len();
+            // Conservation: whatever is no longer outstanding was ejected.
+            assert_eq!(sw.outstanding() + delivered, 8);
+        }
+        assert_eq!(delivered, 8);
+    }
+
+    #[test]
+    fn arena_empties_after_drain() {
+        // Generation stamps must not resurrect stale flits: after a full
+        // drain every worklist is empty and a further step delivers nothing.
+        let mut sw = SwitchSim::new(topo32());
+        let mut rng = dv_core::rng::SplitMix64::new(3);
+        for p in 0..32 {
+            for k in 0..4 {
+                sw.enqueue(p, rng.next_below(32) as usize, (p * 4 + k) as u64);
+            }
+        }
+        let delivered = sw.drain(100_000);
+        assert_eq!(delivered.len(), 32 * 4);
+        assert_eq!(sw.outstanding(), 0);
+        for _ in 0..100 {
+            assert!(sw.step().is_empty(), "stale slot produced a packet");
+        }
+        assert_eq!(sw.ejected(), 32 * 4);
     }
 }

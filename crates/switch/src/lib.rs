@@ -18,6 +18,8 @@
 //! bursty) for the robustness studies the paper cites (refs [14][15]).
 //! [`faults`] applies a `dv_core::fault::FaultPlan` to the injection and
 //! ejection sides of the switch with deterministic per-link sequencing.
+//! [`reference`] freezes the pre-refactor simulator as the golden
+//! equivalence target and perf baseline for the optimized hot path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,10 +27,12 @@
 pub mod cycle;
 pub mod faults;
 pub mod model;
+pub mod reference;
 pub mod topology;
 pub mod traffic;
 
 pub use cycle::{Delivered, SwitchSim};
+pub use reference::ReferenceSwitchSim;
 pub use faults::{LinkFaultInjector, PacketFault};
 pub use model::SwitchModel;
 pub use topology::Topology;

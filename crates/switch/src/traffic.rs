@@ -56,7 +56,7 @@ pub enum Arrival {
 }
 
 /// One point of an offered-load sweep.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepPoint {
     /// Offered load (packets per port per cycle requested).
     pub offered: f64,
@@ -75,7 +75,21 @@ pub struct SweepPoint {
     pub total_latency_p99_log2: usize,
 }
 
+/// Everything one offered-load point produces before metrics publication:
+/// the summary plus the raw instrumented state. Splitting simulation
+/// ([`LoadSweep::run_core`]) from publication ([`LoadSweep::publish`]) is
+/// what lets [`LoadSweep::sweep_parallel`] fan points out across threads
+/// and still publish into the shared registry in input order, byte-
+/// identical to the serial path.
+struct RunArtifacts {
+    point: SweepPoint,
+    sim: SwitchSim,
+    lat_hist: Log2Histogram,
+    fault_drops: u64,
+}
+
 /// Offered-load sweep driver.
+#[derive(Clone)]
 pub struct LoadSweep {
     /// Switch topology to exercise.
     pub topo: Topology,
@@ -149,6 +163,15 @@ impl LoadSweep {
 
     /// Run one offered-load point.
     pub fn run(&self, offered: f64) -> SweepPoint {
+        let art = self.run_core(offered);
+        self.publish(&art);
+        art.point
+    }
+
+    /// The simulation half of [`LoadSweep::run`]: fully deterministic in
+    /// `(self, offered)` and free of registry writes, so points can run on
+    /// worker threads without perturbing the shared metrics state.
+    fn run_core(&self, offered: f64) -> RunArtifacts {
         let ports = self.topo.ports();
         let mut sw = SwitchSim::new(self.topo.clone());
         let mut rng = SplitMix64::new(self.seed);
@@ -158,7 +181,10 @@ impl LoadSweep {
             let j = rng.next_below(i as u64 + 1) as usize;
             perm.swap(i, j);
         }
-        let port_bits = (ports as f64).log2().ceil() as u32;
+        // ceil(log2(ports)) in integer arithmetic: identical to the old
+        // float `(ports as f64).log2().ceil()` for every power of two (and
+        // every other count), with no rounding edge cases.
+        let port_bits = ports.next_power_of_two().ilog2();
 
         let su = self.speedup.max(1) as f64;
         let (p_on_to_off, p_off_to_on, p_inject_on) = match self.arrival {
@@ -182,6 +208,11 @@ impl LoadSweep {
         let mut tag = 0u64;
         let mut fault_seq = 0u64;
         let mut fault_drops = 0u64;
+
+        // Reused per-cycle delivery buffer: with its capacity warmed up the
+        // whole measurement loop stays off the allocator (a port ejects at
+        // most one packet per cycle, so `ports` bounds a cycle's batch).
+        let mut delivered_buf: Vec<crate::cycle::Delivered> = Vec::with_capacity(ports);
 
         let total_cycles = self.warmup + self.measure;
         for cycle in 0..total_cycles {
@@ -235,7 +266,9 @@ impl LoadSweep {
                 sw.enqueue(src, dst, tag);
                 tag += 1;
             }
-            for d in sw.step() {
+            delivered_buf.clear();
+            sw.step_into(&mut delivered_buf);
+            for d in &delivered_buf {
                 if cycle >= self.warmup {
                     delivered_count += 1;
                     lat.push(d.switch_cycles() as f64);
@@ -246,21 +279,7 @@ impl LoadSweep {
             }
         }
 
-        if let Some(m) = &self.metrics {
-            sw.publish_metrics(m);
-            // Label by offered load in permille so the label is an integer
-            // (stable text) rather than a formatted float.
-            let load = [("offered_permille", ((offered * 1000.0).round() as u64).into())];
-            m.incr_labeled("switch.sweep.delivered", &load, delivered_count);
-            if self.faults.is_some() {
-                m.incr_labeled("switch.sweep.fault_drops", &load, fault_drops);
-            }
-            m.observe_histogram("switch.sweep.total_latency_cycles", &load, &lat_hist);
-            m.gauge_labeled("switch.sweep.accepted", &load, delivered_count as f64 / (self.measure as f64 * ports as f64) * su);
-            m.gauge_labeled("switch.sweep.deflections_mean", &load, defl.mean());
-        }
-
-        SweepPoint {
+        let point = SweepPoint {
             offered,
             accepted: delivered_count as f64 / (self.measure as f64 * ports as f64) * su,
             latency_mean: lat.mean(),
@@ -268,12 +287,91 @@ impl LoadSweep {
             deflections_mean: defl.mean(),
             delivered: delivered_count,
             total_latency_p99_log2: lat_hist.quantile_log2(0.99),
+        };
+        RunArtifacts { point, sim: sw, lat_hist, fault_drops }
+    }
+
+    /// The publication half of [`LoadSweep::run`]: folds one point's
+    /// instrumented state into the shared registry. Call order across
+    /// points is the only registry-visible ordering, so publishing joined
+    /// parallel points in input order reproduces the serial bytes exactly.
+    fn publish(&self, art: &RunArtifacts) {
+        let Some(m) = &self.metrics else {
+            return;
+        };
+        art.sim.publish_metrics(m);
+        // Label by offered load in permille so the label is an integer
+        // (stable text) rather than a formatted float.
+        let load =
+            [("offered_permille", ((art.point.offered * 1000.0).round() as u64).into())];
+        m.incr_labeled("switch.sweep.delivered", &load, art.point.delivered);
+        if self.faults.is_some() {
+            m.incr_labeled("switch.sweep.fault_drops", &load, art.fault_drops);
         }
+        m.observe_histogram("switch.sweep.total_latency_cycles", &load, &art.lat_hist);
+        m.gauge_labeled("switch.sweep.accepted", &load, art.point.accepted);
+        m.gauge_labeled("switch.sweep.deflections_mean", &load, art.point.deflections_mean);
     }
 
     /// Run a whole sweep over the given offered loads.
     pub fn sweep(&self, loads: &[f64]) -> Vec<SweepPoint> {
         loads.iter().map(|&l| self.run(l)).collect()
+    }
+
+    /// Run a whole sweep with the points fanned out across OS threads.
+    ///
+    /// Each point is an independent simulation seeded exactly as in the
+    /// serial path ([`LoadSweep::run_core`] re-seeds from `self.seed` per
+    /// point), workers claim points from a shared index, and results are
+    /// collected — and published into the optional metrics registry — in
+    /// input order. The returned points and every registry side effect are
+    /// therefore byte-identical to [`LoadSweep::sweep`], regardless of
+    /// core count or scheduling; `tests/sweep_parallel.rs` and CI's
+    /// serial-vs-parallel `cmp` hold that line.
+    pub fn sweep_parallel(&self, loads: &[f64]) -> Vec<SweepPoint> {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        if loads.len() <= 1 {
+            return self.sweep(loads);
+        }
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(loads.len());
+        let next = AtomicUsize::new(0);
+        let per_worker: Vec<Vec<(usize, RunArtifacts)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    s.spawn(move || {
+                        let mut mine = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&load) = loads.get(i) else {
+                                break;
+                            };
+                            mine.push((i, self.run_core(load)));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
+        });
+
+        let mut slots: Vec<Option<RunArtifacts>> = Vec::with_capacity(loads.len());
+        slots.resize_with(loads.len(), || None);
+        for (i, art) in per_worker.into_iter().flatten() {
+            slots[i] = Some(art);
+        }
+        slots
+            .into_iter()
+            .map(|slot| {
+                let art = slot.expect("every sweep point was claimed by a worker");
+                self.publish(&art);
+                art.point
+            })
+            .collect()
     }
 }
 
@@ -394,6 +492,34 @@ mod tests {
         s.measure = 500;
         let p = s.run(0.4);
         assert!(p.delivered > 0);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_points_and_metrics() {
+        let loads = [0.05, 0.2, 0.4, 0.6, 0.8];
+        let run = |parallel: bool| {
+            let metrics = Arc::new(MetricsRegistry::enabled());
+            let mut s = sweep();
+            s.metrics = Some(Arc::clone(&metrics));
+            let pts = if parallel { s.sweep_parallel(&loads) } else { s.sweep(&loads) };
+            (pts, metrics.snapshot().render())
+        };
+        let (serial_pts, serial_metrics) = run(false);
+        let (par_pts, par_metrics) = run(true);
+        assert_eq!(serial_pts, par_pts, "points must match in input order");
+        assert_eq!(serial_metrics, par_metrics, "registry bytes must match");
+    }
+
+    #[test]
+    fn parallel_sweep_handles_faults_and_patterns() {
+        use dv_core::fault::FaultPlan;
+        for pattern in Pattern::ALL {
+            let mut s = sweep();
+            s.pattern = pattern;
+            s.faults = Some(FaultPlan { seed: 3, link_drop: 0.05, ..Default::default() });
+            let loads = [0.3, 0.7];
+            assert_eq!(s.sweep(&loads), s.sweep_parallel(&loads), "{pattern:?}");
+        }
     }
 
     #[test]

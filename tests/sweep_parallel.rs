@@ -1,0 +1,73 @@
+//! Serial vs parallel sweep determinism, end to end: `sweep_parallel`
+//! must be indistinguishable from `sweep` — identical `SweepPoint`s in
+//! input order and byte-identical metrics snapshots (the exact property
+//! CI checks by `cmp`-ing `switch_study --serial` against the default
+//! parallel run's JSON artifact).
+
+use std::sync::Arc;
+
+use datavortex::core::fault::FaultPlan;
+use datavortex::core::metrics::MetricsRegistry;
+use datavortex::switch::traffic::{Arrival, LoadSweep, Pattern};
+use datavortex::switch::Topology;
+
+fn base_sweep(topo: Topology) -> LoadSweep {
+    let mut s = LoadSweep::new(topo);
+    s.warmup = 100;
+    s.measure = 600;
+    s
+}
+
+/// Render a full run (points + registry bytes) under one configuration.
+fn render(sweep: &LoadSweep, loads: &[f64], parallel: bool) -> String {
+    let metrics = Arc::new(MetricsRegistry::enabled());
+    let mut s = sweep.clone();
+    s.metrics = Some(Arc::clone(&metrics));
+    let points = if parallel { s.sweep_parallel(loads) } else { s.sweep(loads) };
+    let mut out = String::new();
+    for p in points {
+        out.push_str(&format!(
+            "{:.6} {:.9} {:.9} {:.9} {:.9} {} {}\n",
+            p.offered,
+            p.accepted,
+            p.latency_mean,
+            p.total_latency_mean,
+            p.deflections_mean,
+            p.delivered,
+            p.total_latency_p99_log2,
+        ));
+    }
+    out.push_str(&metrics.snapshot().render());
+    out
+}
+
+#[test]
+fn parallel_sweep_bytes_match_serial_across_patterns() {
+    let loads = [0.1, 0.3, 0.5, 0.7, 0.9];
+    for pattern in Pattern::ALL {
+        let mut s = base_sweep(Topology::new(8, 4));
+        s.pattern = pattern;
+        assert_eq!(
+            render(&s, &loads, false),
+            render(&s, &loads, true),
+            "{pattern:?}: serial and parallel sweeps must be byte-identical"
+        );
+    }
+}
+
+#[test]
+fn parallel_sweep_bytes_match_serial_with_bursty_faulted_traffic() {
+    let loads = [0.2, 0.4, 0.6, 0.8];
+    let mut s = base_sweep(Topology::new(16, 4));
+    s.arrival = Arrival::Bursty { mean_burst: 8.0 };
+    s.faults = Some(FaultPlan { seed: 7, link_drop: 0.05, ..Default::default() });
+    assert_eq!(render(&s, &loads, false), render(&s, &loads, true));
+}
+
+#[test]
+fn parallel_sweep_replays_byte_identically() {
+    // Two parallel runs on a machine with whatever core count: same bytes.
+    let loads = [0.25, 0.55, 0.85];
+    let s = base_sweep(Topology::new(8, 4));
+    assert_eq!(render(&s, &loads, true), render(&s, &loads, true));
+}
