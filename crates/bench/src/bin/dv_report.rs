@@ -2,15 +2,106 @@
 //! `--json <path>` flag) as a human-readable perf report: result tables,
 //! top counters, histograms, and the execution timeline.
 //!
-//! Usage: `dv-report <file.json> [more.json ...]`
+//! Usage:
+//!   `dv-report <file.json> [more.json ...]`
+//!   `dv-report --gate <current.json> <previous.json> [--max-regress PCT]`
+//!
+//! `--gate` is the CI perf-trajectory check: it extracts the
+//! `arena+worklist` cycles/sec figure from two `perf_smoke` artifacts
+//! (current build vs the previous run's uploaded artifact) and exits
+//! nonzero if the current number regressed by more than `PCT` percent
+//! (default 10). Throughput improvements always pass.
 
 use dv_bench::report::render_report;
 use dv_core::json::Json;
 
+/// The cycles/sec value of the `arena+worklist` row in a `perf_smoke`
+/// artifact (`dv-bench-v1` schema).
+fn arena_cycles_per_sec(doc: &Json) -> Result<f64, String> {
+    if doc.get("schema").and_then(Json::as_str) != Some("dv-bench-v1") {
+        return Err("not a dv-bench-v1 artifact".into());
+    }
+    let results = doc.get("results").and_then(Json::as_arr).unwrap_or_default();
+    for section in results {
+        let headers = section.get("headers").and_then(Json::as_arr).unwrap_or_default();
+        let Some(col) =
+            headers.iter().position(|h| h.as_str() == Some("cycles/sec"))
+        else {
+            continue;
+        };
+        for row in section.get("rows").and_then(Json::as_arr).unwrap_or_default() {
+            let cells = row.as_arr().unwrap_or_default();
+            if cells.first().and_then(Json::as_str) == Some("arena+worklist") {
+                return cells
+                    .get(col)
+                    .and_then(Json::as_str)
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .ok_or_else(|| "arena+worklist row has no numeric cycles/sec".into());
+            }
+        }
+    }
+    Err("no section with an arena+worklist cycles/sec row".into())
+}
+
+/// Load and parse one artifact, mapping errors to readable messages.
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Run the perf-trajectory gate; returns the process exit code.
+fn run_gate(args: &[String]) -> i32 {
+    let mut max_regress_pct = 10.0;
+    let mut files: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--max-regress" {
+            match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) => max_regress_pct = v,
+                None => {
+                    eprintln!("--max-regress needs a numeric percentage");
+                    return 2;
+                }
+            }
+        } else {
+            files.push(a);
+        }
+    }
+    let [current_path, previous_path] = files[..] else {
+        eprintln!("usage: dv-report --gate <current.json> <previous.json> [--max-regress PCT]");
+        return 2;
+    };
+    let figure = |path: &str| load(path).and_then(|doc| arena_cycles_per_sec(&doc));
+    let (current, previous) = match (figure(current_path), figure(previous_path)) {
+        (Ok(c), Ok(p)) => (c, p),
+        (c, p) => {
+            for r in [c, p] {
+                if let Err(e) = r {
+                    eprintln!("gate: {e}");
+                }
+            }
+            return 2;
+        }
+    };
+    let change_pct = (current - previous) / previous * 100.0;
+    println!(
+        "perf gate: arena+worklist cycles/sec {previous:.2} -> {current:.2} ({change_pct:+.1}%)"
+    );
+    if change_pct < -max_regress_pct {
+        eprintln!("perf gate FAILED: regression exceeds {max_regress_pct:.1}% budget");
+        return 1;
+    }
+    println!("perf gate passed (budget: -{max_regress_pct:.1}%)");
+    0
+}
+
 fn main() {
     let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.first().map(String::as_str) == Some("--gate") {
+        std::process::exit(run_gate(&files[1..]));
+    }
     if files.is_empty() {
-        eprintln!("usage: dv-report <file.json> [more.json ...]");
+        eprintln!("usage: dv-report <file.json> [more.json ...] | dv-report --gate <cur> <prev>");
         std::process::exit(2);
     }
     let mut failed = false;

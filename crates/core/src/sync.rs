@@ -151,6 +151,18 @@ impl<T: ?Sized> Drop for MutexGuard<'_, T> {
     }
 }
 
+/// Every (held → acquired) named-lock pair the runtime audit has observed
+/// so far, sorted. This is the raw edge set [`lock_order_conflicts`] is
+/// derived from; `tests/lockgraph.rs` cross-checks it against the static
+/// lock-order graph `dv-lint` builds from source. Only named locks
+/// ([`Mutex::new_named`]) in debug builds are tracked — empty in release.
+pub fn lock_order_edges() -> Vec<(String, String)> {
+    lock_recover(order_edges())
+        .iter()
+        .map(|&(a, b)| (a.to_string(), b.to_string()))
+        .collect()
+}
+
 /// Pairs of named locks observed in *both* acquisition orders — each pair
 /// is a potential deadlock. Empty in a well-ordered program. Only named
 /// locks ([`Mutex::new_named`]) in debug builds are tracked.

@@ -1,0 +1,7 @@
+//! Char-literal regression, negative half: same shape with the ordered
+//! container — nothing to report.
+fn quote_then_map() {
+    let quote = '"';
+    let mut scratch = std::collections::BTreeMap::new();
+    scratch.insert(1u32, quote);
+}

@@ -1,0 +1,8 @@
+//! Char-literal regression, positive half: the `'"'` literal must not
+//! open string mode — the HashMap on the next line is real code and the
+//! lint must still see it.
+fn quote_then_map() {
+    let quote = '"';
+    let mut scratch = std::collections::HashMap::new();
+    scratch.insert(1u32, quote);
+}

@@ -1,0 +1,11 @@
+//! DV-W007 negative: each function is consistent about its ordering.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn relaxed_counter(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::Relaxed);
+    counter.load(Ordering::Relaxed)
+}
+
+fn seqcst_probe(flag: &AtomicU64) -> u64 {
+    flag.load(Ordering::SeqCst)
+}

@@ -1,0 +1,8 @@
+//! DV-W007 positive: one function mixes Relaxed and SeqCst on the same
+//! protocol.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn mixed(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::Relaxed);
+    counter.load(Ordering::SeqCst)
+}

@@ -1,0 +1,14 @@
+//! DV-W008 negative: workers go through the sim scheduler; test code may
+//! use raw threads for harness plumbing.
+fn run_worker(sim: &mut Sim) {
+    sim.spawn_process("worker", |ctx| step(ctx));
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn harness_thread_is_fine_in_tests() {
+        let handle = std::thread::spawn(|| 1);
+        handle.join().ok();
+    }
+}

@@ -1,0 +1,4 @@
+//! DV-W009 positive: unsafe with no stated invariant.
+fn read_word(buf: &[u64], idx: usize) -> u64 {
+    unsafe { *buf.as_ptr().add(idx) }
+}

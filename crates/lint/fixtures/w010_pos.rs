@@ -1,0 +1,6 @@
+//! DV-W010 positive: host-blocking waits inside kernel code.
+fn wait_for_data(rx: &Receiver<u64>) -> Option<u64> {
+    std::thread::sleep(Duration::from_millis(1));
+    std::thread::yield_now();
+    rx.recv_timeout(Duration::from_millis(5)).ok()
+}

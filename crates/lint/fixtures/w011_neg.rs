@@ -1,0 +1,9 @@
+//! DV-W011 negative: plain counts may narrow, routed values go through
+//! checked conversions, and widening casts are always fine.
+fn tally(cells: u64, words: u64, port: u64, cycle: u64) -> (u32, u16, u8, u64) {
+    let c = cells as u32;
+    let w = words as u16;
+    let p = u8::try_from(port).expect("ports are 0..=255 by construction");
+    let wide = cycle as u64;
+    (c, w, p, wide)
+}

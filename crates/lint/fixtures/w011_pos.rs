@@ -1,0 +1,6 @@
+//! DV-W011 positive: narrowing casts on routed values.
+fn route(port: u64, dst_addr: u64) -> (u8, u16) {
+    let p = port as u8;
+    let a = (dst_addr >> 4) as u16;
+    (p, a)
+}

@@ -1,0 +1,16 @@
+//! DV-W012 negative: guards are scoped so at most one lock is held.
+fn transfer(&self) {
+    {
+        let vic = self.vic.lock();
+        vic.push(1);
+    }
+    let barrier = self.barrier.lock();
+    barrier.wait();
+}
+
+fn reentrant_shape(&self) {
+    let first = self.vic.lock();
+    drop(first);
+    let second = self.vic.lock();
+    second.push(2);
+}

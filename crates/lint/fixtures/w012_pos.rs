@@ -1,0 +1,8 @@
+//! DV-W012 positive: a second mutex locked while the first guard lives.
+fn transfer(&self) {
+    let vic = self.vic.lock();
+    let barrier = self.barrier.lock();
+    barrier.wait();
+    drop(barrier);
+    drop(vic);
+}

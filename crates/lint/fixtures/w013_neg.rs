@@ -1,0 +1,27 @@
+//! DV-W013 negative: both paths follow the same global order, so nesting
+//! exists (DV-W012 territory) but no cycle does.
+struct Pair {
+    left: Mutex<Vec<u64>>,
+    right: Mutex<Vec<u64>>,
+}
+
+fn make() -> Pair {
+    Pair {
+        left: Mutex::new_named("fixture.left", Vec::new()),
+        right: Mutex::new_named("fixture.right", Vec::new()),
+    }
+}
+
+fn producer(p: &Pair) {
+    let l = p.left.lock();
+    let r = p.right.lock();
+    drop(r);
+    drop(l);
+}
+
+fn consumer(p: &Pair) {
+    let l = p.left.lock();
+    let r = p.right.lock();
+    drop(r);
+    drop(l);
+}

@@ -1,0 +1,27 @@
+//! DV-W013 positive: two code paths take the same pair of named locks in
+//! opposite orders — the classic deadlock seed.
+struct Pair {
+    left: Mutex<Vec<u64>>,
+    right: Mutex<Vec<u64>>,
+}
+
+fn make() -> Pair {
+    Pair {
+        left: Mutex::new_named("fixture.left", Vec::new()),
+        right: Mutex::new_named("fixture.right", Vec::new()),
+    }
+}
+
+fn forward(p: &Pair) {
+    let l = p.left.lock();
+    let r = p.right.lock();
+    drop(r);
+    drop(l);
+}
+
+fn backward(p: &Pair) {
+    let r = p.right.lock();
+    let l = p.left.lock();
+    drop(l);
+    drop(r);
+}

@@ -31,6 +31,9 @@ pub struct AllowEntry {
     pub contains: Option<String>,
     /// The audited justification (required).
     pub reason: String,
+    /// 1-based `lint.toml` line of this entry's `[[allow]]` header (0 for
+    /// entries built in code) — so stale entries can point home.
+    pub defined_at: usize,
 }
 
 impl AllowEntry {
@@ -100,7 +103,7 @@ impl Allowlist {
                 if let Some(done) = current.take() {
                     finish(done, line_no, &mut entries)?;
                 }
-                current = Some(AllowEntry::default());
+                current = Some(AllowEntry { defined_at: line_no, ..AllowEntry::default() });
                 continue;
             }
             if line.starts_with('[') {
@@ -154,6 +157,12 @@ impl Allowlist {
     /// The audited reason for suppressing `finding`, if any entry matches.
     pub fn reason_for(&self, finding: &Finding) -> Option<String> {
         self.entries.iter().find(|e| e.matches(finding)).map(|e| e.reason.clone())
+    }
+
+    /// Index of the first entry matching `finding` — callers track which
+    /// entries ever fire so the stale ones can be reported.
+    pub fn match_index(&self, finding: &Finding) -> Option<usize> {
+        self.entries.iter().position(|e| e.matches(finding))
     }
 }
 
@@ -215,6 +224,7 @@ mod tests {
             text: text.to_string(),
             message: "",
             hint: "",
+            note: String::new(),
         }
     }
 
@@ -285,6 +295,15 @@ reason = "sorted before use"
         let text = "# header\n\n[[allow]]\nreason = \"ok # not a comment\" # trailing\n";
         let allow = Allowlist::parse(text).unwrap();
         assert_eq!(allow.entries[0].reason, "ok # not a comment");
+    }
+
+    #[test]
+    fn entries_record_their_definition_line() {
+        let allow = Allowlist::parse(SAMPLE).unwrap();
+        assert_eq!(allow.entries[0].defined_at, 3);
+        assert_eq!(allow.entries[1].defined_at, 9);
+        let f = finding("DV-W001", "crates/x/src/y.rs", 42, "HashMap::new()");
+        assert_eq!(allow.match_index(&f), Some(1));
     }
 
     #[test]

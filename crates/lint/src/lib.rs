@@ -7,12 +7,17 @@
 //! one `thread_rng()` in a workload generator, and results stop
 //! reproducing while every functional test still passes.
 //!
-//! `dv-lint` is the static half of the enforcement (the runtime half is
-//! `dv_sim::OrderAudit`). It is deliberately dependency-free: a
-//! line-oriented scanner ([`scanner`]) strips comments and string literals
-//! so rules match only *code*, and a small rule engine ([`rules`]) applies
-//! pattern rules scoped per crate. Audited exceptions live in `lint.toml`
-//! at the workspace root ([`allowlist`]).
+//! `dv-lint` is the static half of the enforcement (the runtime halves
+//! are `dv_sim::OrderAudit` and `dv_core::sync::lock_order_conflicts`).
+//! It is a two-pass analyzer with no external dependencies: pass one is a
+//! real lexer ([`lexer`]) producing a spanned token stream, from which
+//! [`scanner`] derives the sanitized line view rules match against; pass
+//! two ([`scope`]) builds a lightweight item model — fn boundaries, `use`
+//! imports, test regions, `unsafe` spans, live lock guards — that the
+//! concurrency rules and the whole-workspace lock-order graph
+//! ([`lockgraph`]) consume. Audited exceptions live in `lint.toml` at the
+//! workspace root ([`allowlist`]) or inline next to the code
+//! ([`suppress`]).
 //!
 //! ## Shipped rules
 //!
@@ -23,32 +28,59 @@
 //! | `DV-W003` | error | non-seeded randomness (`thread_rng`, `rand::random`, `from_entropy`, `OsRng`) outside `dv-bench` |
 //! | `DV-W004` | warning | `unwrap()`/`expect()` on lock or channel results in sim hot paths — use `dv_core::sync::Mutex` (poison-recovering) or handle the error |
 //! | `DV-W005` | warning | floating-point reduction over a potentially unordered container — float addition is not associative, so order changes bits |
+//! | `DV-W006` | warning | `print!`-family macros in library crates — record through metrics/trace instead |
+//! | `DV-W007` | warning | mixed `Ordering::Relaxed`/`Ordering::SeqCst` atomics in one function |
+//! | `DV-W008` | error | raw `std::thread::spawn` outside the dv-sim scheduler |
+//! | `DV-W009` | warning | `unsafe` block/impl without an adjacent `// SAFETY:` comment |
+//! | `DV-W010` | error | host-blocking call (`sleep`, `thread::park`, `yield_now`, `recv_timeout`) in virtual-time code |
+//! | `DV-W011` | warning | narrowing `as` cast on a port/address/cycle value on the packet path |
+//! | `DV-W012` | warning | nested lock guards from different mutexes in one function |
+//! | `DV-W013` | error | lock-order cycle among named mutexes (whole-workspace graph) |
 //!
-//! Run it as `cargo run -p dv-lint` (add `-- --deny-warnings` in CI), or
-//! use [`run_lint`] as a library.
+//! Three synthesized diagnostics keep the suppression machinery honest:
+//! `DV-S001` (malformed inline suppression), `DV-S002` (inline
+//! suppression that matched nothing), `DV-S003` (stale `lint.toml`
+//! entry). All are warnings, so `--deny-warnings` CI catches rot.
+//!
+//! Run it as `cargo run -p dv-lint` (add `-- --deny-warnings` in CI, and
+//! `--format json` for the machine-readable report), or use [`run_lint`]
+//! as a library.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod allowlist;
+pub mod lexer;
+pub mod lockgraph;
 pub mod rules;
 pub mod scanner;
+pub mod scope;
+pub mod suppress;
 
 use std::path::{Path, PathBuf};
 
+use dv_core::json::Json;
+
 pub use allowlist::Allowlist;
-pub use rules::{Finding, Rule, Severity, RULES};
+pub use lockgraph::LockGraph;
+pub use rules::{AnalyzedFile, Finding, Rule, Severity, RULES};
 pub use scanner::SourceFile;
 
 /// Result of a workspace lint run.
 #[derive(Debug, Default)]
 pub struct LintReport {
-    /// Findings that survived the allowlist, in (path, line) order.
+    /// Findings that survived suppressions and the allowlist, in
+    /// (path, line, rule) order.
     pub findings: Vec<Finding>,
     /// Findings suppressed by `lint.toml`, with the audited reason.
     pub allowed: Vec<(Finding, String)>,
+    /// Findings suppressed inline, with the written reason.
+    pub suppressed: Vec<(Finding, String)>,
     /// Number of files scanned.
     pub files: usize,
+    /// The whole-workspace lock-order graph (bindings resolved, edges
+    /// unioned across every scanned file).
+    pub locks: LockGraph,
 }
 
 impl LintReport {
@@ -60,6 +92,79 @@ impl LintReport {
     /// Number of warning-severity findings.
     pub fn warnings(&self) -> usize {
         self.findings.iter().filter(|f| f.severity == Severity::Warning).count()
+    }
+
+    /// The deterministic machine-readable report (`--format json`): every
+    /// collection is emitted in sorted order, so two runs over the same
+    /// tree produce byte-identical output.
+    pub fn to_json(&self) -> Json {
+        let finding_json = |f: &Finding| {
+            Json::Obj(vec![
+                ("rule".into(), Json::str(f.rule)),
+                ("severity".into(), Json::str(f.severity.to_string())),
+                ("path".into(), Json::str(&f.path)),
+                ("line".into(), Json::U64(f.line as u64)),
+                ("text".into(), Json::str(&f.text)),
+                ("message".into(), Json::str(f.message)),
+                ("note".into(), Json::str(&f.note)),
+            ])
+        };
+        let silenced_json = |list: &[(Finding, String)]| {
+            Json::Arr(
+                list.iter()
+                    .map(|(f, reason)| {
+                        Json::Obj(vec![
+                            ("rule".into(), Json::str(f.rule)),
+                            ("path".into(), Json::str(&f.path)),
+                            ("line".into(), Json::U64(f.line as u64)),
+                            ("reason".into(), Json::str(reason)),
+                        ])
+                    })
+                    .collect(),
+            )
+        };
+        let edges = Json::Arr(
+            self.locks
+                .edges
+                .iter()
+                .map(|((held, acquired), w)| {
+                    Json::Obj(vec![
+                        ("held".into(), Json::str(held)),
+                        ("acquired".into(), Json::str(acquired)),
+                        ("path".into(), Json::str(&w.path)),
+                        ("line".into(), Json::U64(w.line as u64)),
+                        ("in_fn".into(), Json::str(&w.in_fn)),
+                    ])
+                })
+                .collect(),
+        );
+        let cycles = Json::Arr(
+            self.locks
+                .cycles()
+                .into_iter()
+                .map(|c| Json::Arr(c.into_iter().map(Json::Str).collect()))
+                .collect(),
+        );
+        Json::Obj(vec![
+            ("schema".into(), Json::str("dv-lint-v2")),
+            ("files".into(), Json::U64(self.files as u64)),
+            ("errors".into(), Json::U64(self.errors() as u64)),
+            ("warnings".into(), Json::U64(self.warnings() as u64)),
+            ("findings".into(), Json::Arr(self.findings.iter().map(finding_json).collect())),
+            ("allowed".into(), silenced_json(&self.allowed)),
+            ("suppressed".into(), silenced_json(&self.suppressed)),
+            (
+                "lock_graph".into(),
+                Json::Obj(vec![
+                    (
+                        "names".into(),
+                        Json::Arr(self.locks.names().into_iter().map(Json::Str).collect()),
+                    ),
+                    ("edges".into(), edges),
+                    ("cycles".into(), cycles),
+                ]),
+            ),
+        ])
     }
 }
 
@@ -110,22 +215,139 @@ pub fn crate_of(rel_path: &str) -> &str {
     }
 }
 
+/// Severity of every synthesized `DV-S***` diagnostic.
+const META_SEVERITY: Severity = Severity::Warning;
+
+fn meta_finding(
+    rule: &'static str,
+    message: &'static str,
+    hint: &'static str,
+    path: &str,
+    line: usize,
+    text: String,
+    note: String,
+) -> Finding {
+    Finding {
+        rule,
+        severity: META_SEVERITY,
+        path: path.to_string(),
+        line,
+        text,
+        message,
+        hint,
+        note,
+    }
+}
+
 /// Lint every workspace source under `root` against all shipped rules,
-/// applying the allowlist.
+/// applying inline suppressions first, then the allowlist. Per-file
+/// `DV-W013` findings are replaced by the whole-workspace lock graph's
+/// (cross-file cycles are invisible to any single file).
 pub fn run_lint(root: &Path, allow: &Allowlist) -> std::io::Result<LintReport> {
     let mut report = LintReport::default();
+    let mut graph = LockGraph::new();
+    let mut raw_findings: Vec<Finding> = Vec::new();
+    // (file path, suppression, used) across the workspace.
+    let mut suppressions: Vec<(String, suppress::Suppression, bool)> = Vec::new();
+    let mut files: Vec<AnalyzedFile> = Vec::new();
+
     for path in workspace_sources(root) {
         let source = std::fs::read_to_string(&path)?;
         let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
         report.files += 1;
-        for finding in rules::scan_source(crate_of(&rel), &rel, &source) {
-            match allow.reason_for(&finding) {
-                Some(reason) => report.allowed.push((finding, reason)),
-                None => report.findings.push(finding),
+        let file = AnalyzedFile::parse(&rel, &source);
+        graph.add_file(&file);
+        raw_findings
+            .extend(rules::scan_file(crate_of(&rel), &file).into_iter().filter(|f| f.rule != "DV-W013"));
+        let (found, malformed) = suppress::collect(&file.src);
+        for m in malformed {
+            raw_findings.push(meta_finding(
+                "DV-S001",
+                "malformed dv-lint suppression comment",
+                "write `dv-lint: allow(DV-XNNN, reason = \"...\")` — one rule id, \
+                 non-empty quoted reason",
+                &rel,
+                m.line,
+                file.src.raw.get(m.line - 1).map(|l| l.trim().to_string()).unwrap_or_default(),
+                m.message,
+            ));
+        }
+        suppressions.extend(found.into_iter().map(|s| (rel.clone(), s, false)));
+        files.push(file);
+    }
+
+    graph.resolve();
+    for mut f in rules::cycle_findings(&graph) {
+        // Fill in the source text the per-file scanner would have had.
+        if let Some(file) = files.iter().find(|x| x.src.path == f.path) {
+            f.text = file.src.raw.get(f.line - 1).map(|l| l.trim().to_string()).unwrap_or_default();
+        }
+        raw_findings.push(f);
+    }
+
+    // Inline suppressions first (the justification next to the code wins),
+    // then lint.toml.
+    let mut used_allow = vec![false; allow.entries.len()];
+    for finding in raw_findings {
+        let inline = suppressions.iter_mut().find(|(path, s, _)| {
+            s.rule == finding.rule && s.target_line == finding.line && *path == finding.path
+        });
+        if let Some((_, s, used)) = inline {
+            *used = true;
+            report.suppressed.push((finding, s.reason.clone()));
+            continue;
+        }
+        match allow.match_index(&finding) {
+            Some(i) => {
+                used_allow[i] = true;
+                report.allowed.push((finding, allow.entries[i].reason.clone()));
             }
+            None => report.findings.push(finding),
         }
     }
-    report.findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+
+    // Silencers that silenced nothing are findings themselves.
+    for (path, s, used) in &suppressions {
+        if !used {
+            report.findings.push(meta_finding(
+                "DV-S002",
+                "inline suppression matched no finding",
+                "the code it silenced is gone or the rule no longer fires — delete \
+                 the comment",
+                path,
+                s.at_line,
+                String::new(),
+                format!("allow({}, reason = \"{}\")", s.rule, s.reason),
+            ));
+        }
+    }
+    for (i, used) in used_allow.iter().enumerate() {
+        if !used {
+            let e = &allow.entries[i];
+            report.findings.push(meta_finding(
+                "DV-S003",
+                "stale lint.toml entry: no finding matches it anymore",
+                "the exception outlived what it excused — delete the [[allow]] block",
+                "lint.toml",
+                e.defined_at,
+                String::new(),
+                format!(
+                    "rule={:?} path={:?} contains={:?} (reason: {})",
+                    e.rule.as_deref().unwrap_or("*"),
+                    e.path.as_deref().unwrap_or("*"),
+                    e.contains.as_deref().unwrap_or("*"),
+                    e.reason
+                ),
+            ));
+        }
+    }
+
+    report.locks = graph;
+    report.findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    report.allowed.sort_by(|a, b| (&a.0.path, a.0.line, a.0.rule).cmp(&(&b.0.path, b.0.line, b.0.rule)));
+    report
+        .suppressed
+        .sort_by(|a, b| (&a.0.path, a.0.line, a.0.rule).cmp(&(&b.0.path, b.0.line, b.0.rule)));
     Ok(report)
 }
 
@@ -159,5 +381,27 @@ mod tests {
                 .join("\n")
         );
         assert!(report.files > 50, "scanner should see the whole workspace");
+    }
+
+    #[test]
+    fn workspace_lock_graph_is_acyclic_and_names_known_locks(){
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let allow = Allowlist::load(&root.join("lint.toml")).unwrap_or_default();
+        let report = run_lint(&root, &allow).expect("scan must succeed");
+        assert!(report.locks.cycles().is_empty(), "{:?}", report.locks.cycles());
+        let names = report.locks.names();
+        for expected in ["sim.kernel", "sim.registry", "api.vic", "api.barrier", "mpi.pending"] {
+            assert!(names.iter().any(|n| n == expected), "lock {expected} not found in {names:?}");
+        }
+    }
+
+    #[test]
+    fn json_report_is_byte_stable() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let allow = Allowlist::load(&root.join("lint.toml")).unwrap_or_default();
+        let a = run_lint(&root, &allow).expect("scan").to_json().render_pretty();
+        let b = run_lint(&root, &allow).expect("scan").to_json().render_pretty();
+        assert_eq!(a, b);
+        assert!(a.contains("\"schema\": \"dv-lint-v2\""));
     }
 }

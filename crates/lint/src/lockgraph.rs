@@ -1,0 +1,311 @@
+//! Whole-workspace static lock-order graph over named mutexes.
+//!
+//! The runtime half of deadlock defense is `dv_core::sync`: named locks
+//! (`Mutex::new_named`) record held→acquired pairs per thread, and
+//! `lock_order_conflicts()` reports pairs taken in both orders. That only
+//! sees orders an actual run exercised. This module is the static half:
+//!
+//! 1. **Name binding.** Every `Mutex::new_named("lock.name", ...)` site
+//!    is attributed to the struct field or `let` binding it initializes
+//!    (`kernel: Mutex::new_named("sim.kernel", ...)` binds `kernel` →
+//!    `sim.kernel`), unioned across the workspace.
+//! 2. **Edges.** Inside each function body, a `.lock()` on a bound name
+//!    while a guard for a *different* bound name is live adds a
+//!    held→acquired edge (witnessed by file, line, and function).
+//! 3. **Cycles.** Depth-first search over the union graph; any cycle is
+//!    a potential deadlock and is reported as rule `DV-W013`.
+//!
+//! The root integration test `tests/lockgraph.rs` cross-checks this
+//! against the runtime audit: the runtime must never observe a conflict
+//! the static graph calls acyclic, and every runtime lock name must be
+//! known to the static name pass.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::TokenKind;
+use crate::rules::AnalyzedFile;
+
+/// Witness for one held→acquired edge.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EdgeWitness {
+    /// Workspace-relative path of the acquisition.
+    pub path: String,
+    /// 1-based line of the inner `.lock()`.
+    pub line: usize,
+    /// Enclosing function name.
+    pub in_fn: String,
+}
+
+/// The cross-file lock-order graph.
+#[derive(Debug, Default)]
+pub struct LockGraph {
+    /// Binding identifier → lock names it was observed to hold.
+    pub bindings: BTreeMap<String, BTreeSet<String>>,
+    /// (held name, acquired name) → first witness, in scan order.
+    pub edges: BTreeMap<(String, String), EdgeWitness>,
+    /// Raw nesting sites kept for the second pass (receiver idents, not
+    /// yet resolved to lock names).
+    pending: Vec<PendingNest>,
+}
+
+#[derive(Debug)]
+struct PendingNest {
+    path: String,
+    line: usize,
+    in_fn: String,
+    held_recv: String,
+    acquired_recv: String,
+}
+
+impl LockGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `file`'s name bindings and nesting sites. Test-only code is
+    /// skipped: the graph models the shipped locking discipline, and unit
+    /// tests deliberately construct throwaway lock pairs.
+    pub fn add_file(&mut self, file: &AnalyzedFile) {
+        self.collect_bindings(file);
+        for acq in &file.scopes.lock_acquires {
+            if file.scopes.is_test_line(acq.line) {
+                continue;
+            }
+            for (held_recv, _, _) in &acq.held {
+                if held_recv != &acq.recv {
+                    self.pending.push(PendingNest {
+                        path: file.src.path.clone(),
+                        line: acq.line,
+                        in_fn: acq.in_fn.clone(),
+                        held_recv: held_recv.clone(),
+                        acquired_recv: acq.recv.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// `Mutex::new_named("name", ...)` sites → binding map entries.
+    fn collect_bindings(&mut self, file: &AnalyzedFile) {
+        let toks = file.src.code_tokens();
+        for k in 0..toks.len() {
+            if !(toks[k].is_ident("Mutex")
+                && toks.get(k + 1).is_some_and(|t| t.is_punct("::"))
+                && toks.get(k + 2).is_some_and(|t| t.is_ident("new_named"))
+                && toks.get(k + 3).is_some_and(|t| t.is_punct("(")))
+            {
+                continue;
+            }
+            if file.scopes.is_test_line(toks[k].line) {
+                continue;
+            }
+            let Some(name_tok) = toks.get(k + 4).filter(|t| t.kind == TokenKind::Str) else {
+                continue;
+            };
+            let name = name_tok.text.trim_matches('"').to_string();
+            if let Some(binding) = binding_of(&toks, k) {
+                self.bindings.entry(binding).or_default().insert(name);
+            }
+        }
+    }
+
+    /// Resolve pending nests through the binding map into named edges.
+    /// Call after every file has been added.
+    pub fn resolve(&mut self) {
+        let pending = std::mem::take(&mut self.pending);
+        for nest in pending {
+            let held_names = self.bindings.get(&nest.held_recv).cloned().unwrap_or_default();
+            let acq_names = self.bindings.get(&nest.acquired_recv).cloned().unwrap_or_default();
+            for h in &held_names {
+                for a in &acq_names {
+                    if h != a {
+                        self.edges.entry((h.clone(), a.clone())).or_insert_with(|| EdgeWitness {
+                            path: nest.path.clone(),
+                            line: nest.line,
+                            in_fn: nest.in_fn.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// All distinct lock names the binding pass discovered, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.bindings.values().flatten().cloned().collect::<BTreeSet<_>>().into_iter().collect()
+    }
+
+    /// Every cycle in the edge graph, as lock-name paths starting from
+    /// their lexicographically smallest node (deterministic order). A
+    /// two-node cycle `a → b → a` is exactly the conflict shape the
+    /// runtime audit reports.
+    pub fn cycles(&self) -> Vec<Vec<String>> {
+        let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        for (h, a) in self.edges.keys() {
+            adj.entry(h).or_default().push(a);
+        }
+        let mut cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+        for &start in adj.keys() {
+            let mut stack = vec![start];
+            let mut on_stack: BTreeSet<&str> = [start].into();
+            dfs(start, &adj, &mut stack, &mut on_stack, &mut cycles);
+        }
+        cycles.into_iter().collect()
+    }
+}
+
+/// DFS from `node`, recording every cycle rotated to start at its
+/// smallest element so duplicates collapse.
+fn dfs<'a>(
+    node: &'a str,
+    adj: &BTreeMap<&'a str, Vec<&'a str>>,
+    stack: &mut Vec<&'a str>,
+    on_stack: &mut BTreeSet<&'a str>,
+    cycles: &mut BTreeSet<Vec<String>>,
+) {
+    for &next in adj.get(node).map(Vec::as_slice).unwrap_or_default() {
+        if let Some(pos) = stack.iter().position(|&n| n == next) {
+            let mut cycle: Vec<String> = stack[pos..].iter().map(|s| s.to_string()).collect();
+            // Rotate so the smallest name leads.
+            let min = cycle.iter().enumerate().min_by_key(|(_, s)| s.as_str()).map(|(i, _)| i);
+            if let Some(i) = min {
+                cycle.rotate_left(i);
+            }
+            cycles.insert(cycle);
+        } else if on_stack.insert(next) {
+            stack.push(next);
+            dfs(next, adj, stack, on_stack, cycles);
+            stack.pop();
+            on_stack.remove(next);
+        }
+    }
+}
+
+/// The binding a `Mutex` token at `k` initializes: the nearest preceding
+/// `let [mut] name =` or struct-literal `name:` within the statement.
+fn binding_of(toks: &[&crate::lexer::Token], k: usize) -> Option<String> {
+    // Walk back a bounded window; stop at a statement boundary.
+    let window = 40;
+    let lo = k.saturating_sub(window);
+    let mut j = k;
+    while j > lo {
+        j -= 1;
+        let t = toks[j];
+        if t.is_ident("let") {
+            let mut n = j + 1;
+            if toks.get(n).is_some_and(|t| t.is_ident("mut")) {
+                n += 1;
+            }
+            return toks.get(n).filter(|t| t.kind == TokenKind::Ident).map(|t| t.text.clone());
+        }
+        // Struct-literal field: `name : <expr containing Mutex>`. The
+        // lexer composes `::`, so a single `:` is unambiguous.
+        if t.is_punct(":")
+            && j > lo
+            && toks[j - 1].kind == TokenKind::Ident
+            && !toks[j - 1].is_ident("mut")
+        {
+            return Some(toks[j - 1].text.clone());
+        }
+        if t.is_punct(";") {
+            return None;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::AnalyzedFile;
+
+    fn graph_of(src: &str) -> LockGraph {
+        let mut g = LockGraph::new();
+        g.add_file(&AnalyzedFile::parse("crates/x/src/y.rs", src));
+        g.resolve();
+        g
+    }
+
+    const TWO_LOCKS: &str = r#"
+struct S { a: Mutex<u32>, b: Mutex<u32> }
+impl S {
+    fn new() -> Self {
+        Self { a: Mutex::new_named("x.alpha", 0), b: Mutex::new_named("x.beta", 0) }
+    }
+"#;
+
+    #[test]
+    fn bindings_map_fields_and_lets_to_names() {
+        let g = graph_of(concat!(
+            "fn f() { let guard_owner = Mutex::new_named(\"solo.lock\", 1); }\n",
+            "struct S { field: Mutex<u32> }\n",
+            "fn g() -> S { S { field: Mutex::new_named(\"s.field\", 2) } }\n",
+        ));
+        assert!(g.bindings["guard_owner"].contains("solo.lock"));
+        assert!(g.bindings["field"].contains("s.field"));
+    }
+
+    #[test]
+    fn consistent_order_yields_edges_but_no_cycle() {
+        let src = format!(
+            "{TWO_LOCKS}
+    fn one(&self) {{ let ga = self.a.lock(); let gb = self.b.lock(); }}
+    fn two(&self) {{ let ga = self.a.lock(); let gb = self.b.lock(); }}
+}}
+"
+        );
+        let g = graph_of(&src);
+        assert!(g.edges.contains_key(&("x.alpha".into(), "x.beta".into())));
+        assert!(g.cycles().is_empty());
+    }
+
+    #[test]
+    fn opposite_orders_form_a_cycle() {
+        let src = format!(
+            "{TWO_LOCKS}
+    fn one(&self) {{ let ga = self.a.lock(); let gb = self.b.lock(); }}
+    fn two(&self) {{ let gb = self.b.lock(); let ga = self.a.lock(); }}
+}}
+"
+        );
+        let g = graph_of(&src);
+        let cycles = g.cycles();
+        assert_eq!(cycles, vec![vec!["x.alpha".to_string(), "x.beta".to_string()]]);
+    }
+
+    #[test]
+    fn test_code_is_excluded_from_the_graph() {
+        let src = r#"
+#[cfg(test)]
+mod tests {
+    fn t() {
+        let a = Mutex::new_named("t.a", 0);
+        let b = Mutex::new_named("t.b", 0);
+        let ga = a.lock();
+        let gb = b.lock();
+    }
+}
+"#;
+        let g = graph_of(src);
+        assert!(g.bindings.is_empty());
+        assert!(g.edges.is_empty());
+    }
+
+    #[test]
+    fn edges_union_across_files() {
+        let mut g = LockGraph::new();
+        g.add_file(&AnalyzedFile::parse(
+            "crates/x/src/a.rs",
+            "struct S { a: Mutex<u32>, b: Mutex<u32> }
+fn mk() -> S { S { a: Mutex::new_named(\"u.a\", 0), b: Mutex::new_named(\"u.b\", 0) } }
+fn fwd(s: &S) { let ga = s.a.lock(); let gb = s.b.lock(); }",
+        ));
+        g.add_file(&AnalyzedFile::parse(
+            "crates/y/src/b.rs",
+            "fn rev(s: &super::S) { let gb = s.b.lock(); let ga = s.a.lock(); }",
+        ));
+        g.resolve();
+        assert_eq!(g.cycles().len(), 1);
+    }
+}

@@ -18,15 +18,25 @@ OPTIONS:
     --root <DIR>        workspace root to scan [default: auto-detected]
     --allowlist <FILE>  audited exceptions [default: <root>/lint.toml]
     --deny-warnings     exit nonzero on warnings as well as errors
+    --format <FMT>      output format: text (default) or json (stdout is
+                        the deterministic dv-lint-v2 report, diagnostics
+                        go to stderr)
     --list-rules        print the rule table and exit
     -h, --help          show this help
 ";
+
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
 
 struct Options {
     root: PathBuf,
     allowlist: Option<PathBuf>,
     deny_warnings: bool,
     list_rules: bool,
+    format: Format,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -35,6 +45,7 @@ fn parse_args() -> Result<Options, String> {
         allowlist: None,
         deny_warnings: false,
         list_rules: false,
+        format: Format::Text,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -46,6 +57,13 @@ fn parse_args() -> Result<Options, String> {
                 opts.allowlist = Some(PathBuf::from(args.next().ok_or("--allowlist needs a file")?));
             }
             "--deny-warnings" => opts.deny_warnings = true,
+            "--format" => {
+                opts.format = match args.next().as_deref() {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    other => return Err(format!("--format must be text or json, got {other:?}")),
+                };
+            }
             "--list-rules" => opts.list_rules = true,
             "-h" | "--help" => {
                 print!("{USAGE}");
@@ -101,23 +119,42 @@ fn main() -> ExitCode {
         }
     };
 
-    for finding in &report.findings {
-        println!("{}\n", finding.render());
-    }
-    for (finding, reason) in &report.allowed {
-        println!(
-            "allowed {} {}:{} ({reason})",
-            finding.rule, finding.path, finding.line
-        );
-    }
-
     let errors = report.errors();
     let warnings = report.warnings();
-    println!(
-        "dv-lint: {} files scanned, {errors} error(s), {warnings} warning(s), {} allowlisted",
-        report.files,
-        report.allowed.len()
-    );
+
+    if opts.format == Format::Json {
+        println!("{}", report.to_json().render_pretty());
+        eprintln!(
+            "dv-lint: {} files scanned, {errors} error(s), {warnings} warning(s), \
+             {} allowlisted, {} suppressed inline",
+            report.files,
+            report.allowed.len(),
+            report.suppressed.len()
+        );
+    } else {
+        for finding in &report.findings {
+            println!("{}\n", finding.render());
+        }
+        for (finding, reason) in &report.allowed {
+            println!(
+                "allowed {} {}:{} ({reason})",
+                finding.rule, finding.path, finding.line
+            );
+        }
+        for (finding, reason) in &report.suppressed {
+            println!(
+                "suppressed {} {}:{} ({reason})",
+                finding.rule, finding.path, finding.line
+            );
+        }
+        println!(
+            "dv-lint: {} files scanned, {errors} error(s), {warnings} warning(s), \
+             {} allowlisted, {} suppressed inline",
+            report.files,
+            report.allowed.len(),
+            report.suppressed.len()
+        );
+    }
 
     if errors > 0 || (opts.deny_warnings && warnings > 0) {
         ExitCode::FAILURE

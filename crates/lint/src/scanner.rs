@@ -1,14 +1,19 @@
-//! Source model: comment- and string-stripped views of Rust files.
+//! Source model: token-stream-backed views of Rust files.
 //!
 //! Rules must match *code*, not prose: a doc comment explaining why
-//! `HashMap` is banned must not trip the `HashMap` rule. The scanner runs
-//! a small line-oriented state machine over the raw text and replaces the
-//! contents of comments (line, block — including nested blocks — and doc
-//! variants) and string literals (plain, raw, byte) with spaces, keeping
-//! every line's length and column positions intact so findings can point
-//! at the original text.
+//! `HashMap` is banned must not trip the `HashMap` rule. v1 solved this
+//! with a per-line state machine; v2 delegates to the real lexer
+//! ([`crate::lexer`]) and derives the sanitized line view from the token
+//! stream: comments and string/char literal *contents* are blanked while
+//! delimiters and every other byte stay at their original columns, so
+//! per-line pattern rules keep working unchanged and findings still point
+//! at raw source positions. Scope-aware rules read [`SourceFile::tokens`]
+//! directly.
 
-/// One scanned source file: raw lines plus their sanitized twins.
+use crate::lexer::{self, Token, TokenKind};
+
+/// One scanned source file: raw lines, their sanitized twins, and the
+/// spanned token stream both views are derived from.
 #[derive(Debug)]
 pub struct SourceFile {
     /// Workspace-relative path (display only).
@@ -17,28 +22,17 @@ pub struct SourceFile {
     pub raw: Vec<String>,
     /// Lines with comments and string/char literal contents blanked.
     pub code: Vec<String>,
-}
-
-#[derive(Clone, Copy, PartialEq)]
-enum Mode {
-    Code,
-    Block(u32),      // nesting depth of /* */
-    Str,             // inside "..."
-    RawStr(u32),     // inside r##"..."## with N hashes
+    /// The full token stream (comments included), in source order.
+    pub tokens: Vec<Token>,
 }
 
 impl SourceFile {
     /// Scan `source` (workspace-relative `path` is carried for display).
     pub fn parse(path: &str, source: &str) -> Self {
         let raw: Vec<String> = source.lines().map(str::to_string).collect();
-        let mut code = Vec::with_capacity(raw.len());
-        let mut mode = Mode::Code;
-        for line in &raw {
-            let (sanitized, next) = sanitize_line(line, mode);
-            code.push(sanitized);
-            mode = next;
-        }
-        Self { path: path.to_string(), raw, code }
+        let tokens = lexer::tokenize(source);
+        let code = sanitize(&raw, &tokens);
+        Self { path: path.to_string(), raw, code, tokens }
     }
 
     /// Sanitized lines paired with 1-based line numbers.
@@ -50,169 +44,71 @@ impl SourceFile {
     pub fn code_contains(&self, needle: &str) -> bool {
         self.code.iter().any(|l| l.contains(needle))
     }
+
+    /// Tokens with comments filtered out — the stream structural analysis
+    /// (scopes, lock nesting, cast operands) walks.
+    pub fn code_tokens(&self) -> Vec<&Token> {
+        self.tokens.iter().filter(|t| !t.is_comment()).collect()
+    }
 }
 
-/// Sanitize one line starting in `mode`; returns the blanked line and the
-/// mode the next line starts in.
-fn sanitize_line(line: &str, mut mode: Mode) -> (String, Mode) {
-    let bytes = line.as_bytes();
-    let mut out = vec![b' '; bytes.len()];
-    let mut i = 0;
-    while i < bytes.len() {
-        match mode {
-            Mode::Code => {
-                match bytes[i] {
-                    b'/' if bytes.get(i + 1) == Some(&b'/') => {
-                        // Line comment (incl. /// and //!): rest is blank.
-                        break;
-                    }
-                    b'/' if bytes.get(i + 1) == Some(&b'*') => {
-                        mode = Mode::Block(1);
-                        i += 2;
-                        continue;
-                    }
-                    b'"' => {
-                        mode = Mode::Str;
-                        out[i] = b'"';
-                        i += 1;
-                        continue;
-                    }
-                    b'r' | b'b'
-                        if is_raw_string_start(bytes, i) =>
-                    {
-                        let (hashes, start) = raw_string_open(bytes, i);
-                        for (o, slot) in out.iter_mut().enumerate().take(start).skip(i) {
-                            *slot = bytes[o];
+/// Build the sanitized line view: start from all-spaces lines of the raw
+/// lengths, then write every token back except comment bodies and
+/// literal contents (delimiters — quotes, prefixes, hashes — are kept so
+/// paired-quote heuristics and column arithmetic survive).
+fn sanitize(raw: &[String], tokens: &[Token]) -> Vec<String> {
+    let mut grid: Vec<Vec<u8>> = raw.iter().map(|l| vec![b' '; l.len()]).collect();
+    for t in tokens {
+        match t.kind {
+            TokenKind::LineComment | TokenKind::BlockComment => {}
+            TokenKind::Str => {
+                // Opening delimiter: everything up to and including the
+                // first quote (`"`, `r#"`, `br"`...).
+                if let Some(q) = t.text.find('"') {
+                    write_at(&mut grid, t.line, t.col, &t.text.as_bytes()[..=q]);
+                    // Closing delimiter: the last quote plus raw hashes,
+                    // if the literal is terminated.
+                    if let Some(last) = t.text.rfind('"') {
+                        if last > q {
+                            let tail = &t.text.as_bytes()[last..];
+                            write_at(&mut grid, t.end_line, t.end_col - tail.len(), tail);
                         }
-                        mode = Mode::RawStr(hashes);
-                        i = start;
-                        continue;
-                    }
-                    b'\'' => {
-                        // Char literal or lifetime. A char literal closes
-                        // within a few bytes; a lifetime has no closing '.
-                        if let Some(close) = char_literal_end(bytes, i) {
-                            out[i] = b'\'';
-                            out[close] = b'\'';
-                            i = close + 1;
-                            continue;
-                        }
-                        out[i] = bytes[i];
-                        i += 1;
-                        continue;
-                    }
-                    _ => {
-                        out[i] = bytes[i];
-                        i += 1;
                     }
                 }
             }
-            Mode::Block(depth) => {
-                if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
-                    mode = if depth == 1 { Mode::Code } else { Mode::Block(depth - 1) };
-                    i += 2;
-                } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
-                    mode = Mode::Block(depth + 1);
-                    i += 2;
-                } else {
-                    i += 1;
+            TokenKind::Char => {
+                // Keep the quotes (and a `b` prefix), blank the content.
+                if let Some(q) = t.text.find('\'') {
+                    write_at(&mut grid, t.line, t.col, &t.text.as_bytes()[..=q]);
+                }
+                if t.text.len() > 1 && t.text.ends_with('\'') {
+                    write_at(&mut grid, t.end_line, t.end_col - 1, b"'");
                 }
             }
-            Mode::Str => {
-                if bytes[i] == b'\\' {
-                    i += 2; // skip the escaped byte (may run past EOL: fine)
-                } else if bytes[i] == b'"' {
-                    out[i] = b'"';
-                    mode = Mode::Code;
-                    i += 1;
-                } else {
-                    i += 1;
-                }
-            }
-            Mode::RawStr(hashes) => {
-                if bytes[i] == b'"' && raw_string_closes(bytes, i, hashes) {
-                    let end = i + 1 + hashes as usize;
-                    for (o, slot) in out.iter_mut().enumerate().take(end).skip(i) {
-                        *slot = bytes[o];
-                    }
-                    mode = Mode::Code;
-                    i = end;
-                } else {
-                    i += 1;
-                }
-            }
+            _ => write_at(&mut grid, t.line, t.col, t.text.as_bytes()),
         }
     }
-    // Safety of from_utf8: we only copied ASCII bytes or wrote spaces over
-    // multi-byte sequences, which can split UTF-8; fall back lossily.
-    let s = String::from_utf8(out).unwrap_or_else(|e| {
-        String::from_utf8_lossy(e.as_bytes()).into_owned()
-    });
-    (s, mode)
+    grid.into_iter()
+        .map(|bytes| {
+            // Blanking multi-byte codepoints can split UTF-8; recover
+            // lossily (columns are byte offsets either way).
+            String::from_utf8(bytes)
+                .unwrap_or_else(|e| String::from_utf8_lossy(e.as_bytes()).into_owned())
+        })
+        .collect()
 }
 
-/// Is `r"`, `r#"`, `br"`, `br#"`... starting at `i`?
-fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
-    let mut j = i;
-    if bytes[j] == b'b' {
-        j += 1;
-    }
-    if bytes.get(j) != Some(&b'r') {
-        return false;
-    }
-    j += 1;
-    while bytes.get(j) == Some(&b'#') {
-        j += 1;
-    }
-    bytes.get(j) == Some(&b'"')
-}
-
-/// Number of `#`s and the index just past the opening quote.
-fn raw_string_open(bytes: &[u8], i: usize) -> (u32, usize) {
-    let mut j = i;
-    if bytes[j] == b'b' {
-        j += 1;
-    }
-    j += 1; // the 'r'
-    let mut hashes = 0;
-    while bytes.get(j) == Some(&b'#') {
-        hashes += 1;
-        j += 1;
-    }
-    (hashes, j + 1) // past the '"'
-}
-
-fn raw_string_closes(bytes: &[u8], i: usize, hashes: u32) -> bool {
-    (1..=hashes as usize).all(|k| bytes.get(i + k) == Some(&b'#'))
-}
-
-/// If a char literal opens at `i`, the index of its closing quote.
-fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
-    // 'x', '\n', '\u{1F600}' — scan a bounded window for the close.
-    let mut j = i + 1;
-    if bytes.get(j) == Some(&b'\\') {
-        j += 2;
-        // \u{...}
-        while j < bytes.len() && bytes[j] != b'\'' && j < i + 12 {
-            j += 1;
+/// Copy `bytes` into the grid at (1-based `line`, byte `col`), clipped to
+/// the line's length.
+fn write_at(grid: &mut [Vec<u8>], line: usize, col: usize, bytes: &[u8]) {
+    let Some(row) = grid.get_mut(line - 1) else {
+        return;
+    };
+    for (k, &b) in bytes.iter().enumerate() {
+        if let Some(slot) = row.get_mut(col + k) {
+            *slot = b;
         }
-        return (bytes.get(j) == Some(&b'\'')).then_some(j);
     }
-    // Plain char: exactly one (possibly multi-byte) char then '.
-    let mut k = j + 1;
-    while k < bytes.len() && k <= j + 4 {
-        if bytes[k] == b'\'' {
-            // Reject `'a` (lifetime) patterns: need a closing quote right
-            // after one character, which this is.
-            return Some(k);
-        }
-        // Multi-byte UTF-8 continuation bytes.
-        if bytes[k] & 0xC0 != 0x80 {
-            break;
-        }
-        k += 1;
-    }
-    None
 }
 
 #[cfg(test)]
@@ -270,6 +166,17 @@ mod tests {
     }
 
     #[test]
+    fn quote_char_literal_does_not_flip_string_mode() {
+        // Regression: a `'"'` char literal must not open string mode and
+        // blank the rest of the file (the charlit fixture pair proves the
+        // same through the rule engine).
+        let c = code_of("let c = '\"';\nlet m = HashMap::new();\nInstant::now();");
+        assert!(c[1].contains("HashMap::new()"));
+        assert!(c[2].contains("Instant::now()"));
+        assert!(!c[0].contains('"'), "char literal content must be blanked: {:?}", c[0]);
+    }
+
+    #[test]
     fn multiline_strings_are_blanked() {
         let c = code_of("let s = \"start\nHashMap inside\nend\"; let z = 9;");
         assert!(!c.join("\n").contains("HashMap"));
@@ -282,5 +189,14 @@ mod tests {
         let c = code_of(src);
         assert_eq!(c[0].len(), src.len());
         assert_eq!(&c[0][12..15], "def");
+    }
+
+    #[test]
+    fn every_line_keeps_its_byte_length() {
+        let src = "fn f() {\n  let s = \"a\nb\"; let c = '\u{e9}'; // tail\n}\n";
+        let f = SourceFile::parse("t.rs", src);
+        for (raw, code) in f.raw.iter().zip(&f.code) {
+            assert_eq!(raw.len(), code.len());
+        }
     }
 }

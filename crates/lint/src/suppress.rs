@@ -1,0 +1,175 @@
+//! Inline suppressions: `// dv-lint: allow(DV-W0NN, reason = "...")`.
+//!
+//! `lint.toml` is the right place for long-lived audited exceptions; the
+//! inline form exists for findings whose justification belongs next to
+//! the code (a provably-masked cast, a documented lock order). The
+//! grammar is strict on purpose:
+//!
+//! * exactly one rule id per comment,
+//! * a `reason` string is mandatory and must be non-empty,
+//! * the comment applies to its own line, or — when it stands alone on a
+//!   line — to the next line that contains code.
+//!
+//! A malformed suppression is itself reported (`DV-S001`), and so is a
+//! suppression that matched nothing (`DV-S002`): silencers that rot must
+//! not outlive what they silenced.
+
+use crate::scanner::SourceFile;
+
+/// One parsed inline suppression.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// The rule id it silences (`DV-W011`).
+    pub rule: String,
+    /// The mandatory justification.
+    pub reason: String,
+    /// 1-based line the suppression applies to.
+    pub target_line: usize,
+    /// 1-based line of the comment itself.
+    pub at_line: usize,
+}
+
+/// A suppression comment that does not parse.
+#[derive(Debug, Clone)]
+pub struct Malformed {
+    /// 1-based line of the comment.
+    pub line: usize,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+/// The marker every suppression comment carries.
+const MARKER: &str = "dv-lint:";
+
+/// Collect the file's inline suppressions and malformed attempts.
+pub fn collect(file: &SourceFile) -> (Vec<Suppression>, Vec<Malformed>) {
+    let mut found = Vec::new();
+    let mut bad = Vec::new();
+    for t in &file.tokens {
+        // Only plain `//` line comments: doc comments are prose (they may
+        // quote the grammar), and a directive buried mid-sentence is not
+        // a directive.
+        if t.kind != crate::lexer::TokenKind::LineComment {
+            continue;
+        }
+        let content = t.text.trim_start_matches('/');
+        if t.text.starts_with("///") || t.text.starts_with("//!") {
+            continue;
+        }
+        let content = content.trim();
+        let Some(rest) = content.strip_prefix(MARKER) else {
+            continue;
+        };
+        let body = rest.trim();
+        match parse_body(body) {
+            Ok((rule, reason)) => {
+                let target_line = if comment_alone_on_line(file, t.line, t.col) {
+                    next_code_line(file, t.line).unwrap_or(t.line)
+                } else {
+                    t.line
+                };
+                found.push(Suppression { rule, reason, target_line, at_line: t.line });
+            }
+            Err(message) => bad.push(Malformed { line: t.line, message }),
+        }
+    }
+    (found, bad)
+}
+
+/// Parse `allow(DV-W0NN, reason = "...")`.
+fn parse_body(body: &str) -> Result<(String, String), String> {
+    let inner = body
+        .strip_prefix("allow(")
+        .and_then(|r| r.trim_end().strip_suffix(')'))
+        .ok_or_else(|| format!("expected `allow(DV-XNNN, reason = \"...\")`, got {body:?}"))?;
+    let (rule, rest) = inner
+        .split_once(',')
+        .ok_or_else(|| "suppression has no `reason` — every inline allow must be justified".to_string())?;
+    let rule = rule.trim();
+    if !rule.starts_with("DV-") || rule.len() < 6 {
+        return Err(format!("{rule:?} is not a dv-lint rule id"));
+    }
+    let value = rest
+        .trim()
+        .strip_prefix("reason")
+        .map(str::trim_start)
+        .and_then(|r| r.strip_prefix('='))
+        .map(str::trim)
+        .ok_or_else(|| "expected `reason = \"...\"` after the rule id".to_string())?;
+    let reason = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| "reason must be a double-quoted string".to_string())?;
+    if reason.trim().is_empty() {
+        return Err("reason must not be empty".to_string());
+    }
+    Ok((rule.to_string(), reason.to_string()))
+}
+
+/// Is the comment starting at `col` the only thing on its line?
+fn comment_alone_on_line(file: &SourceFile, line: usize, col: usize) -> bool {
+    file.code
+        .get(line - 1)
+        .map(|code| code[..col.min(code.len())].trim().is_empty())
+        .unwrap_or(true)
+}
+
+/// The next line after `line` whose sanitized form contains code.
+fn next_code_line(file: &SourceFile, line: usize) -> Option<usize> {
+    (line + 1..=file.code.len()).find(|&n| !file.code[n - 1].trim().is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> (Vec<Suppression>, Vec<Malformed>) {
+        collect(&SourceFile::parse("crates/x/src/y.rs", src))
+    }
+
+    #[test]
+    fn same_line_suppression_targets_its_line() {
+        let (s, bad) = run(
+            "let x = port as u16; // dv-lint: allow(DV-W011, reason = \"masked above\")\n",
+        );
+        assert!(bad.is_empty());
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].rule, "DV-W011");
+        assert_eq!(s[0].reason, "masked above");
+        assert_eq!(s[0].target_line, 1);
+    }
+
+    #[test]
+    fn standalone_suppression_targets_next_code_line() {
+        let (s, _) = run(
+            "// dv-lint: allow(DV-W012, reason = \"documented order\")\n\nlet g = a.lock();\n",
+        );
+        assert_eq!(s[0].at_line, 1);
+        assert_eq!(s[0].target_line, 3);
+    }
+
+    #[test]
+    fn missing_reason_is_malformed() {
+        let (s, bad) = run("// dv-lint: allow(DV-W011)\nlet x = 1;\n");
+        assert!(s.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].message.contains("reason"));
+    }
+
+    #[test]
+    fn empty_reason_and_bad_ids_are_malformed() {
+        let (_, bad) = run("// dv-lint: allow(DV-W011, reason = \"  \")\n");
+        assert_eq!(bad.len(), 1);
+        let (_, bad) = run("// dv-lint: allow(clippy::foo, reason = \"x\")\n");
+        assert_eq!(bad.len(), 1);
+        let (_, bad) = run("// dv-lint: allow(DV-W011, reason = unquoted)\n");
+        assert_eq!(bad.len(), 1);
+    }
+
+    #[test]
+    fn ordinary_comments_are_ignored() {
+        let (s, bad) = run("// mentions dv-lint in prose, not a directive\nlet x = 1;\n");
+        assert!(s.is_empty());
+        assert!(bad.is_empty());
+    }
+}

@@ -206,14 +206,20 @@ impl Sim {
     }
 
     fn parked_foreground_names(&self) -> Vec<String> {
-        let reg = self.shared.registry.lock();
+        // Take the pids under the registry lock alone, then resolve names
+        // under the kernel lock alone — holding both invites lock-order
+        // trouble (DV-W012) for no benefit on this cold error path.
+        let pids: Vec<usize> = {
+            let reg = self.shared.registry.lock();
+            reg.slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !s.daemon && !s.finished)
+                .map(|(pid, _)| pid)
+                .collect()
+        };
         let kernel = self.shared.kernel.lock();
-        reg.slots
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| !s.daemon && !s.finished)
-            .map(|(pid, _)| kernel.proc_names[pid].clone())
-            .collect()
+        pids.into_iter().map(|pid| kernel.proc_names[pid].clone()).collect()
     }
 
     /// Unblock every parked thread (their `park()` unwinds with a private

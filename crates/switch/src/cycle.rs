@@ -272,8 +272,8 @@ impl SwitchSim {
     pub fn enqueue(&mut self, src_port: usize, dst_port: usize, tag: u64) {
         assert!(src_port < self.ports && dst_port < self.ports);
         self.queues[src_port].push_back(Queued {
-            src_port: src_port as u32,
-            dst_port: dst_port as u32,
+            src_port: u32::try_from(src_port).expect("port index fits in u32"),
+            dst_port: u32::try_from(dst_port).expect("port index fits in u32"),
             tag,
             enqueue_cycle: self.cycle,
         });
@@ -314,7 +314,9 @@ impl SwitchSim {
                         // `port_position` via the hoisted mask/shift:
                         // height is a power of two, but a runtime `%`/`/`
                         // would still compile to real divisions.
+                        // dv-lint: allow(DV-W011, reason = "masked to h_mask, and height <= ports <= 2^16 by construction; checked conversion would put a branch in the per-cycle inject loop")
                         dst_h: (dst & self.h_mask) as u16,
+                        // dv-lint: allow(DV-W011, reason = "dst >> h_shift is an angle index < angles <= ports <= 2^16; checked conversion would put a branch in the per-cycle inject loop")
                         dst_a: (dst >> self.h_shift) as u16,
                     };
                     self.pool[handle as usize] = Flit {
@@ -418,6 +420,7 @@ impl SwitchSim {
                     debug_assert_eq!(h, slot.dst_h as usize);
                     if a == slot.dst_a as usize {
                         let p = pool[slot.handle as usize];
+                        // dv-lint: allow(DV-W011, reason = "flight time is bounded by the run's cycle count, far below 2^32; Delivered.hops is u32 and this is the per-ejection hot loop")
                         let hops = (cycle - p.inject_cycle - 1) as u32;
                         ejected += 1;
                         free_list.push(slot.handle);
@@ -539,6 +542,7 @@ impl SwitchSim {
                             let p = pool[slot.handle as usize];
                             // A flit moves exactly one hop per in-flight
                             // cycle, and the ejecting cycle is not a hop.
+                            // dv-lint: allow(DV-W011, reason = "flight time is bounded by the run's cycle count, far below 2^32; Delivered.hops is u32 and this is the per-ejection hot loop")
                             let hops = (cycle - p.inject_cycle - 1) as u32;
                             ejected += 1;
                             free_list.push(slot.handle);

@@ -200,7 +200,9 @@ impl Vic {
                 // status page (the recovery layer's ack substrate). Not a
                 // software memory write, so not counted in `mem_writes`.
                 if pkt.header.src < FIFO_RECV_SLOTS {
-                    let slot = FIFO_RECV_BASE + pkt.header.src as u32;
+                    let src =
+                        u32::try_from(pkt.header.src).expect("guarded: src < FIFO_RECV_SLOTS");
+                    let slot = FIFO_RECV_BASE + src;
                     self.memory.write(slot, self.memory.read(slot) + 1);
                 }
                 self.fifo.waiters().wake_all(kernel);

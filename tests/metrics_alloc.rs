@@ -13,13 +13,17 @@ struct CountingAlloc;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: pure pass-through to the System allocator plus one relaxed
+// counter bump; all GlobalAlloc contract obligations are System's own.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: layout is forwarded unchanged to the System allocator.
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: ptr/layout came from the matching System.alloc above.
         unsafe { System.dealloc(ptr, layout) }
     }
 }
