@@ -84,7 +84,7 @@ impl DvWorld {
         let link = config.dv.link_gbps;
         let fault_injector =
             config.faults.as_ref().map(|plan| LinkFaultInjector::new(plan.clone(), nodes));
-        Arc::new(Self {
+        let world = Arc::new(Self {
             vics: (0..nodes)
                 .map(|n| {
                     Arc::new(Mutex::new_named(
@@ -105,7 +105,40 @@ impl DvWorld {
             switch,
             config,
             nodes,
-        })
+        });
+        // Interval telemetry: when a timeseries is attached to the
+        // registry, flush VIC counters and instantaneous gauges right
+        // before each sample so per-interval deltas carry FIFO depth,
+        // drops, and switch load. The hook holds a weak reference — the
+        // registry often outlives the world (benches keep it for the
+        // final report), and a strong cycle would leak every VIC.
+        if world.metrics.is_enabled() {
+            let weak = Arc::downgrade(&world);
+            world.metrics.register_flush(move |m, _now| {
+                if let Some(w) = weak.upgrade() {
+                    w.flush_interval(m);
+                }
+            });
+        }
+        world
+    }
+
+    /// Publish everything accumulated since the previous flush plus the
+    /// instantaneous state gauges. Called by the sampler hook before each
+    /// timeseries sample; the end-of-run publish in `DvCluster` performs
+    /// the same incremental flush, so interval deltas always sum to the
+    /// final totals.
+    fn flush_interval(&self, metrics: &MetricsRegistry) {
+        for (n, vic) in self.vics.iter().enumerate() {
+            let mut vic = vic.lock();
+            vic.publish_metrics(metrics);
+            metrics.gauge_labeled(
+                "vic.fifo.depth",
+                &[("node", (n as u64).into())],
+                vic.fifo.len() as f64,
+            );
+        }
+        metrics.gauge("switch.load", self.load());
     }
 
     /// Cluster size.

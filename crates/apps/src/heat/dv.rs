@@ -37,8 +37,18 @@ fn face_region(cfg: &HeatConfig, f: Face, parity: usize) -> u32 {
 
 /// Run the heat solver on the Data Vortex.
 pub fn run(cfg: HeatConfig) -> HeatRunResult {
+    run_instrumented(cfg, dv_core::metrics::MetricsRegistry::disabled_shared())
+}
+
+/// [`run`] with a metrics registry attached, so streaming benches can
+/// watch halo-exchange traffic at virtual-time intervals.
+pub fn run_instrumented(
+    cfg: HeatConfig,
+    metrics: std::sync::Arc<dv_core::metrics::MetricsRegistry>,
+) -> HeatRunResult {
     let nodes = cfg.nodes();
-    let (elapsed, results) = dv_api::DvCluster::new(nodes).run(move |dv, ctx| {
+    let cluster = dv_api::DvCluster::new(nodes).with_metrics(metrics);
+    let (elapsed, results) = cluster.run(move |dv, ctx| {
         let me = dv.node();
         let compute = ComputeParams::default();
         let mut block = LocalBlock::new(&cfg, me);

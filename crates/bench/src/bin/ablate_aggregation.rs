@@ -14,6 +14,21 @@ fn main() {
     } else {
         GupsConfig { table_per_node: 1 << 12, updates_per_node: 1 << 13, bucket: 1024, stream_offset: 0 }
     };
+    // `--stream`: one representative instrumented run (8-node aggregated
+    // GUPS) emits dv-events-v1 telemetry before the ablation proper.
+    if dv_bench::stream::stream_path().is_some() {
+        let metrics = std::sync::Arc::new(dv_core::metrics::MetricsRegistry::enabled());
+        let streamer = dv_bench::Streamer::attach(&metrics, "ablate_aggregation", 8)
+            .expect("--stream was passed");
+        let r = dv::run_instrumented(
+            cfg,
+            8,
+            MachineConfig::paper_cluster(),
+            std::sync::Arc::new(dv_core::trace::Tracer::disabled()),
+            std::sync::Arc::clone(&metrics),
+        );
+        streamer.finish(r.elapsed);
+    }
     let mut rows = Vec::new();
     for nodes in [4usize, 8, 16] {
         let with = dv::run_with(cfg, nodes, MachineConfig::paper_cluster(), true);

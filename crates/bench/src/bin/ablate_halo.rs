@@ -20,7 +20,19 @@ fn main() {
             HeatConfig { n: (32, 32, 32), grid: (4, 4, 2), r: 0.1, steps: 24, report_every: 4, halo }
         }
     };
-    let dv = heat::dv::run(cfg(Halo::Face));
+    // `--stream`: the fixed DV heat run emits dv-events-v1 telemetry when
+    // streaming; plain runs take the uninstrumented path.
+    let dv = if dv_bench::stream::stream_path().is_some() {
+        let c = cfg(Halo::Face);
+        let metrics = std::sync::Arc::new(dv_core::metrics::MetricsRegistry::enabled());
+        let streamer = dv_bench::Streamer::attach(&metrics, "ablate_halo", c.nodes())
+            .expect("--stream was passed");
+        let r = heat::dv::run_instrumented(c, std::sync::Arc::clone(&metrics));
+        streamer.finish(r.elapsed);
+        r
+    } else {
+        heat::dv::run(cfg(Halo::Face))
+    };
     let mut rows = Vec::new();
     for (name, halo) in [
         ("per-line messages (paper's description)", Halo::Line),

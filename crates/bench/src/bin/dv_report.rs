@@ -95,13 +95,49 @@ fn run_gate(args: &[String]) -> i32 {
     0
 }
 
+/// Render dv-events-v1 streams as virtual-time timelines; returns the
+/// process exit code.
+fn run_timeline(files: &[String]) -> i32 {
+    if files.is_empty() {
+        eprintln!("usage: dv-report --timeline <stream.jsonl> [more ...]");
+        return 2;
+    }
+    let mut code = 0;
+    for file in files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                code = 1;
+                continue;
+            }
+        };
+        match dv_bench::stream::parse_stream(&text) {
+            Ok(doc) => {
+                println!("# {file}");
+                println!("{}", dv_bench::stream::render_timeline(&doc));
+            }
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                code = 1;
+            }
+        }
+    }
+    code
+}
+
 fn main() {
     let files: Vec<String> = std::env::args().skip(1).collect();
     if files.first().map(String::as_str) == Some("--gate") {
         std::process::exit(run_gate(&files[1..]));
     }
+    if files.first().map(String::as_str) == Some("--timeline") {
+        std::process::exit(run_timeline(&files[1..]));
+    }
     if files.is_empty() {
-        eprintln!("usage: dv-report <file.json> [more.json ...] | dv-report --gate <cur> <prev>");
+        eprintln!(
+            "usage: dv-report <file.json> [more.json ...] | dv-report --gate <cur> <prev> | dv-report --timeline <stream.jsonl>"
+        );
         std::process::exit(2);
     }
     let mut failed = false;

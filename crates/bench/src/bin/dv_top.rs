@@ -1,0 +1,367 @@
+//! dv-top — a live command center for `dv-events-v1` telemetry streams.
+//!
+//! Tails the JSONL stream any benchmark binary writes behind
+//! `--stream <path>` and redraws a terminal dashboard at ~10 Hz: switch
+//! load, per-interval packet/drop/deflection/backpressure meters, and
+//! per-node VIC surprise-FIFO depth sparklines. The TUI is hand-rolled
+//! ANSI — no external crates — and every number comes from the same
+//! `IntervalSignals` extraction `dv-report --timeline` uses.
+//!
+//! Usage:
+//!   `dv-top <stream.jsonl>`           tail a live stream (ANSI, ~10 Hz)
+//!   `dv-top --replay <stream.jsonl>`  animate a finished stream
+//!   `dv-top --replay --once <file>`   headless one-shot for CI: parse the
+//!                                     whole stream strictly and print one
+//!                                     final dashboard frame with zero
+//!                                     escape codes
+//!   `--interval-ms <n>`               redraw period (default 100)
+//!
+//! Live mode is the one place in the workspace that may read the wall
+//! clock: the *sampling* path (`dv_core::metrics`, the scheduler, the
+//! stream emitter) is strictly virtual-time, so the dashboard's refresh
+//! rate can never perturb the stream it is watching.
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+
+use dv_bench::stream::{
+    parse_line, parse_stream, IntervalSignals, StreamEnd, StreamHeader, StreamLine, StreamSample,
+};
+use dv_core::time::us;
+
+/// Sparkline columns kept per node.
+const HIST_W: usize = 48;
+/// ASCII intensity ramp for sparklines and meters (escape-free so the
+/// `--once` frame is plain text).
+const SPARK: &[u8] = b" .:-=+*#%@";
+/// Meter bar width.
+const BAR_W: usize = 20;
+
+/// Rolling per-node FIFO-depth history.
+#[derive(Default)]
+struct NodeFifo {
+    hist: Vec<f64>,
+    max: f64,
+    pending: Option<f64>,
+}
+
+/// Everything the dashboard shows, folded incrementally from stream lines
+/// so live tailing and `--once` replay render through the same code.
+#[derive(Default)]
+struct Dashboard {
+    header: Option<StreamHeader>,
+    end: Option<StreamEnd>,
+    samples: u64,
+    t_ps: u64,
+    /// Carried `switch.load` / occupancy gauge (deltas omit it when
+    /// unchanged).
+    load: Option<f64>,
+    /// packets / drops / deflections / backpressure.
+    last: [u64; 4],
+    peak: [u64; 4],
+    totals: [u64; 4],
+    fifo: BTreeMap<u64, NodeFifo>,
+    bad_lines: u64,
+}
+
+impl Dashboard {
+    /// Fold one raw stream line in; malformed lines are counted, not
+    /// fatal (a live writer may race the reader mid-line).
+    fn ingest(&mut self, line: &str) {
+        if line.trim().is_empty() {
+            return;
+        }
+        match parse_line(line) {
+            Ok(StreamLine::Header(h)) => self.header = Some(h),
+            Ok(StreamLine::Sample(s)) => self.ingest_sample(&s),
+            Ok(StreamLine::End(e)) => self.end = Some(e),
+            Err(_) => self.bad_lines += 1,
+        }
+    }
+
+    /// Fold one parsed sample in.
+    fn ingest_sample(&mut self, s: &StreamSample) {
+        self.samples += 1;
+        self.t_ps = s.t_ps;
+        let sig = IntervalSignals::from_delta(&s.delta);
+        self.load = sig.load.or(self.load);
+        let vals = [sig.packets, sig.drops, sig.deflections, sig.backpressure];
+        for (i, v) in vals.into_iter().enumerate() {
+            self.last[i] = v;
+            self.peak[i] = self.peak[i].max(v);
+            self.totals[i] += v;
+        }
+        for ((name, labels), &v) in s.delta.gauges() {
+            if name == "vic.fifo.depth" {
+                if let Some(n) = labels.get("node").and_then(|n| n.parse::<u64>().ok()) {
+                    self.fifo.entry(n).or_default().pending = Some(v);
+                }
+            }
+        }
+        // Nodes whose gauge was unchanged this interval repeat their last
+        // value so every sparkline stays time-aligned.
+        for f in self.fifo.values_mut() {
+            let v = f.pending.take().unwrap_or_else(|| f.hist.last().copied().unwrap_or(0.0));
+            f.max = f.max.max(v);
+            f.hist.push(v);
+            if f.hist.len() > HIST_W {
+                f.hist.remove(0);
+            }
+        }
+    }
+
+    /// Render one plain-text frame (no escape codes; live mode adds them
+    /// around this).
+    fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        match &self.header {
+            Some(h) => {
+                let _ = writeln!(
+                    out,
+                    "dv-top — {} ({} nodes, {} µs sampling{})",
+                    h.bench,
+                    h.nodes,
+                    h.interval_ps / us(1),
+                    if h.quick { ", --quick" } else { "" },
+                );
+            }
+            None => {
+                let _ = writeln!(out, "dv-top — waiting for stream header");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "t = {:.1} µs   {} samples",
+            self.t_ps as f64 / us(1) as f64,
+            self.samples
+        );
+        let _ = writeln!(out);
+        let load = self.load.unwrap_or(0.0);
+        let _ = writeln!(out, "load          [{}] {load:.3}", bar(load, 1.0));
+        for (i, name) in ["packets", "drops", "deflections", "backpressure"].iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{name:<13} [{}] {:>8}/interval   peak {:>8}   total {:>10}",
+                bar(self.last[i] as f64, self.peak[i] as f64),
+                self.last[i],
+                self.peak[i],
+                self.totals[i],
+            );
+        }
+        if !self.fifo.is_empty() {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "vic surprise-FIFO depth (last {HIST_W} samples)");
+            for (node, f) in &self.fifo {
+                let cur = f.hist.last().copied().unwrap_or(0.0);
+                let _ = writeln!(
+                    out,
+                    "  node {node:>3} [{:<HIST_W$}] {cur:>6.0}  peak {:>6.0}",
+                    spark(&f.hist, f.max),
+                    f.max,
+                );
+            }
+        }
+        if let Some(e) = &self.end {
+            let _ = writeln!(out);
+            let _ = writeln!(
+                out,
+                "end of stream: t = {:.1} µs, {} samples, fnv {:016x}",
+                e.t_ps as f64 / us(1) as f64,
+                e.samples,
+                e.fnv,
+            );
+        }
+        if self.bad_lines > 0 {
+            let _ = writeln!(out, "({} unparsable lines skipped)", self.bad_lines);
+        }
+        out
+    }
+}
+
+/// A `BAR_W`-wide `#`-meter for `v` out of `max`.
+fn bar(v: f64, max: f64) -> String {
+    let filled = if max <= 0.0 {
+        0
+    } else {
+        ((v / max).clamp(0.0, 1.0) * BAR_W as f64).round() as usize
+    };
+    let mut s = "#".repeat(filled);
+    s.push_str(&"-".repeat(BAR_W - filled));
+    s
+}
+
+/// ASCII sparkline of `hist` scaled against `max`.
+fn spark(hist: &[f64], max: f64) -> String {
+    hist.iter()
+        .map(|&v| {
+            let i = if max <= 0.0 {
+                0
+            } else {
+                ((v / max).clamp(0.0, 1.0) * (SPARK.len() - 1) as f64).round() as usize
+            };
+            SPARK[i.min(SPARK.len() - 1)] as char
+        })
+        .collect()
+}
+
+/// Redraw a frame in place: home the cursor, rewrite each line with a
+/// clear-to-eol, then clear everything below.
+fn draw_ansi(frame: &str) {
+    let mut buf = String::from("\x1b[H");
+    for line in frame.lines() {
+        buf.push_str(line);
+        buf.push_str("\x1b[K\r\n");
+    }
+    buf.push_str("\x1b[J");
+    let mut out = std::io::stdout().lock();
+    let _ = out.write_all(buf.as_bytes()).and_then(|_| out.flush());
+}
+
+/// Headless one-shot: parse the whole stream strictly, print one plain
+/// frame. The CI mode (`--replay --once`).
+fn run_once(path: &str) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return 1;
+        }
+    };
+    let doc = match parse_stream(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return 1;
+        }
+    };
+    let mut dash = Dashboard { header: Some(doc.header.clone()), ..Default::default() };
+    for s in &doc.samples {
+        dash.ingest_sample(s);
+    }
+    dash.end = doc.end;
+    print!("{}", dash.render());
+    0
+}
+
+/// Animate a finished stream: one frame per sample at the redraw period.
+fn run_replay(path: &str, interval_ms: u64) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return 1;
+        }
+    };
+    let doc = match parse_stream(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return 1;
+        }
+    };
+    print!("\x1b[2J");
+    let mut dash = Dashboard { header: Some(doc.header.clone()), ..Default::default() };
+    for s in &doc.samples {
+        dash.ingest_sample(s);
+        draw_ansi(&dash.render());
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+    dash.end = doc.end;
+    draw_ansi(&dash.render());
+    0
+}
+
+/// Tail a (possibly still-growing) stream file until its end record.
+fn run_tail(path: &str, interval_ms: u64) -> i32 {
+    use std::io::Read as _;
+    let period = std::time::Duration::from_millis(interval_ms);
+    let mut file = loop {
+        match std::fs::File::open(path) {
+            Ok(f) => break f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                print!("\x1b[2J\x1b[Hdv-top: waiting for {path} ...");
+                let _ = std::io::stdout().flush();
+                std::thread::sleep(period);
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return 1;
+            }
+        }
+    };
+    print!("\x1b[2J");
+    let mut dash = Dashboard::default();
+    let mut pending = String::new();
+    let mut buf = Vec::new();
+    loop {
+        buf.clear();
+        if let Err(e) = file.read_to_end(&mut buf) {
+            eprintln!("{path}: {e}");
+            return 1;
+        }
+        pending.push_str(&String::from_utf8_lossy(&buf));
+        while let Some(nl) = pending.find('\n') {
+            let line: String = pending.drain(..=nl).collect();
+            dash.ingest(&line);
+        }
+        draw_ansi(&dash.render());
+        if dash.end.is_some() {
+            return 0;
+        }
+        std::thread::sleep(period);
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: dv-top [--replay] [--once] [--interval-ms N] <stream.jsonl>\n\
+         \x20 (default)        tail a live dv-events-v1 stream at ~10 Hz\n\
+         \x20 --replay         animate a finished stream sample by sample\n\
+         \x20 --once           headless: print one plain-text frame and exit\n\
+         \x20 --interval-ms N  redraw period in milliseconds (default 100)"
+    );
+}
+
+fn main() {
+    let mut path: Option<String> = None;
+    let mut replay = false;
+    let mut once = false;
+    let mut interval_ms: u64 = 100;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--replay" => replay = true,
+            "--once" => once = true,
+            "--interval-ms" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) if n > 0 => interval_ms = n,
+                _ => {
+                    eprintln!("--interval-ms requires a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                usage();
+                return;
+            }
+            _ if a.starts_with("--") => {
+                eprintln!("unknown flag {a}");
+                usage();
+                std::process::exit(2);
+            }
+            _ => path = Some(a),
+        }
+    }
+    let Some(path) = path else {
+        usage();
+        std::process::exit(2);
+    };
+    let code = if once {
+        run_once(&path)
+    } else if replay {
+        run_replay(&path, interval_ms)
+    } else {
+        run_tail(&path, interval_ms)
+    };
+    std::process::exit(code);
+}

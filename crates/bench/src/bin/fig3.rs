@@ -5,11 +5,26 @@
 //! `DWr/NoCached`, `DWr/Cached`, `DMA/Cached`, `MPI`.
 
 use dv_api::SendMode;
-use dv_bench::{f2, quick, serial, Report};
-use dv_kernels::pingpong::{dv_pingpong, mpi_pingpong};
+use dv_bench::{f2, quick, serial, Report, Streamer};
+use dv_kernels::pingpong::{dv_pingpong, dv_pingpong_instrumented, mpi_pingpong};
 
 fn main() {
     let max_log = if quick() { 14 } else { 18 };
+    // `--stream`: run one representative instrumented ping-pong (largest
+    // size, DMA/Cached — the headline curve) and emit its dv-events-v1
+    // telemetry before the sweep proper.
+    if dv_bench::stream::stream_path().is_some() {
+        let metrics = std::sync::Arc::new(dv_core::metrics::MetricsRegistry::enabled());
+        let streamer = Streamer::attach(&metrics, "fig3", 2).expect("--stream was passed");
+        let words = 1usize << max_log;
+        let r = dv_pingpong_instrumented(
+            words,
+            2,
+            SendMode::Dma { cached_headers: true },
+            std::sync::Arc::clone(&metrics),
+        );
+        streamer.finish(r.elapsed);
+    }
     let sizes: Vec<usize> = (0..=max_log).step_by(2).map(|l| 1usize << l).collect();
     let reps = |words: usize| if words >= 1 << 14 { 1 } else { 4 };
 

@@ -1,11 +1,24 @@
 //! Figure 4: global barrier latency vs node count.
 
-use dv_bench::{f3, quick, Report};
+use dv_bench::{f3, quick, Report, Streamer};
 use dv_core::time::as_us_f64;
-use dv_kernels::barrier::{barrier_latency, BarrierKind};
+use dv_kernels::barrier::{barrier_latency, barrier_latency_instrumented, BarrierKind};
 
 fn main() {
     let reps = if quick() { 100 } else { 1000 };
+    // `--stream`: one representative instrumented run (32-node hardware
+    // barrier) emits dv-events-v1 telemetry before the sweep proper.
+    if dv_bench::stream::stream_path().is_some() {
+        let metrics = std::sync::Arc::new(dv_core::metrics::MetricsRegistry::enabled());
+        let streamer = Streamer::attach(&metrics, "fig4", 32).expect("--stream was passed");
+        let per_barrier = barrier_latency_instrumented(
+            BarrierKind::DvIntrinsic,
+            32,
+            reps,
+            std::sync::Arc::clone(&metrics),
+        );
+        streamer.finish(per_barrier * reps as u64);
+    }
     let mut rows = Vec::new();
     for nodes in [2usize, 4, 8, 16, 32] {
         let dv = barrier_latency(BarrierKind::DvIntrinsic, nodes, reps);

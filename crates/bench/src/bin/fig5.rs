@@ -58,6 +58,9 @@ fn main() {
     // Vortex — mostly sends and short waits instead of collectives.
     let dv_tracer = Arc::new(Tracer::enabled());
     let dv_metrics = Arc::new(MetricsRegistry::enabled());
+    // `--stream`: the Data Vortex GUPS run emits live dv-events-v1
+    // telemetry (the MPI run above stays un-streamed).
+    let streamer = dv_bench::Streamer::attach(&dv_metrics, "fig5", nodes);
     let dv_result = dv::run_instrumented(
         cfg,
         nodes,
@@ -65,6 +68,9 @@ fn main() {
         Arc::clone(&dv_tracer),
         Arc::clone(&dv_metrics),
     );
+    if let Some(s) = streamer {
+        s.finish(dv_result.elapsed);
+    }
     println!("\nExtension — the same GUPS run on the Data Vortex\n");
     println!("{}", dv_tracer.render_ascii(nodes, 100, None));
     println!(

@@ -32,6 +32,11 @@ fn main() {
         machine.faults = fault_plan.clone();
         let dv_tracer = Arc::new(Tracer::enabled());
         let dv_metrics = Arc::new(MetricsRegistry::enabled());
+        // `--stream`: the 4-node Data Vortex run emits live dv-events-v1
+        // telemetry (one stream per invocation; later runs are summarized
+        // in the `--json` artifact as usual).
+        let streamer =
+            if nodes == 4 { dv_bench::Streamer::attach(&dv_metrics, "fig6", nodes) } else { None };
         let d = dv::run_instrumented(
             cfg,
             nodes,
@@ -39,6 +44,9 @@ fn main() {
             Arc::clone(&dv_tracer),
             Arc::clone(&dv_metrics),
         );
+        if let Some(s) = streamer {
+            s.finish(d.elapsed);
+        }
         let mpi_metrics = Arc::new(MetricsRegistry::enabled());
         let m = mpi::run_instrumented(
             cfg,

@@ -4,11 +4,26 @@
 //! cluster uses 2²⁰ (2¹⁶ with `--quick`) — the curves' *shape* (DV above
 //! MPI, gap widening with node count) is the reproduction target.
 
-use dv_bench::{f2, quick, Report};
+use dv_bench::{f2, quick, Report, Streamer};
+use dv_core::config::MachineConfig;
 use dv_kernels::fft::{dv, mpi};
 
 fn main() {
     let n: usize = if quick() { 1 << 16 } else { 1 << 20 };
+    // `--stream`: one representative instrumented run (8-node DV FFT)
+    // emits dv-events-v1 telemetry before the sweep proper.
+    if dv_bench::stream::stream_path().is_some() {
+        let metrics = std::sync::Arc::new(dv_core::metrics::MetricsRegistry::enabled());
+        let streamer = Streamer::attach(&metrics, "fig7", 8).expect("--stream was passed");
+        let r = dv::run_instrumented(
+            n,
+            8,
+            MachineConfig::paper_cluster(),
+            false,
+            std::sync::Arc::clone(&metrics),
+        );
+        streamer.finish(r.elapsed);
+    }
     let mut rows = Vec::new();
     for nodes in [2usize, 4, 8, 16, 32] {
         let d = dv::run(n, nodes, false);

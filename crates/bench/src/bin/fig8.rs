@@ -19,6 +19,24 @@ fn main() {
     let csr = Csr::build(gcfg.vertices(), &edges);
     let roots = pick_roots(&csr, roots_n, 99);
 
+    // `--stream`: one representative instrumented search (8 nodes, first
+    // root) emits dv-events-v1 telemetry before the sweep proper.
+    if dv_bench::stream::stream_path().is_some() {
+        let metrics = std::sync::Arc::new(dv_core::metrics::MetricsRegistry::enabled());
+        let streamer = dv_bench::Streamer::attach(&metrics, "fig8", 8).expect("--stream was passed");
+        let locals = partition_csr(&csr, VertexPart { nodes: 8 });
+        let mut machine = MachineConfig::paper_cluster();
+        machine.faults = fault_plan.clone();
+        let d = dv::run_instrumented(
+            &locals,
+            gcfg.vertices(),
+            roots[0],
+            machine,
+            std::sync::Arc::clone(&metrics),
+        );
+        streamer.finish(d.elapsed);
+    }
+
     let mut rows = Vec::new();
     for nodes in [2usize, 4, 8, 16, 32] {
         let locals = partition_csr(&csr, VertexPart { nodes });

@@ -7,6 +7,16 @@ use dv_core::time::as_us_f64;
 
 fn main() {
     let sizes = if quick() { Fig9Sizes::for_tests() } else { Fig9Sizes::for_nodes_32() };
+    // `--stream`: one representative instrumented run (the restructured
+    // Heat solver) emits dv-events-v1 telemetry before the figure proper.
+    if dv_bench::stream::stream_path().is_some() {
+        let metrics = std::sync::Arc::new(dv_core::metrics::MetricsRegistry::enabled());
+        let nodes = sizes.heat.nodes();
+        let streamer =
+            dv_bench::Streamer::attach(&metrics, "fig9", nodes).expect("--stream was passed");
+        let r = dv_apps::heat::dv::run_instrumented(sizes.heat, std::sync::Arc::clone(&metrics));
+        streamer.finish(r.elapsed);
+    }
     let results = speedups(&sizes);
     let rows: Vec<Vec<String>> = results
         .iter()

@@ -28,6 +28,23 @@ fn main() {
     let mut report = Report::new("scaling_study");
     let sizes: &[usize] = if quick() { &[32, 64] } else { &[32, 64, 128, 256] };
 
+    // `--stream`: a dedicated serial run on the largest projected switch
+    // streams cycle-level telemetry (virtual time = cycle × hop time).
+    if dv_bench::stream::stream_path().is_some() {
+        let ports = *sizes.last().expect("sizes is non-empty");
+        let metrics = Arc::new(MetricsRegistry::enabled());
+        let streamer = dv_bench::Streamer::attach(&metrics, "scaling_study", ports)
+            .expect("--stream was passed");
+        let hop_ps = dv_core::config::DvParams::default().hop_time;
+        let flush_cycles = (streamer.interval_ps() / hop_ps).max(1);
+        let mut sweep = LoadSweep::new(Topology::for_ports(ports, 4));
+        sweep.measure = if quick() { 1_000 } else { 3_000 };
+        sweep.metrics = Some(Arc::clone(&metrics));
+        let end_cycles = sweep.warmup + sweep.measure;
+        sweep.run_streamed(0.7, hop_ps, flush_cycles);
+        streamer.finish(end_cycles * hop_ps);
+    }
+
     // 1. Switch structure growth.
     let mut rows = Vec::new();
     for &ports in sizes {

@@ -28,6 +28,24 @@ fn main() {
     let measure = if quick() { 1_000 } else { 5_000 };
     let fault_plan = faults();
     let loads = [0.1, 0.3, 0.5, 0.7, 0.9];
+
+    // `--stream`: a dedicated serial run at 0.7 offered load streams the
+    // switch's cycle-level telemetry, with virtual time = cycle × hop
+    // time, flushed at every sample boundary.
+    if dv_bench::stream::stream_path().is_some() {
+        let metrics = Arc::new(MetricsRegistry::enabled());
+        let streamer = dv_bench::Streamer::attach(&metrics, "switch_study", topo.ports())
+            .expect("--stream was passed");
+        let hop_ps = DvParams::default().hop_time;
+        let flush_cycles = (streamer.interval_ps() / hop_ps).max(1);
+        let mut sweep = LoadSweep::new(topo.clone());
+        sweep.measure = measure;
+        sweep.metrics = Some(Arc::clone(&metrics));
+        sweep.faults = fault_plan.clone();
+        let end_cycles = sweep.warmup + sweep.measure;
+        sweep.run_streamed(0.7, hop_ps, flush_cycles);
+        streamer.finish(end_cycles * hop_ps);
+    }
     for pattern in [Pattern::Uniform, Pattern::Hotspot, Pattern::Tornado, Pattern::BitReverse] {
         let metrics = Arc::new(MetricsRegistry::enabled());
         let mut sweep = LoadSweep::new(topo.clone());

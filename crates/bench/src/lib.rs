@@ -24,8 +24,10 @@
 use std::fmt::Write as _;
 
 pub mod report;
+pub mod stream;
 
 pub use report::{json_path, Report};
+pub use stream::Streamer;
 
 /// Render an aligned text table (markdown-flavored).
 pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {

@@ -21,8 +21,8 @@
 //! `vic.gc.decrements`, `switch.cycle.hops`, `mpi.coll.time_ps`).
 //! Durations are recorded in picoseconds with a `_ps` suffix.
 
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::json::Json;
@@ -108,14 +108,41 @@ struct Inner {
     histograms: BTreeMap<Key, Log2Histogram>,
 }
 
+/// A component's interval-flush callback: invoked with the registry and
+/// the current virtual time just before each [`Timeseries`] sample is
+/// taken, so locally-accumulated counters (VIC stats, switch arenas) can
+/// be folded in incrementally. Hooks must be idempotent under repeated
+/// calls at the same state (flushing nothing new must record nothing).
+pub type FlushHook = Box<dyn Fn(&MetricsRegistry, Time) + Send>;
+
+#[derive(Default)]
+struct SamplerState {
+    series: Option<Timeseries>,
+    flush_hooks: Vec<FlushHook>,
+}
+
 /// The metrics sink shared by one simulated cluster run.
 ///
 /// Clusters thread an `Arc<MetricsRegistry>` through their worlds the
 /// same way they thread a `Tracer`; benchmarks create an enabled one,
 /// run, then call [`MetricsRegistry::snapshot`].
+///
+/// With a [`Timeseries`] attached (see [`MetricsRegistry::attach_series`])
+/// the registry additionally self-samples at deterministic virtual-time
+/// boundaries: the scheduler calls [`MetricsRegistry::tick`] with the
+/// virtual timestamp of every event it dispatches, and the registry emits
+/// one delta-compressed sample per crossed interval boundary. Sampling is
+/// keyed purely to virtual time — never the host clock — so the sample
+/// stream is byte-identical across runs.
 pub struct MetricsRegistry {
     enabled: AtomicBool,
     inner: Mutex<Inner>,
+    /// Virtual time of the next pending sample boundary; `u64::MAX` when
+    /// no series is attached, so [`MetricsRegistry::tick`]'s fast path is
+    /// a single relaxed atomic load (the same contract as the disabled
+    /// recording path).
+    next_sample_ps: AtomicU64,
+    sampler: Mutex<SamplerState>,
 }
 
 impl Default for MetricsRegistry {
@@ -125,15 +152,24 @@ impl Default for MetricsRegistry {
 }
 
 impl MetricsRegistry {
+    fn with_enabled(enabled: bool) -> Self {
+        Self {
+            enabled: AtomicBool::new(enabled),
+            inner: Mutex::new(Inner::default()),
+            next_sample_ps: AtomicU64::new(u64::MAX),
+            sampler: Mutex::new_named("metrics.sampler", SamplerState::default()),
+        }
+    }
+
     /// A registry that records everything.
     pub fn enabled() -> Self {
-        Self { enabled: AtomicBool::new(true), inner: Mutex::new(Inner::default()) }
+        Self::with_enabled(true)
     }
 
     /// A registry that drops everything (one atomic load per call, no
     /// allocation).
     pub fn disabled() -> Self {
-        Self { enabled: AtomicBool::new(false), inner: Mutex::new(Inner::default()) }
+        Self::with_enabled(false)
     }
 
     /// A shared disabled registry (the default for un-instrumented runs).
@@ -246,6 +282,220 @@ impl MetricsRegistry {
                 })
                 .collect(),
         }
+    }
+
+    /// Attach a [`Timeseries`]: from now on, [`MetricsRegistry::tick`]
+    /// emits one delta-compressed sample per crossed `interval_ps`
+    /// boundary of virtual time (the first boundary is at `interval_ps`,
+    /// covering `[0, interval_ps)`). The ring keeps the most recent
+    /// `capacity` non-empty samples; an attached sink (see
+    /// [`MetricsRegistry::set_series_sink`]) sees every sample.
+    pub fn attach_series(&self, interval_ps: Time, capacity: usize) {
+        assert!(interval_ps > 0, "sample interval must be positive");
+        let mut sampler = self.sampler.lock();
+        sampler.series = Some(Timeseries::new(interval_ps, capacity));
+        self.next_sample_ps.store(interval_ps, Ordering::Relaxed);
+    }
+
+    /// Stream every recorded sample to `sink` as it is taken (the bench
+    /// harness points this at a `dv-events-v1` JSONL writer). Requires an
+    /// attached series.
+    pub fn set_series_sink(&self, sink: impl FnMut(&TimeseriesSample) + Send + 'static) {
+        let mut sampler = self.sampler.lock();
+        let series = sampler.series.as_mut().expect("set_series_sink without attach_series");
+        series.sink = Some(Box::new(sink));
+    }
+
+    /// Register an interval-flush hook, run (in registration order) just
+    /// before every sample so components holding local accumulators can
+    /// fold their progress in. Hooks survive for the registry's lifetime;
+    /// components that may outlive a run should capture weak references.
+    pub fn register_flush(&self, hook: impl Fn(&MetricsRegistry, Time) + Send + 'static) {
+        self.sampler.lock().flush_hooks.push(Box::new(hook));
+    }
+
+    /// Advance the sampler to virtual time `now`, emitting one sample per
+    /// crossed interval boundary. The scheduler calls this with each
+    /// dispatched event's timestamp *before* dispatching it, so a sample
+    /// at boundary `b` captures the effects of every event dispatched
+    /// strictly before the first event at or after `b` — a deterministic
+    /// cut, independent of host scheduling. With no series attached this
+    /// is one relaxed atomic load.
+    pub fn tick(&self, now: Time) {
+        if now < self.next_sample_ps.load(Ordering::Relaxed) {
+            return;
+        }
+        self.sample_at(now, false);
+    }
+
+    /// Record the final sample of a run at virtual time `end` (after all
+    /// end-of-run publishes) and stop the sampler. Subsequent ticks are
+    /// no-ops until a new series is attached.
+    pub fn finish_series(&self, end: Time) {
+        self.sample_at(end, true);
+        self.next_sample_ps.store(u64::MAX, Ordering::Relaxed);
+    }
+
+    fn sample_at(&self, now: Time, finishing: bool) {
+        let mut sampler = self.sampler.lock();
+        if sampler.series.is_none() {
+            return;
+        }
+        for hook in &sampler.flush_hooks {
+            hook(self, now);
+        }
+        let snap = self.snapshot();
+        let series = sampler.series.as_mut().expect("checked above");
+        if finishing {
+            series.record(now, snap);
+            return;
+        }
+        let interval = series.interval_ps();
+        let mut boundary = self.next_sample_ps.load(Ordering::Relaxed);
+        if now < boundary {
+            return;
+        }
+        // One sample for the first crossed boundary; later boundaries in
+        // the same gap would carry empty deltas and are skipped outright.
+        series.record(boundary, snap);
+        while boundary <= now {
+            boundary += interval;
+        }
+        self.next_sample_ps.store(boundary, Ordering::Relaxed);
+    }
+
+    /// Detach and return the attached series (post-run inspection). The
+    /// sampler stops; `None` if no series was attached.
+    pub fn take_series(&self) -> Option<Timeseries> {
+        self.next_sample_ps.store(u64::MAX, Ordering::Relaxed);
+        self.sampler.lock().series.take()
+    }
+}
+
+/// One delta-compressed sample of a [`Timeseries`].
+pub struct TimeseriesSample {
+    /// Monotonic index of this sample within its series (0-based; empty
+    /// deltas are skipped and consume no index).
+    pub seq: u64,
+    /// Virtual time of the sample boundary, in picoseconds.
+    pub t_ps: Time,
+    /// Everything recorded since the previous sample (see
+    /// [`MetricsSnapshot::delta`]).
+    pub delta: MetricsSnapshot,
+}
+
+impl TimeseriesSample {
+    /// Canonical JSON form: `{"seq":…,"t_ps":…,"delta":{…}}`.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("seq".to_string(), Json::U64(self.seq)),
+            ("t_ps".to_string(), Json::U64(self.t_ps)),
+            ("delta".to_string(), self.delta.to_json()),
+        ])
+    }
+}
+
+/// A streaming consumer of samples (sees every sample, ring eviction
+/// notwithstanding).
+type SampleSink = Box<dyn FnMut(&TimeseriesSample) + Send>;
+
+/// A bounded ring of delta-compressed [`MetricsSnapshot`] samples taken
+/// at deterministic virtual-time intervals.
+///
+/// Samples are pure functions of the simulated event sequence: the same
+/// workload produces bit-identical series (checked by `fnv_hash`, exactly
+/// like snapshots). Empty deltas — intervals in which nothing was
+/// recorded — are skipped, so `t_ps` gaps between consecutive samples
+/// are meaningful and renderers must not assume uniform spacing.
+pub struct Timeseries {
+    interval_ps: Time,
+    capacity: usize,
+    samples: VecDeque<TimeseriesSample>,
+    /// Samples evicted from the ring (the sink saw them; the ring forgot).
+    evicted: u64,
+    /// Cumulative state at the previous sample (delta baseline).
+    prev: MetricsSnapshot,
+    next_seq: u64,
+    sink: Option<SampleSink>,
+}
+
+impl Timeseries {
+    /// An empty series sampling every `interval_ps` of virtual time,
+    /// retaining at most `capacity` samples in memory.
+    pub fn new(interval_ps: Time, capacity: usize) -> Self {
+        assert!(interval_ps > 0 && capacity > 0);
+        Self {
+            interval_ps,
+            capacity,
+            samples: VecDeque::new(),
+            evicted: 0,
+            prev: MetricsSnapshot::default(),
+            next_seq: 0,
+            sink: None,
+        }
+    }
+
+    /// The sampling interval in picoseconds.
+    pub fn interval_ps(&self) -> Time {
+        self.interval_ps
+    }
+
+    /// Samples still held by the ring, oldest first.
+    pub fn samples(&self) -> impl Iterator<Item = &TimeseriesSample> {
+        self.samples.iter()
+    }
+
+    /// Total samples recorded, including any evicted from the ring.
+    pub fn recorded(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Samples the bounded ring has evicted.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// The cumulative snapshot reconstructed so far (the fold of every
+    /// delta recorded, byte-identical to the registry snapshot at the
+    /// last sample).
+    pub fn cumulative(&self) -> &MetricsSnapshot {
+        &self.prev
+    }
+
+    /// FNV-1a hash over the canonical rendering of every retained sample
+    /// — the series counterpart of [`MetricsSnapshot::fnv_hash`].
+    pub fn fnv_hash(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for s in &self.samples {
+            for b in s.to_json().render().bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+            h ^= b'\n' as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
+
+    /// Record the state `snap` observed at virtual time `t_ps`: the delta
+    /// against the previous sample becomes the new sample. Empty deltas
+    /// (idle intervals) are skipped entirely.
+    fn record(&mut self, t_ps: Time, snap: MetricsSnapshot) {
+        let delta = snap.delta(&self.prev);
+        if delta.is_empty() {
+            return;
+        }
+        self.prev = snap;
+        let sample = TimeseriesSample { seq: self.next_seq, t_ps, delta };
+        self.next_seq += 1;
+        if let Some(sink) = &mut self.sink {
+            sink(&sample);
+        }
+        if self.samples.len() == self.capacity {
+            self.samples.pop_front();
+            self.evicted += 1;
+        }
+        self.samples.push_back(sample);
     }
 }
 
@@ -441,6 +691,99 @@ impl MetricsSnapshot {
         }
         Ok(out)
     }
+
+    /// Everything recorded between `prev` and `self`, where `prev` is an
+    /// earlier snapshot of the same registry.
+    ///
+    /// * **Counters** appear with their increase; unchanged counters are
+    ///   omitted — except that a key absent from `prev` always appears
+    ///   (even at zero), so folding deltas reproduces zero-valued
+    ///   counters byte-for-byte. Counters are monotone; a decrease is
+    ///   debug-asserted and saturates to zero in release builds.
+    /// * **Gauges** appear when their bits changed (last write wins on
+    ///   reconstruction).
+    /// * **Histograms** appear with the interval's bucket counts (see
+    ///   [`crate::stats::Log2Histogram::delta`]); quiet histograms are
+    ///   omitted.
+    ///
+    /// The inverse is [`MetricsSnapshot::accumulate`]: folding every
+    /// interval delta into an empty snapshot reproduces the final
+    /// snapshot exactly.
+    pub fn delta(&self, prev: &Self) -> Self {
+        let mut out = MetricsSnapshot::default();
+        for (k, &v) in &self.counters {
+            match prev.counters.get(k) {
+                None => {
+                    out.counters.insert(k.clone(), v);
+                }
+                Some(&was) => {
+                    debug_assert!(was <= v, "counter {k:?} shrank: {was} -> {v}");
+                    let d = v.saturating_sub(was);
+                    if d > 0 {
+                        out.counters.insert(k.clone(), d);
+                    }
+                }
+            }
+        }
+        for (k, &v) in &self.gauges {
+            if prev.gauges.get(k).map(|w| w.to_bits()) != Some(v.to_bits()) {
+                out.gauges.insert(k.clone(), v);
+            }
+        }
+        for (k, h) in &self.histograms {
+            let d = match prev.histograms.get(k) {
+                None => h.clone(),
+                Some(was) => {
+                    debug_assert!(
+                        was.total <= h.total,
+                        "histogram {k:?} shrank: {} -> {}",
+                        was.total,
+                        h.total
+                    );
+                    let buckets: Vec<u64> = h
+                        .buckets
+                        .iter()
+                        .zip(was.buckets.iter().chain(std::iter::repeat(&0)))
+                        .map(|(&now, &b)| {
+                            debug_assert!(b <= now, "histogram {k:?} bucket shrank");
+                            now.saturating_sub(b)
+                        })
+                        .collect();
+                    HistogramSnapshot { buckets: trim(&buckets), total: buckets.iter().sum() }
+                }
+            };
+            if d.total > 0 {
+                out.histograms.insert(k.clone(), d);
+            }
+        }
+        out
+    }
+
+    /// Fold an interval `delta` (from [`MetricsSnapshot::delta`]) into
+    /// this snapshot: counters and histogram buckets add, gauges take the
+    /// delta's value. Folding a run's deltas in order into an empty
+    /// snapshot rebuilds the final snapshot byte-for-byte.
+    pub fn accumulate(&mut self, delta: &Self) {
+        for (k, &v) in &delta.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, &v) in &delta.gauges {
+            self.gauges.insert(k.clone(), v);
+        }
+        for (k, d) in &delta.histograms {
+            let h = self
+                .histograms
+                .entry(k.clone())
+                .or_insert_with(|| HistogramSnapshot { buckets: Vec::new(), total: 0 });
+            if h.buckets.len() < d.buckets.len() {
+                h.buckets.resize(d.buckets.len(), 0);
+            }
+            for (slot, &c) in h.buckets.iter_mut().zip(&d.buckets) {
+                *slot += c;
+            }
+            h.total += d.total;
+        }
+    }
 }
 
 /// Fold a tracer's per-node, per-state virtual-time totals into
@@ -546,6 +889,115 @@ mod tests {
         let s = m.snapshot();
         let h = s.histograms().values().next().unwrap();
         assert_eq!(h.total, 3);
+    }
+
+    #[test]
+    fn delta_and_accumulate_round_trip_byte_for_byte() {
+        let m = sample_registry();
+        let at_boundary = m.snapshot();
+        let d0 = at_boundary.delta(&MetricsSnapshot::default());
+        // More activity after the boundary, including a fresh zero-valued
+        // counter and a gauge rewrite.
+        m.incr("a.b.count", 5);
+        m.incr_labeled("vic.fifo.drops", &[("node", 0usize.into())], 0);
+        m.gauge_labeled("pcie.util", &[("node", 1usize.into())], 0.25);
+        m.observe("lat_ps", 1 << 20);
+        let fin = m.snapshot();
+        let d1 = fin.delta(&at_boundary);
+        // The interval delta carries only what happened in the interval.
+        assert_eq!(d1.counter("a.b.count", &[]), Some(5));
+        assert_eq!(d1.counter("vic.gc.sets", &[("node", "0")]), None);
+        assert_eq!(d1.counter("vic.fifo.drops", &[("node", "0")]), Some(0));
+        // Folding the deltas rebuilds the final snapshot exactly.
+        let mut rebuilt = MetricsSnapshot::default();
+        rebuilt.accumulate(&d0);
+        rebuilt.accumulate(&d1);
+        assert_eq!(rebuilt, fin);
+        assert_eq!(rebuilt.render(), fin.render());
+        assert_eq!(rebuilt.fnv_hash(), fin.fnv_hash());
+        // An idle interval is an empty delta.
+        assert!(fin.delta(&fin).is_empty());
+    }
+
+    #[test]
+    fn series_samples_at_virtual_time_boundaries() {
+        let m = MetricsRegistry::enabled();
+        m.attach_series(100, 64);
+        m.incr("work", 1);
+        m.tick(40); // before the first boundary: no sample
+        m.incr("work", 2);
+        m.tick(150); // crosses t=100
+        m.incr("work", 4);
+        m.tick(460); // crosses t=200..400 in one hop: one sample, no empties
+        m.finish_series(500);
+        let series = m.take_series().expect("series attached");
+        let samples: Vec<_> = series.samples().collect();
+        // Two samples: t=100 and t=200. The t=400 boundary and the final
+        // sample at t=500 saw nothing new, and empty deltas are skipped.
+        assert_eq!(
+            samples.iter().map(|s| s.t_ps).collect::<Vec<_>>(),
+            vec![100, 200]
+        );
+        assert_eq!(samples[0].delta.counter("work", &[]), Some(3));
+        assert_eq!(samples[1].delta.counter("work", &[]), Some(4));
+        assert_eq!(series.cumulative().counter("work", &[]), Some(7));
+        assert_eq!(series.cumulative().render(), m.snapshot().render());
+    }
+
+    #[test]
+    fn series_ring_is_bounded_and_sink_sees_everything() {
+        use std::sync::{Arc as StdArc, Mutex as StdMutex};
+        let m = MetricsRegistry::enabled();
+        m.attach_series(10, 4);
+        let seen = StdArc::new(StdMutex::new(Vec::new()));
+        let seen2 = StdArc::clone(&seen);
+        m.set_series_sink(move |s| seen2.lock().unwrap().push((s.seq, s.t_ps)));
+        for i in 0..8u64 {
+            m.incr("w", 1);
+            m.tick(10 * (i + 1));
+        }
+        let series = m.take_series().unwrap();
+        assert_eq!(series.recorded(), 8);
+        assert_eq!(series.evicted(), 4);
+        assert_eq!(series.samples().count(), 4);
+        assert_eq!(seen.lock().unwrap().len(), 8);
+        assert_eq!(seen.lock().unwrap()[0], (0, 10));
+    }
+
+    #[test]
+    fn flush_hooks_run_before_each_sample() {
+        let m = MetricsRegistry::enabled();
+        m.attach_series(100, 16);
+        m.register_flush(|reg, _now| reg.incr("hook.flushes", 1));
+        m.incr("w", 1);
+        m.tick(120);
+        m.incr("w", 1);
+        m.tick(220);
+        let series = m.take_series().unwrap();
+        let samples: Vec<_> = series.samples().collect();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].delta.counter("hook.flushes", &[]), Some(1));
+        assert_eq!(samples[1].delta.counter("hook.flushes", &[]), Some(1));
+    }
+
+    #[test]
+    fn identical_series_hash_identically() {
+        let run = || {
+            let m = MetricsRegistry::enabled();
+            m.attach_series(50, 32);
+            for i in 1..6u64 {
+                m.incr_labeled("w", &[("node", (i % 2).into())], i);
+                m.observe("h", i * 100);
+                m.tick(40 * i);
+            }
+            m.finish_series(300);
+            m.take_series().unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.fnv_hash(), b.fnv_hash());
+        let ra: Vec<String> = a.samples().map(|s| s.to_json().render()).collect();
+        let rb: Vec<String> = b.samples().map(|s| s.to_json().render()).collect();
+        assert_eq!(ra, rb);
     }
 
     #[test]

@@ -18,10 +18,27 @@ pub enum BarrierKind {
 /// Mean latency of one barrier, measured over `reps` back-to-back
 /// barriers on `nodes` nodes.
 pub fn barrier_latency(kind: BarrierKind, nodes: usize, reps: usize) -> Time {
+    barrier_latency_instrumented(
+        kind,
+        nodes,
+        reps,
+        dv_core::metrics::MetricsRegistry::disabled_shared(),
+    )
+}
+
+/// [`barrier_latency`] with a metrics registry attached, so streaming
+/// benches can watch barrier traffic at virtual-time intervals.
+pub fn barrier_latency_instrumented(
+    kind: BarrierKind,
+    nodes: usize,
+    reps: usize,
+    metrics: std::sync::Arc<dv_core::metrics::MetricsRegistry>,
+) -> Time {
     assert!(reps > 0);
     let elapsed = match kind {
         BarrierKind::DvIntrinsic => {
             DvCluster::new(nodes)
+                .with_metrics(metrics)
                 .run(move |dv, ctx| {
                     for _ in 0..reps {
                         dv.barrier(ctx);
@@ -31,6 +48,7 @@ pub fn barrier_latency(kind: BarrierKind, nodes: usize, reps: usize) -> Time {
         }
         BarrierKind::DvFast => {
             DvCluster::new(nodes)
+                .with_metrics(metrics)
                 .run(move |dv, ctx| {
                     for _ in 0..reps {
                         dv.fast_barrier(ctx);
@@ -40,6 +58,7 @@ pub fn barrier_latency(kind: BarrierKind, nodes: usize, reps: usize) -> Time {
         }
         BarrierKind::Mpi => {
             MpiCluster::new(nodes)
+                .with_metrics(metrics)
                 .run(move |comm, ctx| {
                     for _ in 0..reps {
                         comm.barrier(ctx);

@@ -15,6 +15,7 @@
 //! FFT performance.
 
 use dv_core::config::{ComputeParams, MachineConfig};
+use dv_core::metrics::MetricsRegistry;
 use dv_core::Word;
 use dv_api::world::BlockWrite;
 use dv_api::{DvCluster, DvCtx, SendMode};
@@ -159,6 +160,18 @@ pub fn run_with_config(
     machine: MachineConfig,
     validate: bool,
 ) -> FftRunResult {
+    run_instrumented(n, nodes, machine, validate, MetricsRegistry::disabled_shared())
+}
+
+/// [`run_with_config`] with a metrics registry attached, so streaming
+/// benches can sample transpose traffic at virtual-time intervals.
+pub fn run_instrumented(
+    n: usize,
+    nodes: usize,
+    machine: MachineConfig,
+    validate: bool,
+    metrics: std::sync::Arc<MetricsRegistry>,
+) -> FftRunResult {
     let plan = FftPlan::new(n, nodes);
     let local_elems = n / nodes;
     // Two regions (2 words per element each) plus the low scratch page
@@ -173,7 +186,8 @@ pub fn run_with_config(
         Complex::new((x * 0.7311).sin(), (x * 0.394).cos() * 0.5)
     };
     let compute_cfg = machine.compute.clone();
-    let (elapsed, results) = DvCluster::new(nodes).with_config(machine).run(move |dv, ctx| {
+    let cluster = DvCluster::new(nodes).with_config(machine).with_metrics(metrics);
+    let (elapsed, results) = cluster.run(move |dv, ctx| {
         let me = dv.node();
         let compute = compute_cfg.clone();
         let mut flops = 0u64;

@@ -72,6 +72,24 @@ fn drain(
 
 /// Run one BFS from `root` on the Data Vortex.
 pub fn run(locals: &[Csr], n: usize, root: u32, machine: MachineConfig) -> BfsRunResult {
+    run_instrumented(
+        locals,
+        n,
+        root,
+        machine,
+        dv_core::metrics::MetricsRegistry::disabled_shared(),
+    )
+}
+
+/// [`run`] with a metrics registry attached, so streaming benches can
+/// watch frontier traffic and FIFO pressure at virtual-time intervals.
+pub fn run_instrumented(
+    locals: &[Csr],
+    n: usize,
+    root: u32,
+    machine: MachineConfig,
+    metrics: Arc<dv_core::metrics::MetricsRegistry>,
+) -> BfsRunResult {
     let nodes = locals.len();
     assert!(
         FS_BASE as usize + nodes <= dv_api::ctx::STATUS_PAGE_WORDS,
@@ -80,7 +98,8 @@ pub fn run(locals: &[Csr], n: usize, root: u32, machine: MachineConfig) -> BfsRu
     let part = VertexPart { nodes };
     let locals: Arc<Vec<Csr>> = Arc::new(locals.to_vec());
     let compute = machine.compute.clone();
-    let (elapsed, results) = DvCluster::new(nodes).with_config(machine).run(move |dv, ctx| {
+    let cluster = DvCluster::new(nodes).with_config(machine).with_metrics(metrics);
+    let (elapsed, results) = cluster.run(move |dv, ctx| {
         let me = dv.node();
         let p = dv.nodes();
         let compute = compute.clone();

@@ -109,12 +109,29 @@ fn arm(dv: &DvCtx, ctx: &SimCtx, words: usize) {
 
 /// Run the Data Vortex ping-pong in one of the Figure 3 modes.
 pub fn dv_pingpong(words: usize, reps: usize, mode: SendMode) -> PingPongResult {
+    dv_pingpong_instrumented(
+        words,
+        reps,
+        mode,
+        dv_core::metrics::MetricsRegistry::disabled_shared(),
+    )
+}
+
+/// [`dv_pingpong`] with a metrics registry attached, so streaming benches
+/// can sample `api.net.*` / `vic.*` counters at virtual-time intervals
+/// while the ping-pong runs.
+pub fn dv_pingpong_instrumented(
+    words: usize,
+    reps: usize,
+    mode: SendMode,
+    metrics: std::sync::Arc<dv_core::metrics::MetricsRegistry>,
+) -> PingPongResult {
     assert!(words * 8 <= 30 << 20, "message must fit in DV memory");
     assert!(
         chunks_of(words).len() <= PING_GC_COUNT,
         "message exceeds the {PING_GC_COUNT}-chunk pipeline window"
     );
-    let (elapsed, checks) = DvCluster::new(2).run(move |dv, ctx| {
+    let (elapsed, checks) = DvCluster::new(2).with_metrics(metrics).run(move |dv, ctx| {
         let me = dv.node();
         let peer = 1 - me;
         let data: Vec<Word> = (0..words as u64).map(|i| i * 3 + me as u64).collect();

@@ -875,6 +875,31 @@ fn ok() {
     }
 
     #[test]
+    fn ansi_tui_is_exempt_but_stream_emitters_stay_print_free() {
+        // dv-top's hand-rolled ANSI frame writer lives in crates/bench,
+        // which is outside DV-W006's library scope: drawing to stdout is
+        // its whole job.
+        let tui = "fn draw(frame: &str) { print!(\"\\x1b[H{frame}\\x1b[J\"); \
+                   println!(\"{frame}\"); }\n";
+        assert!(
+            scan_source("bench", "crates/bench/src/bin/dv_top.rs", tui).is_empty(),
+            "the bench-crate ANSI writer must not trip DV-W006"
+        );
+        // Library-crate telemetry emitters must write through their sink
+        // (the dv-events stream goes wherever `--stream` pointed), never
+        // straight to stdout.
+        let emitter = "fn emit(line: &str) { println!(\"{line}\"); }\n";
+        for (krate, path) in
+            [("core", "crates/core/src/metrics.rs"), ("vic", "crates/vic/src/vic.rs")]
+        {
+            assert!(
+                scan_source(krate, path, emitter).iter().any(|f| f.rule == "DV-W006"),
+                "{krate} stream emitter must stay print-free"
+            );
+        }
+    }
+
+    #[test]
     fn skip_tests_rules_ignore_test_code() {
         let src = "#[cfg(test)]\nmod tests {\n    fn t() { println!(\"probe\"); \
                    std::thread::spawn(|| {}); }\n}\n";

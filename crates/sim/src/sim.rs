@@ -135,6 +135,15 @@ impl Sim {
     pub fn run_hashed(self) -> (Time, u64) {
         loop {
             let next = self.shared.kernel.lock().pop_valid();
+            // Virtual-time telemetry sampling: advance the registry's
+            // sampler to the event we are about to dispatch, so a sample
+            // at boundary `b` captures exactly the events committed
+            // before the first dispatch at or after `b`. Deterministic by
+            // construction (keyed to the event sequence, never the host
+            // clock); one relaxed atomic load when no series is attached.
+            if let Some((t, _)) = &next {
+                self.metrics.tick(*t);
+            }
             match next {
                 None => {
                     let live = self.shared.registry.lock().live_foreground;

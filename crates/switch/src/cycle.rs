@@ -204,6 +204,22 @@ pub struct SwitchSim {
     contention_deflections: u64,
     /// Per-cylinder sum of occupied cells over all cycles (cell-cycles).
     occupancy_sum: Vec<u64>,
+    /// Accumulator state at the last [`SwitchSim::flush_metrics`] call, so
+    /// interval flushes publish deltas that sum to the run totals.
+    flushed: Option<Box<Flushed>>,
+}
+
+/// Snapshot of the instrumentation accumulators at the previous
+/// incremental flush (boxed: streaming runs only; one-shot publishing
+/// sweeps never allocate it).
+struct Flushed {
+    cycle: u64,
+    injected: u64,
+    ejected: u64,
+    contention_deflections: u64,
+    hop_hist: Log2Histogram,
+    deflection_hist: Log2Histogram,
+    occupancy_sum: Vec<u64>,
 }
 
 impl SwitchSim {
@@ -239,6 +255,7 @@ impl SwitchSim {
             deflection_hist: Log2Histogram::new(12),
             contention_deflections: 0,
             occupancy_sum: vec![0; cylinders],
+            flushed: None,
         }
     }
 
@@ -637,6 +654,69 @@ impl SwitchSim {
                 );
             }
         }
+    }
+
+    /// Incremental counterpart of [`SwitchSim::publish_metrics`] for
+    /// streaming runs: fold in only what accumulated since the previous
+    /// `flush_metrics` call, so repeated interval flushes sum to exactly
+    /// the totals a single end-of-run `publish_metrics` would report.
+    /// Gauges (`mean_occupancy`) are instantaneous over the interval.
+    /// The two publishing paths must not be mixed on one switch.
+    pub fn flush_metrics(&mut self, metrics: &MetricsRegistry) {
+        if !metrics.is_enabled() {
+            return;
+        }
+        let was = self.flushed.get_or_insert_with(|| {
+            Box::new(Flushed {
+                cycle: 0,
+                injected: 0,
+                ejected: 0,
+                contention_deflections: 0,
+                hop_hist: Log2Histogram::new(12),
+                deflection_hist: Log2Histogram::new(12),
+                occupancy_sum: vec![0; self.occupancy_sum.len()],
+            })
+        });
+        let cycles = self.cycle - was.cycle;
+        metrics.incr("switch.cycle.cycles", cycles);
+        metrics.incr("switch.cycle.injected", self.injected - was.injected);
+        metrics.incr("switch.cycle.ejected", self.ejected - was.ejected);
+        metrics.incr(
+            "switch.cycle.contention_deflections",
+            self.contention_deflections - was.contention_deflections,
+        );
+        metrics.observe_histogram("switch.cycle.hops", &[], &self.hop_hist.delta(&was.hop_hist));
+        metrics.observe_histogram(
+            "switch.cycle.deflections",
+            &[],
+            &self.deflection_hist.delta(&was.deflection_hist),
+        );
+        for (c, (&sum, &prev)) in
+            self.occupancy_sum.iter().zip(was.occupancy_sum.iter()).enumerate()
+        {
+            metrics.incr_labeled(
+                "switch.cycle.occupancy_cell_cycles",
+                &[("cyl", c.into())],
+                sum - prev,
+            );
+            if cycles > 0 {
+                let cells = (self.ports as u64 * cycles) as f64;
+                metrics.gauge_labeled(
+                    "switch.cycle.mean_occupancy",
+                    &[("cyl", c.into())],
+                    (sum - prev) as f64 / cells,
+                );
+            }
+        }
+        **was = Flushed {
+            cycle: self.cycle,
+            injected: self.injected,
+            ejected: self.ejected,
+            contention_deflections: self.contention_deflections,
+            hop_hist: self.hop_hist.clone(),
+            deflection_hist: self.deflection_hist.clone(),
+            occupancy_sum: self.occupancy_sum.clone(),
+        };
     }
 
     /// Step until all queued and in-flight packets are delivered, or until

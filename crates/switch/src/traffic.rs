@@ -168,10 +168,44 @@ impl LoadSweep {
         art.point
     }
 
+    /// Run one offered-load point while streaming: every `flush_cycles`
+    /// cycles the switch's accumulators are flushed incrementally into
+    /// the registry and the registry's virtual-time sampler is advanced
+    /// to `cycle × hop_time_ps`, so an attached `Timeseries` sees the
+    /// switch evolve live. The point's `switch.sweep.*` summary metrics
+    /// publish at the end as usual; the final interval flush replaces the
+    /// one-shot [`SwitchSim::publish_metrics`], so totals still match a
+    /// plain [`LoadSweep::run`] exactly.
+    pub fn run_streamed(&self, offered: f64, hop_time_ps: u64, flush_cycles: u64) -> SweepPoint {
+        let m = Arc::clone(self.metrics.as_ref().expect("run_streamed requires metrics"));
+        let flush_cycles = flush_cycles.max(1);
+        let mut art = self.run_core_with(offered, |sw, cycle| {
+            if (cycle + 1) % flush_cycles == 0 {
+                sw.flush_metrics(&m);
+                m.tick((cycle + 1) * hop_time_ps);
+            }
+        });
+        art.sim.flush_metrics(&m);
+        self.publish_summary(&art);
+        art.point
+    }
+
     /// The simulation half of [`LoadSweep::run`]: fully deterministic in
     /// `(self, offered)` and free of registry writes, so points can run on
     /// worker threads without perturbing the shared metrics state.
     fn run_core(&self, offered: f64) -> RunArtifacts {
+        self.run_core_with(offered, |_, _| {})
+    }
+
+    /// [`LoadSweep::run_core`] with a per-cycle observer, invoked with the
+    /// simulator and the cycle index after each cycle's movement phase
+    /// (streamed runs flush metrics from it; the plain path passes a
+    /// no-op).
+    fn run_core_with(
+        &self,
+        offered: f64,
+        mut on_cycle: impl FnMut(&mut SwitchSim, u64),
+    ) -> RunArtifacts {
         let ports = self.topo.ports();
         let mut sw = SwitchSim::new(self.topo.clone());
         let mut rng = SplitMix64::new(self.seed);
@@ -277,6 +311,7 @@ impl LoadSweep {
                     defl.push(d.deflections as f64);
                 }
             }
+            on_cycle(&mut sw, cycle);
         }
 
         let point = SweepPoint {
@@ -300,6 +335,16 @@ impl LoadSweep {
             return;
         };
         art.sim.publish_metrics(m);
+        self.publish_summary(art);
+    }
+
+    /// The per-point `switch.sweep.*` summary metrics (everything but the
+    /// switch's own accumulators, which streamed runs publish via
+    /// incremental flushes instead).
+    fn publish_summary(&self, art: &RunArtifacts) {
+        let Some(m) = &self.metrics else {
+            return;
+        };
         // Label by offered load in permille so the label is an integer
         // (stable text) rather than a formatted float.
         let load =

@@ -57,6 +57,12 @@ pub struct Vic {
     pub fifo: SurpriseFifo,
     delivered: u64,
     stats: VicStats,
+    /// State already folded into a registry by a previous
+    /// [`Vic::publish_metrics`] call — publishing is incremental, so
+    /// interval telemetry flushes and the end-of-run publish sum to the
+    /// same totals as a single end-of-run publish.
+    published: VicStats,
+    published_delivered: u64,
     /// Optional fault plan (forced FIFO overflow is applied here, at the
     /// admission point); decisions key off `fifo_push_seq`.
     faults: Option<FaultPlan>,
@@ -80,6 +86,8 @@ impl Vic {
             fifo: SurpriseFifo::new(dv.fifo_capacity),
             delivered: 0,
             stats: VicStats::default(),
+            published: VicStats::default(),
+            published_delivered: 0,
             faults,
             fifo_push_seq: 0,
         }
@@ -107,21 +115,35 @@ impl Vic {
 
     /// Fold this VIC's counters into a registry as `vic.*` metrics labeled
     /// with the node id (FIFO depth high-water mark and drops included).
-    pub fn publish_metrics(&self, metrics: &MetricsRegistry) {
+    ///
+    /// Publishing is **incremental**: each call records only what happened
+    /// since the previous call, so the streaming-telemetry layer can flush
+    /// per sample interval and the end-of-run publish still lands on
+    /// exactly the totals a single publish would have produced. The
+    /// high-water gauge uses `gauge_max` and is naturally idempotent.
+    pub fn publish_metrics(&mut self, metrics: &MetricsRegistry) {
         if !metrics.is_enabled() {
             return;
         }
         let node = [("node", self.node.into())];
-        metrics.incr_labeled("vic.delivered", &node, self.delivered);
-        metrics.incr_labeled("vic.mem.writes", &node, self.stats.mem_writes);
-        metrics.incr_labeled("vic.fifo.pushes", &node, self.stats.fifo_pushes);
-        metrics.incr_labeled("vic.fifo.drops", &node, self.stats.fifo_drops);
-        metrics.incr_labeled("vic.fifo.forced_drops", &node, self.stats.fifo_forced_drops);
+        let was = self.published;
+        let now = self.stats;
+        metrics.incr_labeled("vic.delivered", &node, self.delivered - self.published_delivered);
+        metrics.incr_labeled("vic.mem.writes", &node, now.mem_writes - was.mem_writes);
+        metrics.incr_labeled("vic.fifo.pushes", &node, now.fifo_pushes - was.fifo_pushes);
+        metrics.incr_labeled("vic.fifo.drops", &node, now.fifo_drops - was.fifo_drops);
+        metrics.incr_labeled(
+            "vic.fifo.forced_drops",
+            &node,
+            now.fifo_forced_drops - was.fifo_forced_drops,
+        );
         metrics.gauge_max("vic.fifo.high_water", &node, self.fifo.high_water() as f64);
-        metrics.incr_labeled("vic.gc.sets", &node, self.stats.gc_sets);
-        metrics.incr_labeled("vic.gc.decrements", &node, self.stats.gc_decrements);
-        metrics.incr_labeled("vic.gc.set_races", &node, self.stats.gc_set_races);
-        metrics.incr_labeled("vic.queries", &node, self.stats.queries);
+        metrics.incr_labeled("vic.gc.sets", &node, now.gc_sets - was.gc_sets);
+        metrics.incr_labeled("vic.gc.decrements", &node, now.gc_decrements - was.gc_decrements);
+        metrics.incr_labeled("vic.gc.set_races", &node, now.gc_set_races - was.gc_set_races);
+        metrics.incr_labeled("vic.queries", &node, now.queries - was.queries);
+        self.published = now;
+        self.published_delivered = self.delivered;
     }
 
     fn apply_set(stats: &mut VicStats, gc: &mut GroupCounter, expected: u64) {

@@ -207,6 +207,82 @@ fn instrumented_runs_count_what_the_run_did() {
     assert!(snap.counter_total("trace.state_ps") >= r.elapsed);
 }
 
+/// Run an instrumented GUPS with a virtual-time series attached and a
+/// sink that concatenates every sample line — the body of a
+/// `dv-events-v1` stream (the header and end lines are static given the
+/// sample lines, so body identity ⟺ stream identity).
+fn streamed_gups(nodes: usize, faults: Option<datavortex::core::fault::FaultPlan>) -> String {
+    use datavortex::core::time::us;
+    let cfg =
+        GupsConfig { table_per_node: 1 << 9, updates_per_node: 1 << 10, bucket: 512, stream_offset: 0 };
+    let metrics = Arc::new(MetricsRegistry::enabled());
+    metrics.attach_series(us(1), 4096);
+    let lines = Arc::new(std::sync::Mutex::new(String::new()));
+    let sink = Arc::clone(&lines);
+    metrics.set_series_sink(move |s| {
+        let mut out = sink.lock().unwrap();
+        out.push_str(&s.to_json().render());
+        out.push('\n');
+    });
+    let mut machine = MachineConfig::paper_cluster();
+    machine.faults = faults;
+    let r = gups::dv::run_instrumented(
+        cfg,
+        nodes,
+        machine,
+        Arc::new(Tracer::enabled()),
+        Arc::clone(&metrics),
+    );
+    metrics.finish_series(r.elapsed);
+    let out = lines.lock().unwrap().clone();
+    out
+}
+
+#[test]
+fn telemetry_streams_reproduce_byte_identically() {
+    // The `--stream` story rests on this: sampling is keyed purely to
+    // virtual time, so two identical runs emit identical streams.
+    let a = streamed_gups(4, None);
+    let b = streamed_gups(4, None);
+    assert!(!a.is_empty(), "the run must produce interval samples");
+    assert_eq!(a, b, "same-seed telemetry streams must be byte-identical");
+}
+
+#[test]
+fn chaos_telemetry_streams_reproduce_byte_identically() {
+    // Seeded fault injection must not open a nondeterminism channel into
+    // the stream either — chaos runs replay byte-for-byte too.
+    let plan = datavortex::core::fault::FaultPlan::parse("seed=7,fifodrop=0.02")
+        .expect("valid fault spec");
+    let a = streamed_gups(4, Some(plan.clone()));
+    let b = streamed_gups(4, Some(plan));
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "seeded chaos streams must be byte-identical");
+    // Sensitivity: the faults must actually leave a mark in the stream.
+    assert_ne!(a, streamed_gups(4, None), "fault injection left no trace in the stream");
+}
+
+#[test]
+fn sampling_path_never_reads_the_wall_clock() {
+    // Stream determinism requires that the entire sampling path — the
+    // registry's tick/sample machinery, the scheduler that drives it, and
+    // the stream emitter — is pure virtual time. Enforce it at the source
+    // level: none of these files may mention a host-clock API at all.
+    for path in
+        ["crates/core/src/metrics.rs", "crates/sim/src/sim.rs", "crates/bench/src/stream.rs"]
+    {
+        let full = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(path);
+        let src = std::fs::read_to_string(&full)
+            .unwrap_or_else(|e| panic!("{path}: {e}"));
+        for needle in ["Instant::now", "SystemTime", "wall_clock("] {
+            assert!(
+                !src.contains(needle),
+                "{path} touches the wall clock ({needle}) — sampling must be virtual-time only"
+            );
+        }
+    }
+}
+
 #[test]
 fn trace_hash_distinguishes_different_workloads() {
     // Sensitivity check: if the hash never changed, the equality tests
