@@ -4,6 +4,7 @@ use std::sync::Arc;
 
 use dv_core::config::MachineConfig;
 use dv_core::metrics::{record_state_totals, MetricsRegistry};
+use dv_core::spec::{Engine, RunReport, SimSpec};
 use dv_core::time::Time;
 use dv_core::trace::Tracer;
 use dv_sim::{JoinSlot, Sim, SimCtx};
@@ -11,14 +12,16 @@ use dv_sim::{JoinSlot, Sim, SimCtx};
 use crate::ctx::{DvCtx, FAST_BARRIER_GC};
 use crate::world::DvWorld;
 
-/// Configuration + entry point for a Data Vortex run.
+/// Configuration + entry point for a Data Vortex run. Built from a
+/// [`SimSpec`]; [`DvCluster::run`] returns a [`RunReport`].
 ///
 /// ```
 /// use dv_api::{DvCluster, SendMode};
 /// use dv_core::packet::SCRATCH_GC;
+/// use dv_core::spec::SimSpec;
 ///
 /// // Two nodes: node 0 sends a word into node 1's surprise FIFO.
-/// let (elapsed, results) = DvCluster::new(2).run(|dv, ctx| {
+/// let report = DvCluster::from_spec(SimSpec::new(2)).run(|dv, ctx| {
 ///     if dv.node() == 0 {
 ///         dv.send_fifo(ctx, 1, &[42], SCRATCH_GC,
 ///                      SendMode::DirectWrite { cached_headers: false });
@@ -27,8 +30,8 @@ use crate::world::DvWorld;
 ///         dv.fifo_recv(ctx)
 ///     }
 /// });
-/// assert_eq!(results[1], 42);
-/// assert!(elapsed > 0); // virtual time elapsed deterministically
+/// assert_eq!(report.result[1], 42);
+/// assert!(report.elapsed > 0); // virtual time elapsed deterministically
 /// ```
 pub struct DvCluster {
     /// Number of nodes (one VIC each).
@@ -39,60 +42,41 @@ pub struct DvCluster {
     pub tracer: Arc<Tracer>,
     /// Metrics registry (disabled by default).
     pub metrics: Arc<MetricsRegistry>,
+    /// Scheduler engine (sharded by default).
+    pub engine: Engine,
+    /// Event-queue shards (0 = auto). Never changes results.
+    pub shards: usize,
 }
 
 impl DvCluster {
-    /// Cluster of `nodes` nodes on the paper's machine.
-    pub fn new(nodes: usize) -> Self {
+    /// Build a cluster from a [`SimSpec`] — the only non-deprecated
+    /// constructor. Arms the spec's telemetry stream, if one was set.
+    pub fn from_spec(mut spec: SimSpec) -> Self {
+        spec.arm_stream();
         Self {
-            nodes,
-            config: MachineConfig::paper_cluster(),
-            tracer: Arc::new(Tracer::disabled()),
-            metrics: MetricsRegistry::disabled_shared(),
+            nodes: spec.nodes,
+            config: spec.machine,
+            tracer: spec.tracer,
+            metrics: spec.metrics,
+            engine: spec.engine,
+            shards: spec.shards,
         }
     }
 
-    /// Enable tracing.
-    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
-        self.tracer = tracer;
-        self
-    }
-
-    /// Attach a metrics registry; the run publishes scheduler, network,
-    /// VIC, PCIe, and per-state virtual-time metrics into it.
-    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
-        self.metrics = metrics;
-        self
-    }
-
-    /// Use a custom machine configuration.
-    pub fn with_config(mut self, config: MachineConfig) -> Self {
-        self.config = config;
-        self
-    }
-
-    /// Run `body` on every node; returns elapsed virtual time and the
-    /// per-node results in node order.
-    pub fn run<T, F>(&self, body: F) -> (Time, Vec<T>)
+    /// Run `body` on every node; returns the per-node results (node
+    /// order) together with the run evidence: elapsed virtual time, the
+    /// event-trace hash (see [`dv_sim::OrderAudit`]; identical
+    /// configurations and bodies must produce identical hashes — asserted
+    /// by `tests/determinism.rs`), and a snapshot of the attached metrics
+    /// registry.
+    pub fn run<T, F>(&self, body: F) -> RunReport<Vec<T>>
     where
         T: Send + 'static,
         F: Fn(&DvCtx, &SimCtx) -> T + Send + Sync + 'static,
     {
-        let (elapsed, _, results) = self.run_hashed(body);
-        (elapsed, results)
-    }
-
-    /// [`DvCluster::run`], additionally returning the event-trace hash
-    /// (see [`dv_sim::OrderAudit`]). Identical configurations and bodies
-    /// must produce identical hashes — asserted by `tests/determinism.rs`.
-    pub fn run_hashed<T, F>(&self, body: F) -> (Time, u64, Vec<T>)
-    where
-        T: Send + 'static,
-        F: Fn(&DvCtx, &SimCtx) -> T + Send + Sync + 'static,
-    {
-        let mut sim = Sim::new();
+        let mut sim = Sim::with_engine(self.engine, self.shards);
         sim.set_metrics(Arc::clone(&self.metrics));
-        let world = DvWorld::new_with_metrics(
+        let world = DvWorld::from_parts(
             self.nodes,
             self.config.clone(),
             Arc::clone(&self.tracer),
@@ -143,7 +127,7 @@ impl DvCluster {
         }
         let results =
             slots.into_iter().map(|s| s.take().expect("node did not finish")).collect();
-        (elapsed, trace_hash, results)
+        RunReport { result: results, elapsed, trace_hash, snapshot: self.metrics.snapshot() }
     }
 }
 
@@ -154,9 +138,18 @@ mod tests {
     use dv_core::packet::{Packet, PacketHeader, SCRATCH_GC};
     use dv_core::time::{us, Time};
 
+    /// `(elapsed, results)` convenience over the spec-built cluster.
+    fn run_n<T: Send + 'static>(
+        n: usize,
+        body: impl Fn(&DvCtx, &SimCtx) -> T + Send + Sync + 'static,
+    ) -> (Time, Vec<T>) {
+        let r = DvCluster::from_spec(SimSpec::new(n)).run(body);
+        (r.elapsed, r.result)
+    }
+
     #[test]
     fn remote_write_lands_in_dv_memory() {
-        let (_, results) = DvCluster::new(2).run(|dv, ctx| {
+        let (_, results) = run_n(2, |dv, ctx| {
             if dv.node() == 0 {
                 dv.gc_set_local(ctx, 10, 0); // not used, just exercise the call
                 dv.write_remote(
@@ -181,7 +174,7 @@ mod tests {
 
     #[test]
     fn group_counter_signals_transfer_completion() {
-        let (_, results) = DvCluster::new(2).run(|dv, ctx| {
+        let (_, results) = run_n(2, |dv, ctx| {
             if dv.node() == 1 {
                 // Receiver presets, then waits for 64 words.
                 dv.gc_set_local(ctx, 7, 64);
@@ -205,7 +198,7 @@ mod tests {
         // The failure mode of Section III, end to end: sender sets the
         // *remote* counter and immediately streams data; the set can lose.
         // Here we force the loss by sending data first.
-        let (_, results) = DvCluster::new(2).run(|dv, ctx| {
+        let (_, results) = run_n(2, |dv, ctx| {
             if dv.node() == 0 {
                 dv.write_remote(
                     ctx,
@@ -233,7 +226,7 @@ mod tests {
 
     #[test]
     fn query_reads_remote_memory() {
-        let (_, results) = DvCluster::new(3).run(|dv, ctx| {
+        let (_, results) = run_n(3, |dv, ctx| {
             match dv.node() {
                 1 => {
                     dv.write_local(ctx, 500, &[0xFEED]);
@@ -255,7 +248,7 @@ mod tests {
 
     #[test]
     fn query_reply_can_go_to_a_third_node() {
-        let (_, results) = DvCluster::new(3).run(|dv, ctx| {
+        let (_, results) = run_n(3, |dv, ctx| {
             match dv.node() {
                 0 => {
                     dv.write_local(ctx, 10, &[777]);
@@ -293,7 +286,7 @@ mod tests {
 
     #[test]
     fn fifo_carries_unscheduled_messages() {
-        let (_, results) = DvCluster::new(4).run(|dv, ctx| {
+        let (_, results) = run_n(4, |dv, ctx| {
             if dv.node() == 0 {
                 let mut got = Vec::new();
                 for _ in 0..6 {
@@ -318,7 +311,7 @@ mod tests {
 
     #[test]
     fn fifo_deadline_times_out_cleanly() {
-        let (_, results) = DvCluster::new(1).run(|dv, ctx| {
+        let (_, results) = run_n(1, |dv, ctx| {
             dv.fifo_recv_deadline(ctx, ctx.now() + us(5)).is_none()
         });
         assert!(results[0]);
@@ -327,7 +320,7 @@ mod tests {
     #[test]
     fn both_barriers_synchronize() {
         for fast in [false, true] {
-            let (_, results) = DvCluster::new(8).run(move |dv, ctx| {
+            let (_, results) = run_n(8, move |dv, ctx| {
                 ctx.delay(us(dv.node() as u64 * 13));
                 if fast {
                     dv.fast_barrier(ctx);
@@ -346,7 +339,7 @@ mod tests {
     #[test]
     fn repeated_fast_barriers_stay_correct() {
         // Exercises the parity re-arm logic across many rounds.
-        let (_, results) = DvCluster::new(4).run(|dv, ctx| {
+        let (_, results) = run_n(4, |dv, ctx| {
             let mut stamps = Vec::new();
             for round in 0..6 {
                 ctx.delay(us((dv.node() as u64 * 7 + round) % 11));
@@ -369,7 +362,7 @@ mod tests {
     fn dv_barrier_latency_is_flat_with_scale() {
         // Figure 4's Data Vortex curve, unit-test sized.
         let barrier_time = |n: usize| {
-            let (elapsed, _) = DvCluster::new(n).run(|dv, ctx| {
+            let (elapsed, _) = run_n(n, |dv, ctx| {
                 for _ in 0..10 {
                     dv.barrier(ctx);
                 }
@@ -384,8 +377,7 @@ mod tests {
     #[test]
     fn dma_send_beats_direct_write_for_batches() {
         let time_with = |mode: SendMode| {
-            DvCluster::new(2)
-                .run(move |dv, ctx| {
+            run_n(2, move |dv, ctx| {
                     if dv.node() == 0 {
                         let words: Vec<u64> = (0..4096).collect();
                         dv.gc_set_remote(ctx, 1, 5, 0, mode); // prime path
@@ -407,7 +399,7 @@ mod tests {
     #[test]
     fn aggregator_batches_across_destinations() {
         use crate::aggregate::Aggregator;
-        let (_, results) = DvCluster::new(4).run(|dv, ctx| {
+        let (_, results) = run_n(4, |dv, ctx| {
             if dv.node() == 0 {
                 let mut agg = Aggregator::new(64);
                 // 96 packets round-robin over 3 destinations: one auto
@@ -439,8 +431,7 @@ mod tests {
     #[test]
     fn deterministic_end_to_end() {
         let run = || {
-            DvCluster::new(8)
-                .run(|dv, ctx| {
+            run_n(8, |dv, ctx| {
                     for _ in 0..3 {
                         dv.fast_barrier(ctx);
                         dv.send_fifo(

@@ -84,13 +84,15 @@ pub fn allreduce_sum_u64(dv: &DvCtx, ctx: &SimCtx, x: u64) -> u64 {
 mod tests {
     use super::*;
     use crate::DvCluster;
+    use dv_core::spec::SimSpec;
 
     #[test]
     fn allreduce_sums_across_nodes() {
-        let (_, results) = DvCluster::new(8).run(|dv, ctx| {
+        let results = DvCluster::from_spec(SimSpec::new(8)).run(|dv, ctx| {
             let x = (dv.node() + 1) as f64;
             allreduce_sum_f64(dv, ctx, x)
-        });
+        })
+        .result;
         for r in results {
             assert_eq!(r, 36.0);
         }
@@ -98,14 +100,15 @@ mod tests {
 
     #[test]
     fn repeated_allreduces_stay_correct() {
-        let (_, results) = DvCluster::new(4).run(|dv, ctx| {
+        let results = DvCluster::from_spec(SimSpec::new(4)).run(|dv, ctx| {
             let mut out = Vec::new();
             for round in 0..5u64 {
                 let x = (dv.node() as u64 * 10 + round) as f64;
                 out.push(allreduce_sum_f64(dv, ctx, x));
             }
             out
-        });
+        })
+        .result;
         for r in results {
             // Round k: sum over nodes of (10*node + k) = 60 + 4k.
             let expect: Vec<f64> = (0..5).map(|k| 60.0 + 4.0 * k as f64).collect();
@@ -115,15 +118,17 @@ mod tests {
 
     #[test]
     fn single_node_shortcuts() {
-        let (_, results) = DvCluster::new(1).run(|dv, ctx| allreduce_sum_f64(dv, ctx, 7.5));
+        let results =
+            DvCluster::from_spec(SimSpec::new(1)).run(|dv, ctx| allreduce_sum_f64(dv, ctx, 7.5)).result;
         assert_eq!(results[0], 7.5);
     }
 
     #[test]
     fn u64_wrapper_handles_counts() {
-        let (_, results) = DvCluster::new(4).run(|dv, ctx| {
+        let results = DvCluster::from_spec(SimSpec::new(4)).run(|dv, ctx| {
             allreduce_sum_u64(dv, ctx, dv.node() as u64)
-        });
+        })
+        .result;
         for r in results {
             assert_eq!(r, 6);
         }

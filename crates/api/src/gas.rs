@@ -132,6 +132,7 @@ impl GlobalArray {
 mod tests {
     use super::*;
     use crate::DvCluster;
+    use dv_core::spec::SimSpec;
     use dv_core::packet::SCRATCH_GC;
     use dv_core::time::us;
 
@@ -157,7 +158,7 @@ mod tests {
 
     #[test]
     fn put_and_get_across_the_cluster() {
-        let (_, results) = DvCluster::new(4).run(|dv, ctx| {
+        let results = DvCluster::from_spec(SimSpec::new(4)).run(|dv, ctx| {
             let ga = GlobalArray::new(BASE, 8, dv.nodes());
             // Everyone writes its id into a well-known slot of the next
             // node's span.
@@ -168,7 +169,8 @@ mod tests {
             ctx.delay(us(20));
             // Read the slot in our own span (written by the left neighbor).
             ga.get(dv, ctx, me * 8 + 3)
-        });
+        })
+        .result;
         for (me, got) in results.iter().enumerate() {
             assert_eq!(*got, ((me + 3) % 4) as u64 + 100);
         }
@@ -176,7 +178,7 @@ mod tests {
 
     #[test]
     fn block_put_spans_node_boundaries() {
-        let (_, results) = DvCluster::new(3).run(|dv, ctx| {
+        let results = DvCluster::from_spec(SimSpec::new(3)).run(|dv, ctx| {
             let ga = GlobalArray::new(BASE, 10, dv.nodes());
             if dv.node() == 0 {
                 // 25 words starting at index 5: spans all three nodes.
@@ -186,7 +188,8 @@ mod tests {
             dv.barrier(ctx);
             ctx.delay(us(100));
             ga.read_local(dv, ctx)
-        });
+        })
+        .result;
         // Reassemble and check the global view.
         let global: Vec<u64> = results.into_iter().flatten().collect();
         for (k, &v) in global[5..30].iter().enumerate() {
@@ -198,7 +201,7 @@ mod tests {
 
     #[test]
     fn counted_block_put_signals_completion() {
-        let (_, ok) = DvCluster::new(2).run(|dv, ctx| {
+        let ok = DvCluster::from_spec(SimSpec::new(2)).run(|dv, ctx| {
             let ga = GlobalArray::new(BASE, 64, dv.nodes());
             if dv.node() == 1 {
                 dv.gc_set_local(ctx, 13, 64);
@@ -213,7 +216,8 @@ mod tests {
                 ga.put_block(dv, ctx, 64, &values, 13);
                 true
             }
-        });
+        })
+        .result;
         assert!(ok.into_iter().all(|b| b));
     }
 }

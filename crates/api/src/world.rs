@@ -59,16 +59,23 @@ pub struct DvWorld {
 }
 
 impl DvWorld {
-    /// Build a world of `nodes` nodes (metrics disabled).
-    pub fn new(nodes: usize, config: MachineConfig, tracer: Arc<Tracer>) -> Arc<Self> {
-        Self::new_with_metrics(nodes, config, tracer, MetricsRegistry::disabled_shared())
+    /// Build a world from a [`SimSpec`](dv_core::spec::SimSpec): nodes,
+    /// machine model (the switch is grown if the cluster exceeds its
+    /// ports), tracer, and metrics all come from the spec.
+    pub fn from_spec(spec: &dv_core::spec::SimSpec) -> Arc<Self> {
+        Self::from_parts(
+            spec.nodes,
+            spec.machine.clone(),
+            Arc::clone(&spec.tracer),
+            Arc::clone(&spec.metrics),
+        )
     }
 
-    /// [`DvWorld::new`] with a metrics registry: network batches, packet
+    /// [`DvWorld::from_spec`] from explicit parts: network batches, packet
     /// and byte counts, batch-size histograms, and the analytic model's
     /// per-traversal deflection estimate are recorded under `api.net.*` /
-    /// `switch.model.*`.
-    pub fn new_with_metrics(
+    /// `switch.model.*` when `metrics` is enabled.
+    pub fn from_parts(
         nodes: usize,
         config: MachineConfig,
         tracer: Arc<Tracer>,
@@ -89,7 +96,7 @@ impl DvWorld {
                 .map(|n| {
                     Arc::new(Mutex::new_named(
                         "api.vic",
-                        Vic::with_faults(n, &config.dv, config.faults.clone()),
+                        Vic::from_parts(n, &config.dv, config.faults.clone()),
                     ))
                 })
                 .collect(),

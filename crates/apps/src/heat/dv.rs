@@ -37,18 +37,16 @@ fn face_region(cfg: &HeatConfig, f: Face, parity: usize) -> u32 {
 
 /// Run the heat solver on the Data Vortex.
 pub fn run(cfg: HeatConfig) -> HeatRunResult {
-    run_instrumented(cfg, dv_core::metrics::MetricsRegistry::disabled_shared())
+    run_spec(cfg, dv_core::spec::SimSpec::new(cfg.nodes()))
 }
 
-/// [`run`] with a metrics registry attached, so streaming benches can
-/// watch halo-exchange traffic at virtual-time intervals.
-pub fn run_instrumented(
-    cfg: HeatConfig,
-    metrics: std::sync::Arc<dv_core::metrics::MetricsRegistry>,
-) -> HeatRunResult {
-    let nodes = cfg.nodes();
-    let cluster = dv_api::DvCluster::new(nodes).with_metrics(metrics);
-    let (elapsed, results) = cluster.run(move |dv, ctx| {
+/// [`run`] on the cluster described by `spec` — metrics and streaming come
+/// from the spec, so streaming benches can watch halo-exchange traffic at
+/// virtual-time intervals.
+pub fn run_spec(cfg: HeatConfig, spec: dv_core::spec::SimSpec) -> HeatRunResult {
+    assert_eq!(spec.nodes, cfg.nodes(), "spec.nodes must match the grid");
+    let cluster = dv_api::DvCluster::from_spec(spec);
+    let report = cluster.run(move |dv, ctx| {
         let me = dv.node();
         let compute = ComputeParams::default();
         let mut block = LocalBlock::new(&cfg, me);
@@ -120,6 +118,7 @@ pub fn run_instrumented(
         dv.fast_barrier(ctx);
         (block.interior(), last_heat)
     });
+    let (elapsed, results) = (report.elapsed, report.result);
     let last_heat = results[0].1;
     HeatRunResult { elapsed, fields: results.into_iter().map(|(f, _)| f).collect(), last_heat }
 }

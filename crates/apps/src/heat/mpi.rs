@@ -20,8 +20,8 @@ pub struct HeatRunResult {
 
 /// Run the heat solver over MPI.
 pub fn run(cfg: HeatConfig) -> HeatRunResult {
-    let nodes = cfg.nodes();
-    let (elapsed, results) = MpiCluster::new(nodes).run(move |comm, ctx| {
+    let spec = dv_core::spec::SimSpec::new(cfg.nodes());
+    let report = MpiCluster::from_spec(spec).run(move |comm, ctx| {
         let me = comm.rank();
         let compute = ComputeParams::default();
         let mut block = LocalBlock::new(&cfg, me);
@@ -119,6 +119,7 @@ pub fn run(cfg: HeatConfig) -> HeatRunResult {
         comm.barrier(ctx);
         (block.interior(), last_heat)
     });
+    let (elapsed, results) = (report.elapsed, report.result);
     let last_heat = results[0].1;
     HeatRunResult { elapsed, fields: results.into_iter().map(|(f, _)| f).collect(), last_heat }
 }

@@ -45,8 +45,8 @@ struct SeqEntry {
 
 /// Run one full sweep on the Data Vortex.
 pub fn run(cfg: SnapConfig) -> SnapRunResult {
-    let nodes = cfg.nodes();
-    let (elapsed, results) = dv_api::DvCluster::new(nodes).run(move |dv, ctx| {
+    let spec = dv_core::spec::SimSpec::new(cfg.nodes());
+    let report = dv_api::DvCluster::from_spec(spec).run(move |dv, ctx| {
         let me = dv.node();
         let compute = ComputeParams::default();
         let (cy, cz) = cfg.coords(me);
@@ -218,7 +218,7 @@ pub fn run(cfg: SnapConfig) -> SnapRunResult {
         dv.fast_barrier(ctx);
         local.phi
     });
-    SnapRunResult { elapsed, fields: results }
+    SnapRunResult { elapsed: report.elapsed, fields: report.result }
 }
 
 #[cfg(test)]

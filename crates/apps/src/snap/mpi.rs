@@ -22,8 +22,8 @@ fn face_tag(g: usize, o: usize, chunk_pos: usize, dir: usize) -> u64 {
 
 /// Run one full sweep (all groups × octants) over MPI.
 pub fn run(cfg: SnapConfig) -> SnapRunResult {
-    let nodes = cfg.nodes();
-    let (elapsed, results) = MpiCluster::new(nodes).run(move |comm, ctx| {
+    let spec = dv_core::spec::SimSpec::new(cfg.nodes());
+    let report = MpiCluster::from_spec(spec).run(move |comm, ctx| {
         let me = comm.rank();
         let compute = ComputeParams::default();
         let (cy, cz) = cfg.coords(me);
@@ -79,7 +79,7 @@ pub fn run(cfg: SnapConfig) -> SnapRunResult {
         comm.barrier(ctx);
         local.phi
     });
-    SnapRunResult { elapsed, fields: results }
+    SnapRunResult { elapsed: report.elapsed, fields: report.result }
 }
 
 #[cfg(test)]

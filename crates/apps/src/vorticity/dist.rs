@@ -86,23 +86,25 @@ pub fn initial_rows(cfg: &VortConfig, nodes: usize, node: usize) -> Vec<Complex>
 
 /// Run over MPI.
 pub fn run_mpi(cfg: VortConfig, nodes: usize) -> VortRunResult {
-    let (elapsed, results) = mini_mpi::MpiCluster::new(nodes).run(move |comm, ctx| {
+    let report = mini_mpi::MpiCluster::from_spec(dv_core::spec::SimSpec::new(nodes)).run(move |comm, ctx| {
         let local = initial_rows(&cfg, comm.size(), comm.rank());
         comm.barrier(ctx);
         let mut eng = MpiTranspose::new(comm);
         solve(&mut eng, ctx, &cfg, local)
     });
+    let (elapsed, results) = (report.elapsed, report.result);
     let fft2d_count = results.iter().map(|(_, f)| f).sum();
     VortRunResult { elapsed, omega_hat: results.into_iter().map(|(o, _)| o).collect(), fft2d_count }
 }
 
 /// Run on the Data Vortex.
 pub fn run_dv(cfg: VortConfig, nodes: usize) -> VortRunResult {
-    let (elapsed, results) = dv_api::DvCluster::new(nodes).run(move |dv, ctx| {
+    let report = dv_api::DvCluster::from_spec(dv_core::spec::SimSpec::new(nodes)).run(move |dv, ctx| {
         let local = initial_rows(&cfg, dv.nodes(), dv.node());
         let mut eng = DvTranspose::new(dv, ctx, 4096, local.len());
         solve(&mut eng, ctx, &cfg, local)
     });
+    let (elapsed, results) = (report.elapsed, report.result);
     let fft2d_count = results.iter().map(|(_, f)| f).sum();
     VortRunResult { elapsed, omega_hat: results.into_iter().map(|(o, _)| o).collect(), fft2d_count }
 }

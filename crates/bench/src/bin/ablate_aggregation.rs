@@ -20,19 +20,21 @@ fn main() {
         let metrics = std::sync::Arc::new(dv_core::metrics::MetricsRegistry::enabled());
         let streamer = dv_bench::Streamer::attach(&metrics, "ablate_aggregation", 8)
             .expect("--stream was passed");
-        let r = dv::run_instrumented(
+        let r = dv::run_spec(
             cfg,
-            8,
-            MachineConfig::paper_cluster(),
-            std::sync::Arc::new(dv_core::trace::Tracer::disabled()),
-            std::sync::Arc::clone(&metrics),
+            dv_core::spec::SimSpec::new(8)
+                .machine(MachineConfig::paper_cluster())
+                .metrics(std::sync::Arc::clone(&metrics)),
         );
         streamer.finish(r.elapsed);
     }
+    let spec = |nodes| {
+        dv_core::spec::SimSpec::new(nodes).machine(MachineConfig::paper_cluster())
+    };
     let mut rows = Vec::new();
     for nodes in [4usize, 8, 16] {
-        let with = dv::run_with(cfg, nodes, MachineConfig::paper_cluster(), true);
-        let without = dv::run_with(cfg, nodes, MachineConfig::paper_cluster(), false);
+        let with = dv::run_ablate(cfg, spec(nodes), true);
+        let without = dv::run_ablate(cfg, spec(nodes), false);
         assert_eq!(with.checksum, without.checksum);
         rows.push(vec![
             nodes.to_string(),

@@ -27,7 +27,10 @@ fn main() {
         let metrics = std::sync::Arc::new(dv_core::metrics::MetricsRegistry::enabled());
         let streamer = dv_bench::Streamer::attach(&metrics, "ablate_halo", c.nodes())
             .expect("--stream was passed");
-        let r = heat::dv::run_instrumented(c, std::sync::Arc::clone(&metrics));
+        let r = heat::dv::run_spec(
+            c,
+            dv_core::spec::SimSpec::new(c.nodes()).metrics(std::sync::Arc::clone(&metrics)),
+        );
         streamer.finish(r.elapsed);
         r
     } else {

@@ -5,12 +5,19 @@
 //! Usage:
 //!   `dv-report <file.json> [more.json ...]`
 //!   `dv-report --gate <current.json> <previous.json> [--max-regress PCT]`
+//!   `dv-report --gate <BENCH_sim.json> [--min-speedup X]`
 //!
-//! `--gate` is the CI perf-trajectory check: it extracts the
-//! `arena+worklist` cycles/sec figure from two `perf_smoke` artifacts
-//! (current build vs the previous run's uploaded artifact) and exits
-//! nonzero if the current number regressed by more than `PCT` percent
-//! (default 10). Throughput improvements always pass.
+//! `--gate` is the CI perf check, in two modes keyed on what it is given:
+//!
+//! * **Two artifacts** — the perf-trajectory check: it extracts the
+//!   `arena+worklist` cycles/sec figure from two `perf_smoke` artifacts
+//!   (current build vs the previous run's uploaded artifact) and exits
+//!   nonzero if the current number regressed by more than `PCT` percent
+//!   (default 10). Throughput improvements always pass.
+//! * **One `sched_smoke` artifact** — the absolute scheduler floor: the
+//!   sharded engine's 1024-node pump (dispatch-throughput) speedup over
+//!   the frozen pre-sharding reference engine must be at least `X`
+//!   (default 4).
 
 use dv_bench::report::render_report;
 use dv_core::json::Json;
@@ -43,6 +50,38 @@ fn arena_cycles_per_sec(doc: &Json) -> Result<f64, String> {
     Err("no section with an arena+worklist cycles/sec row".into())
 }
 
+/// The sharded-over-reference speedup for the `pump` workload at `nodes`
+/// in a `sched_smoke` artifact (`dv-bench-v1` schema). The pump row is
+/// the dispatch-throughput figure; the ring rows are context-switch
+/// bound and deliberately not gated.
+fn sched_speedup_at(doc: &Json, nodes: usize) -> Result<f64, String> {
+    if doc.get("schema").and_then(Json::as_str) != Some("dv-bench-v1") {
+        return Err("not a dv-bench-v1 artifact".into());
+    }
+    if doc.get("bench").and_then(Json::as_str) != Some("sched_smoke") {
+        return Err("not a sched_smoke artifact".into());
+    }
+    let want = format!("pump@{nodes}");
+    let results = doc.get("results").and_then(Json::as_arr).unwrap_or_default();
+    for section in results {
+        let headers = section.get("headers").and_then(Json::as_arr).unwrap_or_default();
+        let Some(col) = headers.iter().position(|h| h.as_str() == Some("speedup")) else {
+            continue;
+        };
+        for row in section.get("rows").and_then(Json::as_arr).unwrap_or_default() {
+            let cells = row.as_arr().unwrap_or_default();
+            if cells.first().and_then(Json::as_str) == Some(&want) {
+                return cells
+                    .get(col)
+                    .and_then(Json::as_str)
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .ok_or_else(|| format!("pump@{nodes} row has no numeric speedup"));
+            }
+        }
+    }
+    Err(format!("no section with a pump@{nodes} speedup row"))
+}
+
 /// Load and parse one artifact, mapping errors to readable messages.
 fn load(path: &str) -> Result<Json, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -52,14 +91,16 @@ fn load(path: &str) -> Result<Json, String> {
 /// Run the perf-trajectory gate; returns the process exit code.
 fn run_gate(args: &[String]) -> i32 {
     let mut max_regress_pct = 10.0;
+    let mut min_speedup = 4.0;
     let mut files: Vec<&String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        if a == "--max-regress" {
+        if a == "--max-regress" || a == "--min-speedup" {
             match it.next().and_then(|v| v.parse::<f64>().ok()) {
-                Some(v) => max_regress_pct = v,
+                Some(v) if a == "--max-regress" => max_regress_pct = v,
+                Some(v) => min_speedup = v,
                 None => {
-                    eprintln!("--max-regress needs a numeric percentage");
+                    eprintln!("{a} needs a numeric value");
                     return 2;
                 }
             }
@@ -67,8 +108,26 @@ fn run_gate(args: &[String]) -> i32 {
             files.push(a);
         }
     }
+    if let [single_path] = files[..] {
+        let speedup = match load(single_path).and_then(|doc| sched_speedup_at(&doc, 1024)) {
+            Ok(x) => x,
+            Err(e) => {
+                eprintln!("gate: {e}");
+                return 2;
+            }
+        };
+        println!("sched gate: sharded speedup at 1024 nodes = {speedup:.2}x");
+        if speedup < min_speedup {
+            eprintln!("sched gate FAILED: below the {min_speedup:.2}x floor");
+            return 1;
+        }
+        println!("sched gate passed (floor: {min_speedup:.2}x)");
+        return 0;
+    }
     let [current_path, previous_path] = files[..] else {
-        eprintln!("usage: dv-report --gate <current.json> <previous.json> [--max-regress PCT]");
+        eprintln!(
+            "usage: dv-report --gate <current.json> <previous.json> [--max-regress PCT] | dv-report --gate <BENCH_sim.json> [--min-speedup X]"
+        );
         return 2;
     };
     let figure = |path: &str| load(path).and_then(|doc| arena_cycles_per_sec(&doc));

@@ -6,7 +6,7 @@
 
 use dv_api::SendMode;
 use dv_bench::{f2, quick, serial, Report, Streamer};
-use dv_kernels::pingpong::{dv_pingpong, dv_pingpong_instrumented, mpi_pingpong};
+use dv_kernels::pingpong::{dv_pingpong, dv_pingpong_spec, mpi_pingpong};
 
 fn main() {
     let max_log = if quick() { 14 } else { 18 };
@@ -17,11 +17,11 @@ fn main() {
         let metrics = std::sync::Arc::new(dv_core::metrics::MetricsRegistry::enabled());
         let streamer = Streamer::attach(&metrics, "fig3", 2).expect("--stream was passed");
         let words = 1usize << max_log;
-        let r = dv_pingpong_instrumented(
+        let r = dv_pingpong_spec(
             words,
             2,
             SendMode::Dma { cached_headers: true },
-            std::sync::Arc::clone(&metrics),
+            dv_core::spec::SimSpec::new(2).metrics(std::sync::Arc::clone(&metrics)),
         );
         streamer.finish(r.elapsed);
     }

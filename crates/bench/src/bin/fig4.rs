@@ -2,7 +2,7 @@
 
 use dv_bench::{f3, quick, Report, Streamer};
 use dv_core::time::as_us_f64;
-use dv_kernels::barrier::{barrier_latency, barrier_latency_instrumented, BarrierKind};
+use dv_kernels::barrier::{barrier_latency, barrier_latency_spec, BarrierKind};
 
 fn main() {
     let reps = if quick() { 100 } else { 1000 };
@@ -11,11 +11,10 @@ fn main() {
     if dv_bench::stream::stream_path().is_some() {
         let metrics = std::sync::Arc::new(dv_core::metrics::MetricsRegistry::enabled());
         let streamer = Streamer::attach(&metrics, "fig4", 32).expect("--stream was passed");
-        let per_barrier = barrier_latency_instrumented(
+        let per_barrier = barrier_latency_spec(
             BarrierKind::DvIntrinsic,
-            32,
+            dv_core::spec::SimSpec::new(32).metrics(std::sync::Arc::clone(&metrics)),
             reps,
-            std::sync::Arc::clone(&metrics),
         );
         streamer.finish(per_barrier * reps as u64);
     }

@@ -11,6 +11,7 @@ use std::sync::Arc;
 use dv_bench::{quick, Report};
 use dv_core::config::MachineConfig;
 use dv_core::metrics::MetricsRegistry;
+use dv_core::spec::SimSpec;
 use dv_core::trace::Tracer;
 use dv_kernels::gups::{dv, mpi, GupsConfig};
 
@@ -23,12 +24,12 @@ fn main() {
     };
     let tracer = Arc::new(Tracer::enabled());
     let metrics = Arc::new(MetricsRegistry::enabled());
-    let result = mpi::run_instrumented(
+    let result = mpi::run_spec(
         cfg,
-        nodes,
-        MachineConfig::paper_cluster(),
-        Arc::clone(&tracer),
-        Arc::clone(&metrics),
+        SimSpec::new(nodes)
+            .machine(MachineConfig::paper_cluster())
+            .tracer(Arc::clone(&tracer))
+            .metrics(Arc::clone(&metrics)),
     );
 
     let spans = tracer.spans();
@@ -61,12 +62,12 @@ fn main() {
     // `--stream`: the Data Vortex GUPS run emits live dv-events-v1
     // telemetry (the MPI run above stays un-streamed).
     let streamer = dv_bench::Streamer::attach(&dv_metrics, "fig5", nodes);
-    let dv_result = dv::run_instrumented(
+    let dv_result = dv::run_spec(
         cfg,
-        nodes,
-        MachineConfig::paper_cluster(),
-        Arc::clone(&dv_tracer),
-        Arc::clone(&dv_metrics),
+        SimSpec::new(nodes)
+            .machine(MachineConfig::paper_cluster())
+            .tracer(Arc::clone(&dv_tracer))
+            .metrics(Arc::clone(&dv_metrics)),
     );
     if let Some(s) = streamer {
         s.finish(dv_result.elapsed);

@@ -10,6 +10,7 @@ use std::sync::Arc;
 use dv_bench::{f2, faults, quick, Report};
 use dv_core::config::MachineConfig;
 use dv_core::metrics::MetricsRegistry;
+use dv_core::spec::SimSpec;
 use dv_core::trace::Tracer;
 use dv_kernels::gups::{dv, mpi, GupsConfig};
 
@@ -37,23 +38,23 @@ fn main() {
         // in the `--json` artifact as usual).
         let streamer =
             if nodes == 4 { dv_bench::Streamer::attach(&dv_metrics, "fig6", nodes) } else { None };
-        let d = dv::run_instrumented(
+        let d = dv::run_spec(
             cfg,
-            nodes,
-            machine.clone(),
-            Arc::clone(&dv_tracer),
-            Arc::clone(&dv_metrics),
+            SimSpec::new(nodes)
+                .machine(machine.clone())
+                .tracer(Arc::clone(&dv_tracer))
+                .metrics(Arc::clone(&dv_metrics)),
         );
         if let Some(s) = streamer {
             s.finish(d.elapsed);
         }
         let mpi_metrics = Arc::new(MetricsRegistry::enabled());
-        let m = mpi::run_instrumented(
+        let m = mpi::run_spec(
             cfg,
-            nodes,
-            machine,
-            Arc::new(Tracer::enabled()),
-            Arc::clone(&mpi_metrics),
+            SimSpec::new(nodes)
+                .machine(machine)
+                .tracer(Arc::new(Tracer::enabled()))
+                .metrics(Arc::clone(&mpi_metrics)),
         );
         assert_eq!(d.checksum, m.checksum, "backends disagree on the table");
         report.add_run(&format!("dv.n{nodes}"), &dv_metrics);

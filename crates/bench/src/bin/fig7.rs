@@ -15,12 +15,12 @@ fn main() {
     if dv_bench::stream::stream_path().is_some() {
         let metrics = std::sync::Arc::new(dv_core::metrics::MetricsRegistry::enabled());
         let streamer = Streamer::attach(&metrics, "fig7", 8).expect("--stream was passed");
-        let r = dv::run_instrumented(
+        let r = dv::run_spec(
             n,
-            8,
-            MachineConfig::paper_cluster(),
+            dv_core::spec::SimSpec::new(8)
+                .machine(MachineConfig::paper_cluster())
+                .metrics(std::sync::Arc::clone(&metrics)),
             false,
-            std::sync::Arc::clone(&metrics),
         );
         streamer.finish(r.elapsed);
     }

@@ -27,12 +27,13 @@ fn main() {
         let locals = partition_csr(&csr, VertexPart { nodes: 8 });
         let mut machine = MachineConfig::paper_cluster();
         machine.faults = fault_plan.clone();
-        let d = dv::run_instrumented(
+        let d = dv::run_spec(
             &locals,
             gcfg.vertices(),
             roots[0],
-            machine,
-            std::sync::Arc::clone(&metrics),
+            dv_core::spec::SimSpec::new(8)
+                .machine(machine)
+                .metrics(std::sync::Arc::clone(&metrics)),
         );
         streamer.finish(d.elapsed);
     }

@@ -14,7 +14,10 @@ fn main() {
         let nodes = sizes.heat.nodes();
         let streamer =
             dv_bench::Streamer::attach(&metrics, "fig9", nodes).expect("--stream was passed");
-        let r = dv_apps::heat::dv::run_instrumented(sizes.heat, std::sync::Arc::clone(&metrics));
+        let r = dv_apps::heat::dv::run_spec(
+            sizes.heat,
+            dv_core::spec::SimSpec::new(nodes).metrics(std::sync::Arc::clone(&metrics)),
+        );
         streamer.finish(r.elapsed);
     }
     let results = speedups(&sizes);

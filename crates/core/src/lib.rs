@@ -32,6 +32,10 @@
 //!   across runs.
 //! * [`json`] — a dependency-free JSON tree with a deterministic renderer
 //!   and parser, used for `BENCH_*.json` benchmark artifacts.
+//! * [`spec`] — [`spec::SimSpec`], the single builder every simulation
+//!   backend consumes (nodes, engine + shards, machine model, faults,
+//!   tracer, metrics, telemetry stream), and [`spec::RunReport`], what the
+//!   unified `run()` entry points return.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,6 +46,7 @@ pub mod json;
 pub mod metrics;
 pub mod packet;
 pub mod rng;
+pub mod spec;
 pub mod stats;
 pub mod sync;
 pub mod time;
@@ -49,6 +54,7 @@ pub mod trace;
 
 pub use config::MachineConfig;
 pub use packet::{AddressSpace, Packet, PacketHeader};
+pub use spec::{Engine, RunReport, SimSpec};
 pub use time::Time;
 
 /// Identifier of a cluster node (and of its VIC / MPI rank — the paper's

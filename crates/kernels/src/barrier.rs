@@ -1,6 +1,7 @@
 //! Global-barrier latency microbenchmark (Figure 4).
 
 use dv_api::DvCluster;
+use dv_core::spec::SimSpec;
 use dv_core::time::Time;
 use mini_mpi::MpiCluster;
 
@@ -18,53 +19,40 @@ pub enum BarrierKind {
 /// Mean latency of one barrier, measured over `reps` back-to-back
 /// barriers on `nodes` nodes.
 pub fn barrier_latency(kind: BarrierKind, nodes: usize, reps: usize) -> Time {
-    barrier_latency_instrumented(
-        kind,
-        nodes,
-        reps,
-        dv_core::metrics::MetricsRegistry::disabled_shared(),
-    )
+    barrier_latency_spec(kind, SimSpec::new(nodes), reps)
 }
 
-/// [`barrier_latency`] with a metrics registry attached, so streaming
+/// [`barrier_latency`] on the cluster described by `spec`, so streaming
 /// benches can watch barrier traffic at virtual-time intervals.
-pub fn barrier_latency_instrumented(
-    kind: BarrierKind,
-    nodes: usize,
-    reps: usize,
-    metrics: std::sync::Arc<dv_core::metrics::MetricsRegistry>,
-) -> Time {
+pub fn barrier_latency_spec(kind: BarrierKind, spec: SimSpec, reps: usize) -> Time {
     assert!(reps > 0);
     let elapsed = match kind {
         BarrierKind::DvIntrinsic => {
-            DvCluster::new(nodes)
-                .with_metrics(metrics)
+            DvCluster::from_spec(spec)
                 .run(move |dv, ctx| {
                     for _ in 0..reps {
                         dv.barrier(ctx);
                     }
                 })
-                .0
+                .elapsed
         }
         BarrierKind::DvFast => {
-            DvCluster::new(nodes)
-                .with_metrics(metrics)
+            DvCluster::from_spec(spec)
                 .run(move |dv, ctx| {
                     for _ in 0..reps {
                         dv.fast_barrier(ctx);
                     }
                 })
-                .0
+                .elapsed
         }
         BarrierKind::Mpi => {
-            MpiCluster::new(nodes)
-                .with_metrics(metrics)
+            MpiCluster::from_spec(spec)
                 .run(move |comm, ctx| {
                     for _ in 0..reps {
                         comm.barrier(ctx);
                     }
                 })
-                .0
+                .elapsed
         }
     };
     elapsed / reps as u64

@@ -14,8 +14,8 @@
 //! still arriving — the multi-buffered overlap the paper credits for DV
 //! FFT performance.
 
-use dv_core::config::{ComputeParams, MachineConfig};
-use dv_core::metrics::MetricsRegistry;
+use dv_core::config::ComputeParams;
+use dv_core::spec::SimSpec;
 use dv_core::Word;
 use dv_api::world::BlockWrite;
 use dv_api::{DvCluster, DvCtx, SendMode};
@@ -148,30 +148,15 @@ fn collect_chunks(
     }
 }
 
-/// Run the four-step FFT on the Data Vortex.
+/// Run the four-step FFT on the Data Vortex, defaults everywhere.
 pub fn run(n: usize, nodes: usize, validate: bool) -> FftRunResult {
-    run_with_config(n, nodes, MachineConfig::paper_cluster(), validate)
+    run_spec(n, SimSpec::new(nodes), validate)
 }
 
-/// [`run`] with an explicit machine configuration.
-pub fn run_with_config(
-    n: usize,
-    nodes: usize,
-    machine: MachineConfig,
-    validate: bool,
-) -> FftRunResult {
-    run_instrumented(n, nodes, machine, validate, MetricsRegistry::disabled_shared())
-}
-
-/// [`run_with_config`] with a metrics registry attached, so streaming
-/// benches can sample transpose traffic at virtual-time intervals.
-pub fn run_instrumented(
-    n: usize,
-    nodes: usize,
-    machine: MachineConfig,
-    validate: bool,
-    metrics: std::sync::Arc<MetricsRegistry>,
-) -> FftRunResult {
+/// Run the four-step FFT on the cluster described by `spec`. `validate`
+/// computes the serial reference and reports the max error (small N only).
+pub fn run_spec(n: usize, spec: SimSpec, validate: bool) -> FftRunResult {
+    let nodes = spec.nodes;
     let plan = FftPlan::new(n, nodes);
     let local_elems = n / nodes;
     // Two regions (2 words per element each) plus the low scratch page
@@ -185,9 +170,9 @@ pub fn run_instrumented(
         let x = i as f64;
         Complex::new((x * 0.7311).sin(), (x * 0.394).cos() * 0.5)
     };
-    let compute_cfg = machine.compute.clone();
-    let cluster = DvCluster::new(nodes).with_config(machine).with_metrics(metrics);
-    let (elapsed, results) = cluster.run(move |dv, ctx| {
+    let compute_cfg = spec.machine.compute.clone();
+    let cluster = DvCluster::from_spec(spec);
+    let report = cluster.run(move |dv, ctx| {
         let me = dv.node();
         let compute = compute_cfg.clone();
         let mut flops = 0u64;
@@ -227,6 +212,7 @@ pub fn run_instrumented(
         (flops, t2)
     });
 
+    let (elapsed, results) = (report.elapsed, report.result);
     let flops: u64 = results.iter().map(|(f, _)| f).sum();
     let max_error = if validate {
         let reference = plan.serial_reference(input);

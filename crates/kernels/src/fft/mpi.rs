@@ -1,6 +1,7 @@
 //! Distributed 1-D FFT over MPI: transposes by `alltoall`.
 
-use dv_core::config::{ComputeParams, MachineConfig};
+use dv_core::config::ComputeParams;
+use dv_core::spec::SimSpec;
 use dv_core::time::{as_secs_f64, Time};
 use mini_mpi::{Comm, MpiCluster, Payload};
 use dv_sim::SimCtx;
@@ -66,24 +67,20 @@ pub fn transpose_mpi(
 /// Run the four-step FFT over MPI. `validate` computes the serial
 /// reference and reports the max error (only for small N).
 pub fn run(n: usize, nodes: usize, validate: bool) -> FftRunResult {
-    run_with_config(n, nodes, MachineConfig::paper_cluster(), validate)
+    run_spec(n, SimSpec::new(nodes), validate)
 }
 
-/// [`run`] with an explicit machine configuration.
-pub fn run_with_config(
-    n: usize,
-    nodes: usize,
-    machine: MachineConfig,
-    validate: bool,
-) -> FftRunResult {
+/// [`run`] on the cluster described by `spec`.
+pub fn run_spec(n: usize, spec: SimSpec, validate: bool) -> FftRunResult {
+    let nodes = spec.nodes;
     let plan = FftPlan::new(n, nodes);
     let input = move |i: usize| {
         // A deterministic pseudo-random but cheap-to-generate signal.
         let x = i as f64;
         Complex::new((x * 0.7311).sin(), (x * 0.394).cos() * 0.5)
     };
-    let compute_cfg = machine.compute.clone();
-    let (elapsed, results) = MpiCluster::new(nodes).with_config(machine).run(move |comm, ctx| {
+    let compute_cfg = spec.machine.compute.clone();
+    let report = MpiCluster::from_spec(spec).run(move |comm, ctx| {
         let me = comm.rank();
         let compute = compute_cfg.clone();
         let mut flops = 0u64;
@@ -112,6 +109,7 @@ pub fn run_with_config(
         (flops, t2)
     });
 
+    let (elapsed, results) = (report.elapsed, report.result);
     let flops: u64 = results.iter().map(|(f, _)| f).sum();
     let max_error = if validate {
         let reference = plan.serial_reference(input);

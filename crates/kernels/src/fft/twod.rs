@@ -110,7 +110,8 @@ fn local_rows(m: usize, nodes: usize, node: usize) -> Vec<Complex> {
 
 /// Benchmark entry: 2-D FFT of an m×m matrix over MPI.
 pub fn run_mpi(m: usize, nodes: usize) -> Fft2dResult {
-    let (elapsed, results) = mini_mpi::MpiCluster::new(nodes).run(move |comm, ctx| {
+    let spec = dv_core::spec::SimSpec::new(nodes);
+    let report = mini_mpi::MpiCluster::from_spec(spec).run(move |comm, ctx| {
         let compute = ComputeParams::default();
         let mut local = local_rows(m, comm.size(), comm.rank());
         comm.barrier(ctx);
@@ -118,19 +119,22 @@ pub fn run_mpi(m: usize, nodes: usize) -> Fft2dResult {
         let flops = fft2d_dist(&mut eng, ctx, &compute, &mut local, m, false);
         (flops, local)
     });
+    let (elapsed, results) = (report.elapsed, report.result);
     let flops = results.iter().map(|(f, _)| f).sum();
     Fft2dResult { elapsed, flops, local_out: results.into_iter().map(|(_, l)| l).collect() }
 }
 
 /// Benchmark entry: 2-D FFT of an m×m matrix on the Data Vortex.
 pub fn run_dv(m: usize, nodes: usize) -> Fft2dResult {
-    let (elapsed, results) = dv_api::DvCluster::new(nodes).run(move |dv, ctx| {
+    let spec = dv_core::spec::SimSpec::new(nodes);
+    let report = dv_api::DvCluster::from_spec(spec).run(move |dv, ctx| {
         let compute = ComputeParams::default();
         let mut local = local_rows(m, dv.nodes(), dv.node());
         let mut eng = DvTranspose::new(dv, ctx, 4096, local.len());
         let flops = fft2d_dist(&mut eng, ctx, &compute, &mut local, m, false);
         (flops, local)
     });
+    let (elapsed, results) = (report.elapsed, report.result);
     let flops = results.iter().map(|(f, _)| f).sum();
     Fft2dResult { elapsed, flops, local_out: results.into_iter().map(|(_, l)| l).collect() }
 }

@@ -22,6 +22,7 @@
 use std::sync::Arc;
 
 use dv_core::config::MachineConfig;
+use dv_core::spec::SimSpec;
 use dv_core::packet::{Packet, PacketHeader, SCRATCH_GC};
 use dv_api::{Aggregator, DvCluster, DvCtx, ReliableFifo, SendMode};
 use dv_sim::SimCtx;
@@ -72,34 +73,24 @@ fn drain(
 
 /// Run one BFS from `root` on the Data Vortex.
 pub fn run(locals: &[Csr], n: usize, root: u32, machine: MachineConfig) -> BfsRunResult {
-    run_instrumented(
-        locals,
-        n,
-        root,
-        machine,
-        dv_core::metrics::MetricsRegistry::disabled_shared(),
-    )
+    let spec = SimSpec::new(locals.len()).machine(machine);
+    run_spec(locals, n, root, spec)
 }
 
-/// [`run`] with a metrics registry attached, so streaming benches can
-/// watch frontier traffic and FIFO pressure at virtual-time intervals.
-pub fn run_instrumented(
-    locals: &[Csr],
-    n: usize,
-    root: u32,
-    machine: MachineConfig,
-    metrics: Arc<dv_core::metrics::MetricsRegistry>,
-) -> BfsRunResult {
+/// Run one BFS on the cluster described by `spec` — metrics, tracing,
+/// faults, engine, and streaming all come from the spec.
+pub fn run_spec(locals: &[Csr], n: usize, root: u32, spec: SimSpec) -> BfsRunResult {
     let nodes = locals.len();
+    assert_eq!(spec.nodes, nodes, "spec.nodes must match the partition");
     assert!(
         FS_BASE as usize + nodes <= dv_api::ctx::STATUS_PAGE_WORDS,
         "BFS coordination slots exceed the VIC status page ({nodes} nodes)"
     );
     let part = VertexPart { nodes };
     let locals: Arc<Vec<Csr>> = Arc::new(locals.to_vec());
-    let compute = machine.compute.clone();
-    let cluster = DvCluster::new(nodes).with_config(machine).with_metrics(metrics);
-    let (elapsed, results) = cluster.run(move |dv, ctx| {
+    let compute = spec.machine.compute.clone();
+    let cluster = DvCluster::from_spec(spec);
+    let report = cluster.run(move |dv, ctx| {
         let me = dv.node();
         let p = dv.nodes();
         let compute = compute.clone();
@@ -236,6 +227,7 @@ pub fn run_instrumented(
         (scanned, st.parents)
     });
 
+    let (elapsed, results) = (report.elapsed, report.result);
     let edges_scanned: u64 = results.iter().map(|(s, _)| s).sum();
     let mut parents = vec![-1i64; n];
     for (node, (_, local)) in results.into_iter().enumerate() {

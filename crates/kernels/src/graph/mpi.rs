@@ -45,11 +45,18 @@ pub fn run(
     root: u32,
     machine: MachineConfig,
 ) -> BfsRunResult {
+    let spec = dv_core::spec::SimSpec::new(locals.len()).machine(machine);
+    run_spec(locals, n, root, spec)
+}
+
+/// [`run`] on the cluster described by `spec`.
+pub fn run_spec(locals: &[Csr], n: usize, root: u32, spec: dv_core::spec::SimSpec) -> BfsRunResult {
     let nodes = locals.len();
+    assert_eq!(spec.nodes, nodes, "spec.nodes must match the partition");
     let part = VertexPart { nodes };
     let locals: Arc<Vec<Csr>> = Arc::new(locals.to_vec());
-    let compute = machine.compute.clone();
-    let (elapsed, results) = MpiCluster::new(nodes).with_config(machine).run(move |comm, ctx| {
+    let compute = spec.machine.compute.clone();
+    let report = MpiCluster::from_spec(spec).run(move |comm, ctx| {
         let me = comm.rank();
         let p = comm.size();
         let compute = compute.clone();
@@ -112,6 +119,7 @@ pub fn run(
         (scanned, parents)
     });
 
+    let (elapsed, results) = (report.elapsed, report.result);
     let edges_scanned: u64 = results.iter().map(|(s, _)| s).sum();
     let mut parents = vec![-1i64; n];
     for (node, (_, local)) in results.into_iter().enumerate() {

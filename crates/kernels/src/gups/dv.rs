@@ -17,9 +17,8 @@
 //! and never repeat within a run), which the layer's exactly-once dedup
 //! relies on.
 
-use dv_core::config::MachineConfig;
-use dv_core::metrics::MetricsRegistry;
 use dv_core::packet::{Packet, PacketHeader, SCRATCH_GC};
+use dv_core::spec::SimSpec;
 use dv_core::Word;
 use dv_api::{Aggregator, DvCluster, DvCtx, ReliableFifo, SendMode};
 use dv_sim::SimCtx;
@@ -64,71 +63,31 @@ fn drain_and_apply(
     apply_updates(ctx, &words, dist, me, table, compute)
 }
 
-/// Run GUPS on the Data Vortex with `nodes` nodes.
+/// Run GUPS on the Data Vortex with `nodes` nodes, defaults everywhere.
 pub fn run(cfg: GupsConfig, nodes: usize) -> GupsResult {
-    run_with(cfg, nodes, MachineConfig::paper_cluster(), true)
+    run_spec(cfg, SimSpec::new(nodes))
 }
 
-/// [`run`] with a trace recorder attached (the Data Vortex counterpart of
-/// the paper's Figure 5 trace).
-pub fn run_traced(
-    cfg: GupsConfig,
-    nodes: usize,
-    machine: MachineConfig,
-    tracer: std::sync::Arc<dv_core::trace::Tracer>,
-) -> GupsResult {
-    run_inner(cfg, nodes, machine, true, tracer, MetricsRegistry::disabled_shared())
+/// Run GUPS on the cluster described by `spec` — machine config, tracing,
+/// metrics, faults, engine, and streaming all come from the spec. The one
+/// entry point the benchmark binaries use.
+pub fn run_spec(cfg: GupsConfig, spec: SimSpec) -> GupsResult {
+    run_ablate(cfg, spec, true)
 }
 
-/// [`run`] with both a trace recorder and a metrics registry attached —
-/// the fully observable entry point the benchmark binaries use for
-/// `--json` artifacts.
-pub fn run_instrumented(
-    cfg: GupsConfig,
-    nodes: usize,
-    machine: MachineConfig,
-    tracer: std::sync::Arc<dv_core::trace::Tracer>,
-    metrics: std::sync::Arc<MetricsRegistry>,
-) -> GupsResult {
-    run_inner(cfg, nodes, machine, true, tracer, metrics)
-}
-
-/// [`run`] with explicit machine config and a switch for the source
-/// aggregation (the `ablate_aggregation` bench turns it off: every remote
-/// update then pays its own PCIe crossing).
-pub fn run_with(
-    cfg: GupsConfig,
-    nodes: usize,
-    machine: MachineConfig,
-    aggregate: bool,
-) -> GupsResult {
-    run_inner(
-        cfg,
-        nodes,
-        machine,
-        aggregate,
-        std::sync::Arc::new(dv_core::trace::Tracer::disabled()),
-        MetricsRegistry::disabled_shared(),
-    )
-}
-
-fn run_inner(
-    cfg: GupsConfig,
-    nodes: usize,
-    machine: MachineConfig,
-    aggregate: bool,
-    tracer: std::sync::Arc<dv_core::trace::Tracer>,
-    metrics: std::sync::Arc<MetricsRegistry>,
-) -> GupsResult {
+/// [`run_spec`] with a switch for the source aggregation (the
+/// `ablate_aggregation` bench turns it off: every remote update then pays
+/// its own PCIe crossing).
+pub fn run_ablate(cfg: GupsConfig, spec: SimSpec, aggregate: bool) -> GupsResult {
+    let nodes = spec.nodes;
     let dist = BlockDist::new(cfg.global_words(nodes), nodes);
     assert!(
         COUNT_BASE as usize + nodes <= dv_api::ctx::STATUS_PAGE_WORDS,
         "GUPS completion slots exceed the VIC status page ({nodes} nodes)"
     );
-    let compute = machine.compute.clone();
-    let cluster =
-        DvCluster::new(nodes).with_config(machine).with_tracer(tracer).with_metrics(metrics);
-    let (elapsed, results) = cluster.run(move |dv, ctx| {
+    let compute = spec.machine.compute.clone();
+    let cluster = DvCluster::from_spec(spec);
+    let report = cluster.run(move |dv, ctx| {
         let me = dv.node();
         let p = dv.nodes();
         let compute = compute.clone();
@@ -238,9 +197,9 @@ fn run_inner(
         (applied, checksum)
     });
 
-    let total_updates: u64 = results.iter().map(|(a, _)| a).sum();
-    let checksum = results.iter().fold(0u64, |a, (_, c)| a ^ c);
-    GupsResult { nodes, total_updates, elapsed, checksum }
+    let total_updates: u64 = report.result.iter().map(|(a, _)| a).sum();
+    let checksum = report.result.iter().fold(0u64, |a, (_, c)| a ^ c);
+    GupsResult { nodes, total_updates, elapsed: report.elapsed, checksum }
 }
 
 #[cfg(test)]
@@ -314,8 +273,8 @@ mod tests {
     #[test]
     fn aggregation_ablation_shows_the_mechanism() {
         let cfg = GupsConfig { table_per_node: 1 << 10, updates_per_node: 1 << 10, bucket: 1024, stream_offset: 0 };
-        let with = run_with(cfg, 4, MachineConfig::paper_cluster(), true);
-        let without = run_with(cfg, 4, MachineConfig::paper_cluster(), false);
+        let with = run_ablate(cfg, SimSpec::new(4), true);
+        let without = run_ablate(cfg, SimSpec::new(4), false);
         assert_eq!(with.checksum, without.checksum, "aggregation must not change results");
         assert!(
             with.mups_total() > 2.0 * without.mups_total(),

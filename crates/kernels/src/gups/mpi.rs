@@ -5,8 +5,7 @@
 //! bucket shrinks (1024/(p−1) updates), so the exchange becomes message-
 //! rate bound — the mechanism behind the falling MPI curve of Figure 6a.
 
-use dv_core::config::MachineConfig;
-use dv_core::metrics::MetricsRegistry;
+use dv_core::spec::SimSpec;
 use mini_mpi::{MpiCluster, Payload};
 
 use crate::util::{charge, charge_updates, BlockDist};
@@ -19,40 +18,18 @@ const GEN_RATE: f64 = 600e6;
 /// Run GUPS over MPI on `nodes` ranks. Returns performance and the
 /// distributed table checksum (XOR over all nodes).
 pub fn run(cfg: GupsConfig, nodes: usize) -> GupsResult {
-    run_with_config(cfg, nodes, MachineConfig::paper_cluster())
+    run_spec(cfg, SimSpec::new(nodes))
 }
 
-/// [`run`] with an explicit machine configuration (for ablations).
-pub fn run_with_config(cfg: GupsConfig, nodes: usize, machine: MachineConfig) -> GupsResult {
-    run_traced(cfg, nodes, machine, std::sync::Arc::new(dv_core::trace::Tracer::disabled()))
-}
-
-/// [`run`] with a trace recorder attached — Figure 5 regenerates the
-/// Extrae-style execution trace from this entry point.
-pub fn run_traced(
-    cfg: GupsConfig,
-    nodes: usize,
-    machine: MachineConfig,
-    tracer: std::sync::Arc<dv_core::trace::Tracer>,
-) -> GupsResult {
-    run_instrumented(cfg, nodes, machine, tracer, MetricsRegistry::disabled_shared())
-}
-
-/// [`run`] with both a trace recorder and a metrics registry attached —
-/// the fully observable entry point the benchmark binaries use for
-/// `--json` artifacts.
-pub fn run_instrumented(
-    cfg: GupsConfig,
-    nodes: usize,
-    machine: MachineConfig,
-    tracer: std::sync::Arc<dv_core::trace::Tracer>,
-    metrics: std::sync::Arc<MetricsRegistry>,
-) -> GupsResult {
+/// Run GUPS on the cluster described by `spec` — machine config, tracing,
+/// metrics, faults, engine, and streaming all come from the spec. The one
+/// entry point the benchmark binaries use.
+pub fn run_spec(cfg: GupsConfig, spec: SimSpec) -> GupsResult {
+    let nodes = spec.nodes;
     let dist = BlockDist::new(cfg.global_words(nodes), nodes);
-    let compute = machine.compute.clone();
-    let cluster =
-        MpiCluster::new(nodes).with_config(machine).with_tracer(tracer).with_metrics(metrics);
-    let (elapsed, results) = cluster.run(move |comm, ctx| {
+    let compute = spec.machine.compute.clone();
+    let cluster = MpiCluster::from_spec(spec);
+    let report = cluster.run(move |comm, ctx| {
         let me = comm.rank();
         let p = comm.size();
         let compute = compute.clone();
@@ -104,9 +81,9 @@ pub fn run_instrumented(
         (applied, checksum)
     });
 
-    let total_updates: u64 = results.iter().map(|(a, _)| a).sum();
-    let checksum = results.iter().fold(0u64, |a, (_, c)| a ^ c);
-    GupsResult { nodes, total_updates, elapsed, checksum }
+    let total_updates: u64 = report.result.iter().map(|(a, _)| a).sum();
+    let checksum = report.result.iter().fold(0u64, |a, (_, c)| a ^ c);
+    GupsResult { nodes, total_updates, elapsed: report.elapsed, checksum }
 }
 
 #[cfg(test)]

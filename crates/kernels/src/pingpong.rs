@@ -109,29 +109,26 @@ fn arm(dv: &DvCtx, ctx: &SimCtx, words: usize) {
 
 /// Run the Data Vortex ping-pong in one of the Figure 3 modes.
 pub fn dv_pingpong(words: usize, reps: usize, mode: SendMode) -> PingPongResult {
-    dv_pingpong_instrumented(
-        words,
-        reps,
-        mode,
-        dv_core::metrics::MetricsRegistry::disabled_shared(),
-    )
+    dv_pingpong_spec(words, reps, mode, dv_core::spec::SimSpec::new(2))
 }
 
-/// [`dv_pingpong`] with a metrics registry attached, so streaming benches
-/// can sample `api.net.*` / `vic.*` counters at virtual-time intervals
-/// while the ping-pong runs.
-pub fn dv_pingpong_instrumented(
+/// [`dv_pingpong`] on the two-node cluster described by `spec` — metrics
+/// and streaming come from the spec, so streaming benches can sample
+/// `api.net.*` / `vic.*` counters at virtual-time intervals while the
+/// ping-pong runs.
+pub fn dv_pingpong_spec(
     words: usize,
     reps: usize,
     mode: SendMode,
-    metrics: std::sync::Arc<dv_core::metrics::MetricsRegistry>,
+    spec: dv_core::spec::SimSpec,
 ) -> PingPongResult {
+    assert_eq!(spec.nodes, 2, "ping-pong is a two-node kernel");
     assert!(words * 8 <= 30 << 20, "message must fit in DV memory");
     assert!(
         chunks_of(words).len() <= PING_GC_COUNT,
         "message exceeds the {PING_GC_COUNT}-chunk pipeline window"
     );
-    let (elapsed, checks) = DvCluster::new(2).with_metrics(metrics).run(move |dv, ctx| {
+    let report = DvCluster::from_spec(spec).run(move |dv, ctx| {
         let me = dv.node();
         let peer = 1 - me;
         let data: Vec<Word> = (0..words as u64).map(|i| i * 3 + me as u64).collect();
@@ -157,13 +154,13 @@ pub fn dv_pingpong_instrumented(
     // Functional check: each side XOR-accumulated the other's payload sums
     // `reps` times; with even reps they cancel, odd reps they equal the
     // peer's sum. Just assert both sides agree on having moved real data.
-    let _ = checks;
-    PingPongResult { words, reps, elapsed }
+    let _ = &report.result;
+    PingPongResult { words, reps, elapsed: report.elapsed }
 }
 
 /// Run the MPI ping-pong.
 pub fn mpi_pingpong(words: usize, reps: usize) -> PingPongResult {
-    let (elapsed, _) = MpiCluster::new(2).run(move |comm, ctx| {
+    let report = MpiCluster::from_spec(dv_core::spec::SimSpec::new(2)).run(move |comm, ctx| {
         let me = comm.rank();
         let data: Vec<u64> = (0..words as u64).map(|i| i * 3 + me as u64).collect();
         comm.barrier(ctx);
@@ -182,7 +179,7 @@ pub fn mpi_pingpong(words: usize, reps: usize) -> PingPongResult {
         comm.barrier(ctx);
         checksum
     });
-    PingPongResult { words, reps, elapsed }
+    PingPongResult { words, reps, elapsed: report.elapsed }
 }
 
 #[cfg(test)]

@@ -264,6 +264,7 @@ mod tests {
     use super::*;
     use dv_api::DvCluster;
     use mini_mpi::MpiCluster;
+    use dv_core::spec::SimSpec;
 
     /// Full distributed transpose equals the local transpose, both engines.
     fn check_roundtrip_values(outs: Vec<Vec<Complex>>, m: usize, p: usize) {
@@ -295,33 +296,39 @@ mod tests {
     #[test]
     fn mpi_transpose_is_correct() {
         let (m, p) = (16usize, 4usize);
-        let (_, outs) = MpiCluster::new(p).run(move |comm, ctx| {
-            let mut eng = MpiTranspose::new(comm);
-            eng.transpose(ctx, &local_input(comm.rank(), m, p), m, m)
-        });
+        let outs = MpiCluster::from_spec(SimSpec::new(p))
+            .run(move |comm, ctx| {
+                let mut eng = MpiTranspose::new(comm);
+                eng.transpose(ctx, &local_input(comm.rank(), m, p), m, m)
+            })
+            .result;
         check_roundtrip_values(outs, m, p);
     }
 
     #[test]
     fn dv_transpose_is_correct() {
         let (m, p) = (16usize, 4usize);
-        let (_, outs) = DvCluster::new(p).run(move |dv, ctx| {
-            let mut eng = DvTranspose::new(dv, ctx, 4096, m * m / p);
-            eng.transpose(ctx, &local_input(dv.node(), m, p), m, m)
-        });
+        let outs = DvCluster::from_spec(SimSpec::new(p))
+            .run(move |dv, ctx| {
+                let mut eng = DvTranspose::new(dv, ctx, 4096, m * m / p);
+                eng.transpose(ctx, &local_input(dv.node(), m, p), m, m)
+            })
+            .result;
         check_roundtrip_values(outs, m, p);
     }
 
     #[test]
     fn dv_double_transpose_is_identity() {
         let (m, p) = (16usize, 4usize);
-        let (_, ok) = DvCluster::new(p).run(move |dv, ctx| {
-            let mut eng = DvTranspose::new(dv, ctx, 4096, m * m / p);
-            let input = local_input(dv.node(), m, p);
-            let t = eng.transpose(ctx, &input, m, m);
-            let tt = eng.transpose(ctx, &t, m, m);
-            tt == input
-        });
+        let ok = DvCluster::from_spec(SimSpec::new(p))
+            .run(move |dv, ctx| {
+                let mut eng = DvTranspose::new(dv, ctx, 4096, m * m / p);
+                let input = local_input(dv.node(), m, p);
+                let t = eng.transpose(ctx, &input, m, m);
+                let tt = eng.transpose(ctx, &t, m, m);
+                tt == input
+            })
+            .result;
         assert!(ok.into_iter().all(|b| b));
     }
 
@@ -329,16 +336,18 @@ mod tests {
     fn many_alternating_transposes_stay_correct() {
         // Exercises the parity re-arm across 10 epochs.
         let (m, p) = (8usize, 2usize);
-        let (_, ok) = DvCluster::new(p).run(move |dv, ctx| {
-            let mut eng = DvTranspose::new(dv, ctx, 4096, m * m / p);
-            let input = local_input(dv.node(), m, p);
-            let mut cur = input.clone();
-            for _ in 0..5 {
-                let t = eng.transpose(ctx, &cur, m, m);
-                cur = eng.transpose(ctx, &t, m, m);
-            }
-            cur == input
-        });
+        let ok = DvCluster::from_spec(SimSpec::new(p))
+            .run(move |dv, ctx| {
+                let mut eng = DvTranspose::new(dv, ctx, 4096, m * m / p);
+                let input = local_input(dv.node(), m, p);
+                let mut cur = input.clone();
+                for _ in 0..5 {
+                    let t = eng.transpose(ctx, &cur, m, m);
+                    cur = eng.transpose(ctx, &t, m, m);
+                }
+                cur == input
+            })
+            .result;
         assert!(ok.into_iter().all(|b| b));
     }
 }

@@ -1,0 +1,26 @@
+//! DV-W014 negative fixture: the SimSpec-era spellings, lookalike names,
+//! and mentions that are not code.
+
+fn spec_era() {
+    let spec = SimSpec::new(4).machine(machine).metrics(metrics).tracer(tracer);
+    let report = DvCluster::from_spec(spec).run(|dv, ctx| dv.node());
+    let m = MpiCluster::from_spec(SimSpec::new(8)).run(|comm, ctx| comm.rank());
+    let v = Vic::from_parts(3, &dv_params, None);
+    let w = World::from_spec(&spec2);
+    let _ = (report, m, v, w);
+}
+
+fn lookalikes() {
+    // Different types whose names merely end with the flagged ones.
+    let a = MyDvCluster::new(4);
+    let b = TinyWorld::new(2);
+    // No leading dot: an associated function, not the builder method.
+    let f = ReliableFifo::with_config(dv, cfg);
+    let _ = (a, b, f);
+}
+
+fn prose_only() {
+    // DvCluster::new( and .with_metrics( in a comment are fine.
+    let s = "DvCluster::new(4).with_config(m) inside a string is fine too";
+    let _ = s;
+}

@@ -1,0 +1,25 @@
+//! DV-W014 positive fixture: every deprecated pre-SimSpec spelling.
+
+fn legacy_clusters() {
+    let (_, r) = DvCluster::new(4).run(|dv, ctx| dv.node());
+    let (_, m) = MpiCluster::new(8).run(|comm, ctx| comm.rank());
+    let _ = (r, m);
+}
+
+fn legacy_configurators() {
+    let c = DvCluster::new(2)
+        .with_config(machine)
+        .with_metrics(metrics)
+        .with_tracer(tracer);
+    let _ = c;
+}
+
+fn legacy_worlds_and_vics() {
+    let w = DvWorld::new(4, params);
+    let wm = DvWorld::new_with_metrics(4, params, metrics);
+    let mw = World::new(fabric, mpi_params, tracer);
+    let mwm = World::new_with_metrics(fabric, mpi_params, tracer, metrics);
+    let v = Vic::new(3, &dv_params);
+    let vf = Vic::with_faults(3, &dv_params, plan);
+    let _ = (w, wm, mw, mwm, v, vf);
+}

@@ -4,23 +4,25 @@ use std::sync::Arc;
 
 use dv_core::config::MachineConfig;
 use dv_core::metrics::{record_state_totals, MetricsRegistry};
-use dv_core::time::Time;
+use dv_core::spec::{Engine, RunReport, SimSpec};
 use dv_core::trace::Tracer;
 use dv_sim::{JoinSlot, Sim, SimCtx};
 
 use crate::comm::{Comm, World};
 use crate::fabric::IbFabric;
 
-/// Configuration + entry point for an MPI run.
+/// Configuration + entry point for an MPI run. Built from a
+/// [`SimSpec`]; [`MpiCluster::run`] returns a [`RunReport`].
 ///
 /// ```
+/// use dv_core::spec::SimSpec;
 /// use mini_mpi::{MpiCluster, Payload, ReduceOp};
 ///
-/// let (_, results) = MpiCluster::new(4).run(|comm, ctx| {
+/// let report = MpiCluster::from_spec(SimSpec::new(4)).run(|comm, ctx| {
 ///     let mine = Payload::U64(vec![comm.rank() as u64]);
 ///     comm.allreduce(ctx, ReduceOp::Sum, mine).into_u64()[0]
 /// });
-/// assert!(results.iter().all(|&r| r == 0 + 1 + 2 + 3));
+/// assert!(report.result.iter().all(|&r| r == 0 + 1 + 2 + 3));
 /// ```
 pub struct MpiCluster {
     /// Number of ranks (one per node, as in the paper's runs).
@@ -31,61 +33,42 @@ pub struct MpiCluster {
     pub tracer: Arc<Tracer>,
     /// Metrics registry (disabled by default).
     pub metrics: Arc<MetricsRegistry>,
+    /// Scheduler engine (sharded by default).
+    pub engine: Engine,
+    /// Event-queue shards (0 = auto). Never changes results.
+    pub shards: usize,
 }
 
 impl MpiCluster {
-    /// Cluster of `nodes` ranks on the paper's machine.
-    pub fn new(nodes: usize) -> Self {
+    /// Build a cluster from a [`SimSpec`] — the only non-deprecated
+    /// constructor. Arms the spec's telemetry stream, if one was set.
+    pub fn from_spec(mut spec: SimSpec) -> Self {
+        spec.arm_stream();
         Self {
-            nodes,
-            config: MachineConfig::paper_cluster(),
-            tracer: Arc::new(Tracer::disabled()),
-            metrics: MetricsRegistry::disabled_shared(),
+            nodes: spec.nodes,
+            config: spec.machine,
+            tracer: spec.tracer,
+            metrics: spec.metrics,
+            engine: spec.engine,
+            shards: spec.shards,
         }
     }
 
-    /// Enable tracing (for Figure 5 style output).
-    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
-        self.tracer = tracer;
-        self
-    }
-
-    /// Attach a metrics registry; the run records `mpi.*`, `sim.sched.*`,
-    /// and (when tracing too) `trace.state_ps` per-state time totals.
-    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
-        self.metrics = metrics;
-        self
-    }
-
-    /// Use a custom machine configuration.
-    pub fn with_config(mut self, config: MachineConfig) -> Self {
-        self.config = config;
-        self
-    }
-
-    /// Run `body` on every rank; returns the elapsed virtual time and the
-    /// per-rank return values (rank order).
-    pub fn run<T, F>(&self, body: F) -> (Time, Vec<T>)
+    /// Run `body` on every rank; returns the per-rank results (rank
+    /// order) together with the run evidence: elapsed virtual time, the
+    /// event-trace hash (see [`dv_sim::OrderAudit`]; identical
+    /// configurations and bodies must produce identical hashes — asserted
+    /// by `tests/determinism.rs`), and a snapshot of the attached metrics
+    /// registry.
+    pub fn run<T, F>(&self, body: F) -> RunReport<Vec<T>>
     where
         T: Send + 'static,
         F: Fn(&Comm, &SimCtx) -> T + Send + Sync + 'static,
     {
-        let (elapsed, _, results) = self.run_hashed(body);
-        (elapsed, results)
-    }
-
-    /// [`MpiCluster::run`], additionally returning the event-trace hash
-    /// (see [`dv_sim::OrderAudit`]). Identical configurations and bodies
-    /// must produce identical hashes — asserted by `tests/determinism.rs`.
-    pub fn run_hashed<T, F>(&self, body: F) -> (Time, u64, Vec<T>)
-    where
-        T: Send + 'static,
-        F: Fn(&Comm, &SimCtx) -> T + Send + Sync + 'static,
-    {
-        let mut sim = Sim::new();
+        let mut sim = Sim::with_engine(self.engine, self.shards);
         sim.set_metrics(Arc::clone(&self.metrics));
         let fabric = IbFabric::new(self.nodes, self.config.ib.clone());
-        let world = World::new_with_metrics(
+        let world = World::from_parts(
             fabric,
             self.config.mpi.clone(),
             Arc::clone(&self.tracer),
@@ -108,7 +91,7 @@ impl MpiCluster {
             .into_iter()
             .map(|s| s.take().expect("rank did not produce a result"))
             .collect();
-        (elapsed, trace_hash, results)
+        RunReport { result: results, elapsed, trace_hash, snapshot: self.metrics.snapshot() }
     }
 }
 
@@ -117,11 +100,19 @@ mod tests {
     use super::*;
     use crate::coll::ReduceOp;
     use crate::payload::Payload;
-    use dv_core::time::{as_us_f64, us};
+    use dv_core::time::{as_us_f64, us, Time};
+
+    fn run_n<T: Send + 'static>(
+        n: usize,
+        body: impl Fn(&Comm, &SimCtx) -> T + Send + Sync + 'static,
+    ) -> (Time, Vec<T>) {
+        let r = MpiCluster::from_spec(SimSpec::new(n)).run(body);
+        (r.elapsed, r.result)
+    }
 
     #[test]
     fn ping_pong_exchanges_real_data() {
-        let (elapsed, results) = MpiCluster::new(2).run(|comm, ctx| {
+        let (elapsed, results) = run_n(2, |comm, ctx| {
             if comm.rank() == 0 {
                 comm.send(ctx, 1, 7, Payload::U64(vec![1, 2, 3]));
                 comm.recv_from(ctx, 1, 8).payload.into_u64()
@@ -139,7 +130,7 @@ mod tests {
     #[test]
     fn rendezvous_path_moves_large_messages() {
         let n_words = 64 * 1024; // 512 KiB >> eager limit
-        let (_, results) = MpiCluster::new(2).run(move |comm, ctx| {
+        let (_, results) = run_n(2, move |comm, ctx| {
             if comm.rank() == 0 {
                 let data: Vec<u64> = (0..n_words as u64).collect();
                 comm.send(ctx, 1, 1, Payload::U64(data));
@@ -156,8 +147,7 @@ mod tests {
     #[test]
     fn large_messages_take_longer_than_small() {
         let time_for = |words: usize| {
-            MpiCluster::new(2)
-                .run(move |comm, ctx| {
+            run_n(2, move |comm, ctx| {
                     if comm.rank() == 0 {
                         comm.send(ctx, 1, 1, Payload::U64(vec![0; words]));
                     } else {
@@ -171,7 +161,7 @@ mod tests {
 
     #[test]
     fn wildcard_recv_matches_any_source() {
-        let (_, results) = MpiCluster::new(4).run(|comm, ctx| {
+        let (_, results) = run_n(4, |comm, ctx| {
             if comm.rank() == 0 {
                 let mut sum = 0u64;
                 for _ in 0..3 {
@@ -189,7 +179,7 @@ mod tests {
 
     #[test]
     fn tag_matching_keeps_streams_separate() {
-        let (_, results) = MpiCluster::new(2).run(|comm, ctx| {
+        let (_, results) = run_n(2, |comm, ctx| {
             if comm.rank() == 0 {
                 comm.send(ctx, 1, 10, Payload::U64(vec![10]));
                 comm.send(ctx, 1, 20, Payload::U64(vec![20]));
@@ -207,7 +197,7 @@ mod tests {
 
     #[test]
     fn barrier_synchronizes_all_ranks() {
-        let (_, results) = MpiCluster::new(8).run(|comm, ctx| {
+        let (_, results) = run_n(8, |comm, ctx| {
             // Stagger arrival times; everyone must leave after the latest.
             ctx.delay(us(comm.rank() as u64 * 10));
             comm.barrier(ctx);
@@ -222,7 +212,7 @@ mod tests {
     #[test]
     fn bcast_reaches_every_rank_from_any_root() {
         for root in [0, 3, 6] {
-            let (_, results) = MpiCluster::new(7).run(move |comm, ctx| {
+            let (_, results) = run_n(7, move |comm, ctx| {
                 let data = (comm.rank() == root).then(|| Payload::U64(vec![42, 43]));
                 comm.bcast(ctx, root, data).into_u64()
             });
@@ -234,7 +224,7 @@ mod tests {
 
     #[test]
     fn reduce_and_allreduce_compute_real_sums() {
-        let (_, results) = MpiCluster::new(6).run(|comm, ctx| {
+        let (_, results) = run_n(6, |comm, ctx| {
             let mine = Payload::F64(vec![comm.rank() as f64, 1.0]);
             let total = comm.allreduce(ctx, ReduceOp::Sum, mine);
             total.into_f64()
@@ -246,7 +236,7 @@ mod tests {
 
     #[test]
     fn reduce_xor_matches_serial() {
-        let (_, results) = MpiCluster::new(5).run(|comm, ctx| {
+        let (_, results) = run_n(5, |comm, ctx| {
             let mine = Payload::U64(vec![0x1 << comm.rank()]);
             comm.reduce(ctx, 2, ReduceOp::Xor, mine).map(|p| p.into_u64()[0])
         });
@@ -256,7 +246,7 @@ mod tests {
 
     #[test]
     fn allgather_assembles_rank_order() {
-        let (_, results) = MpiCluster::new(5).run(|comm, ctx| {
+        let (_, results) = run_n(5, |comm, ctx| {
             let blocks = comm.allgather(ctx, Payload::U64(vec![comm.rank() as u64; 2]));
             blocks.into_iter().flat_map(|p| p.into_u64()).collect::<Vec<u64>>()
         });
@@ -268,7 +258,7 @@ mod tests {
     #[test]
     fn alltoall_transposes_blocks() {
         let n = 6;
-        let (_, results) = MpiCluster::new(n).run(move |comm, ctx| {
+        let (_, results) = run_n(n, move |comm, ctx| {
             let me = comm.rank() as u64;
             // Block for dst d carries [me, d].
             let blocks: Vec<Payload> =
@@ -286,7 +276,7 @@ mod tests {
     #[test]
     fn alltoallv_with_ragged_sizes() {
         let n = 4;
-        let (_, results) = MpiCluster::new(n).run(move |comm, ctx| {
+        let (_, results) = run_n(n, move |comm, ctx| {
             let me = comm.rank();
             // Rank r sends r+d+1 words to rank d.
             let blocks: Vec<Payload> =
@@ -303,7 +293,7 @@ mod tests {
     #[test]
     fn gather_scatter_round_trip() {
         let n = 5;
-        let (_, results) = MpiCluster::new(n).run(move |comm, ctx| {
+        let (_, results) = run_n(n, move |comm, ctx| {
             let me = comm.rank();
             let gathered = comm.gather(ctx, 0, Payload::U64(vec![me as u64 * 7]));
             let redistributed = if me == 0 {
@@ -328,7 +318,7 @@ mod tests {
     fn barrier_latency_grows_with_scale() {
         // The Figure 4 mechanism, unit-test sized.
         let barrier_time = |n: usize| {
-            let (elapsed, _) = MpiCluster::new(n).run(|comm, ctx| {
+            let (elapsed, _) = run_n(n, |comm, ctx| {
                 for _ in 0..10 {
                     comm.barrier(ctx);
                 }
@@ -343,8 +333,7 @@ mod tests {
     #[test]
     fn deterministic_end_to_end() {
         let run = || {
-            MpiCluster::new(8)
-                .run(|comm, ctx| {
+            run_n(8, |comm, ctx| {
                     let mine = Payload::U64(vec![comm.rank() as u64]);
                     let all = comm.allreduce(ctx, ReduceOp::Sum, mine);
                     comm.barrier(ctx);

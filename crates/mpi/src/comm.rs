@@ -94,14 +94,23 @@ pub struct World {
 }
 
 impl World {
-    /// Build the world for `nodes` ranks (metrics disabled).
-    pub fn new(fabric: IbFabric, params: MpiParams, tracer: Arc<Tracer>) -> Arc<Self> {
-        Self::new_with_metrics(fabric, params, tracer, MetricsRegistry::disabled_shared())
+    /// Build the world described by a [`SimSpec`](dv_core::spec::SimSpec):
+    /// the InfiniBand fabric comes from `spec.machine.ib`, MPI tuning from
+    /// `spec.machine.mpi`, tracing and metrics from the spec's attachments.
+    pub fn from_spec(spec: &dv_core::spec::SimSpec) -> Arc<Self> {
+        let fabric = IbFabric::new(spec.nodes, spec.machine.ib.clone());
+        Self::from_parts(
+            fabric,
+            spec.machine.mpi.clone(),
+            Arc::clone(&spec.tracer),
+            Arc::clone(&spec.metrics),
+        )
     }
 
-    /// [`World::new`] with a metrics registry; point-to-point traffic is
-    /// recorded under `mpi.*` and collectives under `mpi.coll.*`.
-    pub fn new_with_metrics(
+    /// Build a world from explicit parts; point-to-point traffic is
+    /// recorded under `mpi.*` and collectives under `mpi.coll.*` when the
+    /// registry is enabled.
+    pub fn from_parts(
         fabric: IbFabric,
         params: MpiParams,
         tracer: Arc<Tracer>,

@@ -1,0 +1,78 @@
+//! Deprecated constructor shims for the pre-`SimSpec` MPI API.
+//!
+//! Every constructor here forwards to [`SimSpec`]-based construction and
+//! carries `#[deprecated]`; new code should build a [`SimSpec`] and use
+//! [`MpiCluster::from_spec`] / [`World::from_spec`]. dv-lint rule DV-W014
+//! flags any call site of these names outside this file.
+
+use std::sync::Arc;
+
+use dv_core::config::{MachineConfig, MpiParams};
+use dv_core::metrics::MetricsRegistry;
+use dv_core::spec::SimSpec;
+use dv_core::time::Time;
+use dv_core::trace::Tracer;
+use dv_sim::SimCtx;
+
+use crate::cluster::MpiCluster;
+use crate::comm::{Comm, World};
+use crate::fabric::IbFabric;
+
+impl MpiCluster {
+    /// Cluster of `nodes` ranks on the paper's machine.
+    #[deprecated(since = "0.1.0", note = "build a SimSpec and use MpiCluster::from_spec")]
+    pub fn new(nodes: usize) -> Self {
+        Self::from_spec(SimSpec::new(nodes))
+    }
+
+    /// Enable tracing (for Figure 5 style output).
+    #[deprecated(since = "0.1.0", note = "use SimSpec::tracer")]
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Attach a metrics registry.
+    #[deprecated(since = "0.1.0", note = "use SimSpec::metrics or SimSpec::instrumented")]
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Use a custom machine configuration.
+    #[deprecated(since = "0.1.0", note = "use SimSpec::machine")]
+    pub fn with_config(mut self, config: MachineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Old tuple-shaped entry point: `(elapsed, trace_hash, results)`.
+    #[deprecated(since = "0.1.0", note = "use MpiCluster::run, which returns a RunReport")]
+    pub fn run_hashed<T, F>(&self, body: F) -> (Time, u64, Vec<T>)
+    where
+        T: Send + 'static,
+        F: Fn(&Comm, &SimCtx) -> T + Send + Sync + 'static,
+    {
+        let r = self.run(body);
+        (r.elapsed, r.trace_hash, r.result)
+    }
+}
+
+impl World {
+    /// Build the world for `nodes` ranks (metrics disabled).
+    #[deprecated(since = "0.1.0", note = "build a SimSpec and use World::from_spec")]
+    pub fn new(fabric: IbFabric, params: MpiParams, tracer: Arc<Tracer>) -> Arc<Self> {
+        Self::from_parts(fabric, params, tracer, MetricsRegistry::disabled_shared())
+    }
+
+    /// Build a world with a metrics registry attached.
+    #[deprecated(since = "0.1.0", note = "build a SimSpec and use World::from_spec")]
+    pub fn new_with_metrics(
+        fabric: IbFabric,
+        params: MpiParams,
+        tracer: Arc<Tracer>,
+        metrics: Arc<MetricsRegistry>,
+    ) -> Arc<Self> {
+        Self::from_parts(fabric, params, tracer, metrics)
+    }
+}

@@ -30,6 +30,7 @@
 pub mod cluster;
 pub mod coll;
 pub mod comm;
+mod compat;
 pub mod fabric;
 pub mod payload;
 

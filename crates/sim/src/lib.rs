@@ -8,15 +8,21 @@
 //! ## Execution model
 //!
 //! * Each simulated process (one per cluster node, plus helper daemons) runs
-//!   on its own OS thread, but **exactly one process executes at a time**:
-//!   the scheduler resumes the process with the earliest pending event,
-//!   waits for it to park again, then picks the next event. This makes the
-//!   simulation fully deterministic — same seeds in, same event trace out —
-//!   while letting node programs be written as straight-line imperative
-//!   code with blocking calls (`recv`, `wait_until`, `barrier`).
-//! * The event queue is ordered by `(virtual time, insertion sequence)`;
+//!   on its own OS thread, but **exactly one process executes at a time**.
+//!   This makes the simulation fully deterministic — same seeds in, same
+//!   event trace out — while letting node programs be written as
+//!   straight-line imperative code with blocking calls (`recv`,
+//!   `wait_until`, `barrier`).
+//! * On the default **sharded cooperative engine** ([`Engine::Sharded`])
+//!   there is no scheduler thread: a single *run token* circulates among
+//!   the process threads, and whichever thread parks becomes the
+//!   dispatcher — it commits events from per-shard queues in a
+//!   conservative global merge and hands the token directly to the next
+//!   process (see `sim.rs` module docs). The frozen pre-sharding scheduler
+//!   is kept behind [`Engine::Reference`] as the determinism oracle.
+//! * Events are committed in `(virtual time, insertion sequence)` order;
 //!   ties resolve in insertion order, so no ordering depends on OS thread
-//!   scheduling.
+//!   scheduling, shard count, or engine choice.
 //! * Wakeups are *generation-stamped*: a [`Waker`] captures the target
 //!   process's park generation, and stale wakeups (for parks that already
 //!   ended) are dropped by the scheduler. Blocking primitives therefore
@@ -38,11 +44,14 @@
 
 pub mod audit;
 mod kernel;
+mod parker;
+mod reference;
 mod sim;
 mod sync;
 
 pub use audit::OrderAudit;
-pub use kernel::{Kernel, Pid, SchedStats, Waker};
+pub use dv_core::spec::Engine;
+pub use kernel::{Kernel, Pid, SchedStats, TimerId, Waker};
 pub use sim::{Sim, SimCtx};
 pub use sync::{JoinSlot, Pipe, Port, WaitSet};
 

@@ -1,22 +1,54 @@
-//! The simulator driver: process threads, the scheduler loop, `SimCtx`.
+//! The simulator driver: process threads, cooperative dispatch, `SimCtx`.
+//!
+//! ## The sharded cooperative engine
+//!
+//! The engine keeps the one-process-at-a-time execution model (that is what
+//! makes the simulation deterministic) but eliminates the central scheduler
+//! thread of the original design. There is a single *run token*; whoever
+//! holds it is the **driver** and commits events from the sharded kernel
+//! queues in global `(time, seq)` order:
+//!
+//! * When a process parks, *its own thread* becomes the driver: it commits
+//!   `Call`/`Timer` events inline (zero context switches), and on a `Resume`
+//!   either keeps running (the resume targets itself — zero switches) or
+//!   grants the target's [`Parker`] and goes passive (one wake, versus the
+//!   old engine's two context switches and two allocating channel sends
+//!   per event).
+//! * The driver also *pre-wakes* the process named by the next pending
+//!   event, so that thread's wakeup overlaps the current process's
+//!   execution; by the time its grant arrives it is spinning, and the
+//!   handoff is a single atomic store. Hints never commit anything — a
+//!   wrong hint costs a bounded spin, never determinism.
+//! * The host thread drives until the first handoff, then sleeps until a
+//!   driver reports the run's outcome (all foreground processes finished,
+//!   deadlock, or a process panic).
+//!
+//! The frozen pre-sharding scheduler is kept verbatim behind
+//! [`Engine::Reference`] (see [`crate::reference`]) as the determinism
+//! oracle: both engines must produce bit-identical [`OrderAudit`] traces.
+//!
+//! [`OrderAudit`]: crate::audit::OrderAudit
 
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
+use std::sync::{Condvar, Mutex as StdMutex};
 use std::thread::JoinHandle;
 
 use std::sync::mpsc::{channel, Receiver, Sender};
 
 use dv_core::metrics::MetricsRegistry;
+use dv_core::spec::Engine;
 use dv_core::sync::Mutex;
 
 use dv_core::time::Time;
 
 use crate::kernel::{EventKind, Kernel, Pid, Waker};
+use crate::parker::Parker;
 
-/// Sentinel panic payload used to unwind daemon processes at shutdown.
-struct Shutdown;
+/// Sentinel panic payload used to unwind parked processes at shutdown.
+pub(crate) struct Shutdown;
 
-enum Report {
+pub(crate) enum Report {
     // The pid is implicit (the scheduler resumes one process at a time)
     // but kept for debuggability of scheduler traces.
     #[allow(dead_code)]
@@ -25,22 +57,79 @@ enum Report {
     Panicked(Pid, String),
 }
 
-struct ProcSlot {
-    resume_tx: Sender<()>,
-    handle: Option<JoinHandle<()>>,
-    daemon: bool,
-    finished: bool,
+/// How the engine hands a process the run token.
+pub(crate) enum SlotWake {
+    /// Sharded engine: direct grant on the process's parker.
+    Parker(Arc<Parker>),
+    /// Reference engine: the historical `Sender<()>` resume handshake.
+    Channel(Sender<()>),
 }
 
-struct Registry {
-    slots: Vec<ProcSlot>,
-    live_foreground: usize,
+pub(crate) struct ProcSlot {
+    pub(crate) wake: SlotWake,
+    pub(crate) handle: Option<JoinHandle<()>>,
+    pub(crate) daemon: bool,
+    pub(crate) finished: bool,
 }
 
-struct Shared {
-    kernel: Mutex<Kernel>,
-    registry: Mutex<Registry>,
-    report_tx: Sender<Report>,
+pub(crate) struct Registry {
+    pub(crate) slots: Vec<ProcSlot>,
+    pub(crate) live_foreground: usize,
+}
+
+/// Terminal state of a sharded-engine run, reported by whichever thread
+/// discovers it.
+#[derive(Clone)]
+enum Outcome {
+    /// Every foreground process finished.
+    Done,
+    /// Deadlock or simulated-process panic; the message is pre-formatted
+    /// and re-panicked on the host thread.
+    Abort(String),
+}
+
+/// One-shot outcome cell the host sleeps on while processes drive.
+struct OutcomeCell {
+    state: StdMutex<Option<Outcome>>,
+    cv: Condvar,
+}
+
+impl OutcomeCell {
+    fn new() -> Self {
+        Self { state: StdMutex::new(None), cv: Condvar::new() }
+    }
+
+    /// First writer wins; later reports of secondary failures are dropped.
+    fn set(&self, outcome: Outcome) {
+        let mut s = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        if s.is_none() {
+            *s = Some(outcome);
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait(&self) -> Outcome {
+        let mut s = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(o) = s.as_ref() {
+                return o.clone();
+            }
+            s = self.cv.wait(s).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+}
+
+pub(crate) struct Shared {
+    pub(crate) engine: Engine,
+    pub(crate) kernel: Mutex<Kernel>,
+    pub(crate) registry: Mutex<Registry>,
+    /// Swappable so `set_metrics` can arrive after construction; read once
+    /// per dispatch stint.
+    pub(crate) metrics: Mutex<Arc<MetricsRegistry>>,
+    /// Reference engine only: park/finish/panic reports to the scheduler.
+    pub(crate) report_tx: Sender<Report>,
+    /// Sharded engine only: terminal state, host sleeps on it.
+    outcome: OutcomeCell,
 }
 
 /// A discrete-event simulation: spawn processes, then [`Sim::run`] to
@@ -66,9 +155,8 @@ struct Shared {
 /// assert_eq!(end, us(3));
 /// ```
 pub struct Sim {
-    shared: Arc<Shared>,
-    report_rx: Receiver<Report>,
-    metrics: Arc<MetricsRegistry>,
+    pub(crate) shared: Arc<Shared>,
+    pub(crate) report_rx: Receiver<Report>,
 }
 
 impl Default for Sim {
@@ -77,22 +165,57 @@ impl Default for Sim {
     }
 }
 
+/// Default shard count: one event queue per available core, capped — the
+/// merge scans every shard head, so very wide shard arrays stop paying off.
+fn auto_shards() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).clamp(1, 16)
+}
+
 impl Sim {
-    /// Fresh simulation at virtual time zero.
+    /// Fresh simulation at virtual time zero on the sharded engine with an
+    /// automatic shard count.
     pub fn new() -> Self {
+        Self::with_engine(Engine::Sharded, 0)
+    }
+
+    /// Fresh simulation on a specific engine; `shards` of `0` means auto.
+    /// Shard count and engine choice never change results — only the trace
+    /// hash proves it, and `tests/shard_invariance.rs` holds that proof.
+    pub fn with_engine(engine: Engine, shards: usize) -> Self {
+        let shards = match engine {
+            Engine::Reference => 1,
+            Engine::Sharded => {
+                if shards == 0 {
+                    auto_shards()
+                } else {
+                    shards
+                }
+            }
+        };
         let (report_tx, report_rx) = channel();
         let shared = Arc::new(Shared {
-            kernel: Mutex::new_named("sim.kernel", Kernel::new()),
-            registry: Mutex::new_named("sim.registry", Registry { slots: Vec::new(), live_foreground: 0 }),
+            engine,
+            kernel: Mutex::new_named("sim.kernel", Kernel::new(shards)),
+            registry: Mutex::new_named(
+                "sim.registry",
+                Registry { slots: Vec::new(), live_foreground: 0 },
+            ),
+            metrics: Mutex::new(MetricsRegistry::disabled_shared()),
             report_tx,
+            outcome: OutcomeCell::new(),
         });
-        Self { shared, report_rx, metrics: MetricsRegistry::disabled_shared() }
+        Self { shared, report_rx }
+    }
+
+    /// Which engine this simulation runs on.
+    pub fn engine(&self) -> Engine {
+        self.shared.engine
     }
 
     /// Attach a metrics registry; at the end of [`Sim::run_hashed`] the
     /// kernel's scheduler counters are published into it as `sim.sched.*`.
     pub fn set_metrics(&mut self, metrics: Arc<MetricsRegistry>) {
-        self.metrics = metrics;
+        *self.shared.metrics.lock() = metrics;
     }
 
     /// Spawn a foreground process. The simulation runs until every
@@ -131,117 +254,47 @@ impl Sim {
 
     /// [`Sim::run`], additionally returning the [`OrderAudit`] trace hash
     /// (see [`crate::audit`]): identical workloads must return identical
-    /// hashes, regardless of host scheduling or thread count.
+    /// hashes, regardless of host scheduling, thread count, shard count,
+    /// or engine choice.
+    ///
+    /// [`OrderAudit`]: crate::audit::OrderAudit
     pub fn run_hashed(self) -> (Time, u64) {
-        loop {
-            let next = self.shared.kernel.lock().pop_valid();
-            // Virtual-time telemetry sampling: advance the registry's
-            // sampler to the event we are about to dispatch, so a sample
-            // at boundary `b` captures exactly the events committed
-            // before the first dispatch at or after `b`. Deterministic by
-            // construction (keyed to the event sequence, never the host
-            // clock); one relaxed atomic load when no series is attached.
-            if let Some((t, _)) = &next {
-                self.metrics.tick(*t);
+        if matches!(self.shared.engine, Engine::Reference) {
+            return self.run_reference();
+        }
+        // Drive until the first handoff (or straight to the end for runs
+        // with no resumable process), then sleep until a driver reports.
+        let _ = drive(&self.shared, None);
+        let outcome = self.shared.outcome.wait();
+        match outcome {
+            Outcome::Done => {
+                let (now, hash) = publish_and_hash(&self.shared);
+                self.shutdown();
+                (now, hash)
             }
-            match next {
-                None => {
-                    let live = self.shared.registry.lock().live_foreground;
-                    if live > 0 {
-                        let parked = self.parked_foreground_names();
-                        self.shutdown();
-                        panic!(
-                            "simulation deadlock: no pending events but {live} foreground \
-                             process(es) still parked: {parked:?}"
-                        );
-                    }
-                    break;
-                }
-                Some((_t, EventKind::Call(f))) => {
-                    f(&mut self.shared.kernel.lock());
-                }
-                Some((_t, EventKind::Resume(w))) => {
-                    {
-                        let reg = self.shared.registry.lock();
-                        let slot = &reg.slots[w.pid()];
-                        if slot.finished {
-                            continue;
-                        }
-                        slot.resume_tx.send(()).expect("process thread vanished");
-                    }
-                    match self.report_rx.recv().expect("report channel closed") {
-                        Report::Parked(_) => {}
-                        Report::Finished(pid) => {
-                            let live = {
-                                let mut reg = self.shared.registry.lock();
-                                let slot = &mut reg.slots[pid];
-                                slot.finished = true;
-                                if !slot.daemon {
-                                    reg.live_foreground -= 1;
-                                }
-                                reg.live_foreground
-                            };
-                            if live == 0 {
-                                // All foreground work done; any remaining
-                                // events belong to daemons and are dropped.
-                                break;
-                            }
-                        }
-                        Report::Panicked(pid, msg) => {
-                            let name =
-                                self.shared.kernel.lock().proc_names[pid].clone();
-                            self.shutdown();
-                            panic!("simulated process '{name}' panicked: {msg}");
-                        }
-                    }
-                }
+            Outcome::Abort(msg) => {
+                self.shutdown();
+                panic!("{msg}");
             }
         }
-        let (now, hash) = {
-            let k = self.shared.kernel.lock();
-            if self.metrics.is_enabled() {
-                let s = k.sched_stats();
-                self.metrics.incr("sim.sched.resumes", s.resumes);
-                self.metrics.incr("sim.sched.calls", s.calls);
-                self.metrics.incr("sim.sched.stale_wakeups", s.stale_wakeups);
-                self.metrics.incr("sim.sched.processes", s.processes);
-                self.metrics.incr("sim.sched.trace_events", k.trace_events());
-                self.metrics.incr("sim.clock.end_ps", k.now());
-            }
-            (k.now(), k.trace_hash())
-        };
-        self.shutdown();
-        (now, hash)
-    }
-
-    fn parked_foreground_names(&self) -> Vec<String> {
-        // Take the pids under the registry lock alone, then resolve names
-        // under the kernel lock alone — holding both invites lock-order
-        // trouble (DV-W012) for no benefit on this cold error path.
-        let pids: Vec<usize> = {
-            let reg = self.shared.registry.lock();
-            reg.slots
-                .iter()
-                .enumerate()
-                .filter(|(_, s)| !s.daemon && !s.finished)
-                .map(|(pid, _)| pid)
-                .collect()
-        };
-        let kernel = self.shared.kernel.lock();
-        pids.into_iter().map(|pid| kernel.proc_names[pid].clone()).collect()
     }
 
     /// Unblock every parked thread (their `park()` unwinds with a private
-    /// sentinel) and join them.
-    fn shutdown(&self) {
+    /// sentinel) and join them. Idempotent.
+    pub(crate) fn shutdown(&self) {
         let mut handles = Vec::new();
         {
             let mut reg = self.shared.registry.lock();
             for slot in reg.slots.iter_mut() {
-                // Dropping the sender makes the thread's recv() fail,
-                // which park() turns into a Shutdown unwind.
-                let (dead_tx, _) = channel();
-                slot.resume_tx = dead_tx;
+                match &mut slot.wake {
+                    SlotWake::Parker(p) => p.shutdown(),
+                    SlotWake::Channel(tx) => {
+                        // Dropping the sender makes the thread's recv()
+                        // fail, which park() turns into a Shutdown unwind.
+                        let (dead_tx, _) = channel();
+                        *tx = dead_tx;
+                    }
+                }
                 if let Some(h) = slot.handle.take() {
                     handles.push(h);
                 }
@@ -255,13 +308,163 @@ impl Sim {
     }
 }
 
+impl Drop for Sim {
+    fn drop(&mut self) {
+        // A Sim dropped without running (or mid-panic) must still release
+        // its process threads; shutdown is idempotent, so the normal path
+        // pays only a second walk over empty slots.
+        self.shutdown();
+    }
+}
+
+/// End-of-run metrics publication + final clock/hash read (both engines).
+pub(crate) fn publish_and_hash(shared: &Shared) -> (Time, u64) {
+    let metrics = shared.metrics.lock().clone();
+    let k = shared.kernel.lock();
+    if metrics.is_enabled() {
+        let s = k.sched_stats();
+        metrics.incr("sim.sched.resumes", s.resumes);
+        metrics.incr("sim.sched.calls", s.calls);
+        metrics.incr("sim.sched.stale_wakeups", s.stale_wakeups);
+        metrics.incr("sim.sched.processes", s.processes);
+        metrics.incr("sim.sched.trace_events", k.trace_events());
+        metrics.incr("sim.clock.end_ps", k.now());
+    }
+    (k.now(), k.trace_hash())
+}
+
+/// Names of foreground processes that have not finished (deadlock report).
+/// Takes the pids under the registry lock alone, then resolves names under
+/// the kernel lock alone — holding both invites lock-order trouble
+/// (DV-W012) for no benefit on this cold error path.
+fn parked_foreground_names(shared: &Shared) -> Vec<String> {
+    let pids: Vec<usize> = {
+        let reg = shared.registry.lock();
+        reg.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.daemon && !s.finished)
+            .map(|(pid, _)| pid)
+            .collect()
+    };
+    let kernel = shared.kernel.lock();
+    pids.into_iter().map(|pid| kernel.proc_names[pid].clone()).collect()
+}
+
+/// What the dispatch stint told the calling thread to do next.
+enum Driven {
+    /// The next event resumes the caller itself: keep running.
+    RunSelf,
+    /// The run token was granted to another process; go passive.
+    HandedOff,
+    /// The run reached a terminal state (drained queue); the outcome cell
+    /// is set and the caller must not dispatch again.
+    Ended,
+}
+
+/// Whether pre-wake spinning can possibly help: it burns one core to save
+/// a futex wake, so on a single-core host it only steals the CPU from the
+/// process that actually holds the run token.
+fn prewake_pays() -> bool {
+    static MULTICORE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *MULTICORE.get_or_init(|| {
+        std::thread::available_parallelism().map(|n| n.get() > 1).unwrap_or(false)
+    })
+}
+
+/// One dispatch stint: commit events in global `(time, seq)` order until a
+/// resume hands the token to a process (or the queue drains). Exactly one
+/// thread runs this at a time — the token holder — which is what keeps the
+/// commit order, and therefore the audit hash, deterministic.
+fn drive(shared: &Shared, self_pid: Option<Pid>) -> Driven {
+    let metrics = shared.metrics.lock().clone();
+    loop {
+        // Pop the next committed event and, for resumes, peek the one
+        // after it as a pre-wake hint — one kernel lock for both.
+        let (next, hint) = {
+            let mut k = shared.kernel.lock();
+            let next = k.pop_valid();
+            let hint = match &next {
+                Some((_, EventKind::Resume(_))) => k.peek_next_resume(),
+                _ => None,
+            };
+            (next, hint)
+        };
+        // Virtual-time telemetry sampling: advance the registry's sampler
+        // to the event we are about to dispatch, so a sample at boundary
+        // `b` captures exactly the events committed before the first
+        // dispatch at or after `b`. Deterministic by construction (keyed
+        // to the event sequence, never the host clock); one relaxed
+        // atomic load when no series is attached.
+        if let Some((t, _)) = &next {
+            metrics.tick(*t);
+        }
+        match next {
+            None => {
+                let live = shared.registry.lock().live_foreground;
+                if live > 0 {
+                    let parked = parked_foreground_names(shared);
+                    shared.outcome.set(Outcome::Abort(format!(
+                        "simulation deadlock: no pending events but {live} foreground \
+                         process(es) still parked: {parked:?}"
+                    )));
+                } else {
+                    shared.outcome.set(Outcome::Done);
+                }
+                return Driven::Ended;
+            }
+            Some((_t, EventKind::Call(f))) => {
+                f(&mut shared.kernel.lock());
+            }
+            Some((_t, EventKind::Timer(id))) => {
+                let mut k = shared.kernel.lock();
+                if let Some(mut hook) = k.take_timer_hook(id) {
+                    hook(&mut k);
+                    k.put_timer_hook(id, hook);
+                }
+            }
+            Some((_t, EventKind::Resume(w))) => {
+                let reg = shared.registry.lock();
+                let slot = &reg.slots[w.pid()];
+                if slot.finished {
+                    // The resume was committed (audit + stats) exactly as
+                    // the reference engine commits it, then skipped.
+                    continue;
+                }
+                if self_pid == Some(w.pid()) {
+                    return Driven::RunSelf;
+                }
+                if let Some(h) = hint {
+                    // Overlap the *next* process's wakeup with the granted
+                    // process's execution.
+                    if h != w.pid() && self_pid != Some(h) && prewake_pays() {
+                        if let Some(hs) = reg.slots.get(h) {
+                            if !hs.finished {
+                                if let SlotWake::Parker(p) = &hs.wake {
+                                    p.prewake();
+                                }
+                            }
+                        }
+                    }
+                }
+                match &slot.wake {
+                    SlotWake::Parker(p) => p.grant(),
+                    SlotWake::Channel(_) => {
+                        unreachable!("reference slots cannot appear in the sharded dispatcher")
+                    }
+                }
+                return Driven::HandedOff;
+            }
+        }
+    }
+}
+
 fn spawn_inner(
     shared: &Arc<Shared>,
     name: String,
     daemon: bool,
     body: impl FnOnce(&SimCtx) + Send + 'static,
 ) -> Pid {
-    let (resume_tx, resume_rx) = channel::<()>();
     let pid = {
         let mut kernel = shared.kernel.lock();
         let pid = kernel.register_process(name.clone());
@@ -270,20 +473,31 @@ fn spawn_inner(
         kernel.wake(waker);
         pid
     };
-    let ctx = SimCtx { pid, shared: Arc::clone(shared), resume_rx };
-    let report_tx = shared.report_tx.clone();
+    let (wake, wait) = match shared.engine {
+        Engine::Sharded => {
+            let parker = Arc::new(Parker::new());
+            (SlotWake::Parker(Arc::clone(&parker)), CtxWait::Parker(parker))
+        }
+        Engine::Reference => {
+            let (resume_tx, resume_rx) = channel::<()>();
+            (SlotWake::Channel(resume_tx), CtxWait::Channel(resume_rx))
+        }
+    };
+    let ctx = SimCtx { pid, shared: Arc::clone(shared), wait };
     let handle = std::thread::Builder::new()
         .name(format!("sim-{name}"))
         .spawn(move || {
             // Wait for the initial resume before touching anything.
-            if ctx.resume_rx.recv().is_err() {
+            let started = match &ctx.wait {
+                CtxWait::Parker(p) => p.wait().is_ok(),
+                CtxWait::Channel(rx) => rx.recv().is_ok(),
+            };
+            if !started {
                 return; // simulation torn down before we started
             }
             let result = panic::catch_unwind(AssertUnwindSafe(|| body(&ctx)));
             match result {
-                Ok(()) => {
-                    let _ = report_tx.send(Report::Finished(ctx.pid));
-                }
+                Ok(()) => on_finished(&ctx),
                 Err(payload) => {
                     if payload.downcast_ref::<Shutdown>().is_some() {
                         // Normal teardown of a parked process.
@@ -294,7 +508,7 @@ fn spawn_inner(
                         .map(|s| s.to_string())
                         .or_else(|| payload.downcast_ref::<String>().cloned())
                         .unwrap_or_else(|| "<non-string panic payload>".into());
-                    let _ = report_tx.send(Report::Panicked(ctx.pid, msg));
+                    on_panicked(&ctx, msg);
                 }
             }
         })
@@ -302,11 +516,63 @@ fn spawn_inner(
 
     let mut reg = shared.registry.lock();
     debug_assert_eq!(reg.slots.len(), pid);
-    reg.slots.push(ProcSlot { resume_tx, handle: Some(handle), daemon, finished: false });
+    reg.slots.push(ProcSlot { wake, handle: Some(handle), daemon, finished: false });
     if !daemon {
         reg.live_foreground += 1;
     }
     pid
+}
+
+/// A process body returned normally.
+fn on_finished(ctx: &SimCtx) {
+    match ctx.wait {
+        CtxWait::Channel(_) => {
+            let _ = ctx.shared.report_tx.send(Report::Finished(ctx.pid));
+        }
+        CtxWait::Parker(_) => {
+            let live = {
+                let mut reg = ctx.shared.registry.lock();
+                let slot = &mut reg.slots[ctx.pid];
+                slot.finished = true;
+                if !slot.daemon {
+                    reg.live_foreground -= 1;
+                }
+                reg.live_foreground
+            };
+            if live == 0 {
+                // All foreground work done; any remaining events belong to
+                // daemons and are dropped (same cut as the reference
+                // engine's scheduler loop).
+                ctx.shared.outcome.set(Outcome::Done);
+            } else {
+                // This thread holds the run token: keep driving until the
+                // token moves on, then let the thread exit.
+                let _ = drive(&ctx.shared, None);
+            }
+        }
+    }
+}
+
+/// A process body panicked (with a non-shutdown payload).
+fn on_panicked(ctx: &SimCtx, msg: String) {
+    match ctx.wait {
+        CtxWait::Channel(_) => {
+            let _ = ctx.shared.report_tx.send(Report::Panicked(ctx.pid, msg));
+        }
+        CtxWait::Parker(_) => {
+            let name = ctx.shared.kernel.lock().proc_names[ctx.pid].clone();
+            ctx.shared
+                .outcome
+                .set(Outcome::Abort(format!("simulated process '{name}' panicked: {msg}")));
+        }
+    }
+}
+
+/// How a process waits for its resume — the per-engine half of
+/// [`SlotWake`].
+enum CtxWait {
+    Parker(Arc<Parker>),
+    Channel(Receiver<()>),
 }
 
 /// Per-process capability: the handle a simulated process uses to read the
@@ -315,7 +581,7 @@ fn spawn_inner(
 pub struct SimCtx {
     pid: Pid,
     shared: Arc<Shared>,
-    resume_rx: Receiver<()>,
+    wait: CtxWait,
 }
 
 impl SimCtx {
@@ -344,11 +610,29 @@ impl SimCtx {
     /// Park until any waker for the current generation fires. Spurious
     /// wakeups are possible when several wakers were registered; callers
     /// must re-check their condition in a loop.
+    ///
+    /// On the sharded engine, parking *is* dispatching: the calling thread
+    /// drives the kernel until the run token moves to another process (or
+    /// comes straight back — the self-resume fast path, zero context
+    /// switches).
     pub fn park(&self) {
-        let _ = self.shared.report_tx.send(Report::Parked(self.pid));
-        if self.resume_rx.recv().is_err() {
-            // Simulation is shutting down: unwind this thread.
-            panic::panic_any(Shutdown);
+        match &self.wait {
+            CtxWait::Parker(p) => match drive(&self.shared, Some(self.pid)) {
+                Driven::RunSelf => {}
+                Driven::HandedOff | Driven::Ended => {
+                    if p.wait().is_err() {
+                        // Simulation is shutting down: unwind this thread.
+                        panic::panic_any(Shutdown);
+                    }
+                }
+            },
+            CtxWait::Channel(rx) => {
+                let _ = self.shared.report_tx.send(Report::Parked(self.pid));
+                if rx.recv().is_err() {
+                    // Simulation is shutting down: unwind this thread.
+                    panic::panic_any(Shutdown);
+                }
+            }
         }
     }
 

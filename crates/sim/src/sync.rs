@@ -1,13 +1,13 @@
 //! Virtual-time synchronization and queueing primitives.
 
-use std::collections::VecDeque;
+use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
 
 use dv_core::sync::Mutex;
 
 use dv_core::time::{self, Time};
 
-use crate::kernel::{Kernel, Waker};
+use crate::kernel::{Kernel, TimerId, Waker};
 use crate::sim::SimCtx;
 
 /// A virtual-time condition variable: processes register their waker and
@@ -63,9 +63,46 @@ impl WaitSet {
     }
 }
 
+/// A message staged for future delivery: invisible to receivers until its
+/// pooled timer event commits.
+struct Staged<T> {
+    /// Delivery time, already clamped to the kernel clock at staging time —
+    /// the same clamp the kernel applies when it enqueues the timer event,
+    /// so heap order here matches commit order there exactly.
+    at: Time,
+    /// Per-port staging sequence; breaks delivery-time ties in send order,
+    /// mirroring the kernel's global insertion sequence.
+    seq: u64,
+    msg: T,
+}
+
+impl<T> PartialEq for Staged<T> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl<T> Eq for Staged<T> {}
+impl<T> PartialOrd for Staged<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Staged<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we pop the earliest delivery.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
 struct PortState<T> {
     queue: VecDeque<(Time, T)>,
     waiters: Vec<Waker>,
+    /// Messages in flight, ordered by `(at, seq)`.
+    staged: BinaryHeap<Staged<T>>,
+    stage_seq: u64,
+    /// The port's pooled delivery timer, registered on first send. Every
+    /// delivery reuses it, so steady-state sends allocate nothing.
+    timer: Option<TimerId>,
 }
 
 /// A typed message queue in virtual time.
@@ -94,19 +131,55 @@ impl<T: Send + 'static> Default for Port<T> {
 impl<T: Send + 'static> Port<T> {
     /// New empty port.
     pub fn new() -> Self {
-        Self { state: Arc::new(Mutex::new(PortState { queue: VecDeque::new(), waiters: Vec::new() })) }
+        Self {
+            state: Arc::new(Mutex::new(PortState {
+                queue: VecDeque::new(),
+                waiters: Vec::new(),
+                staged: BinaryHeap::new(),
+                stage_seq: 0,
+                timer: None,
+            })),
+        }
     }
 
     /// Deliver `msg` at virtual time `at` (kernel context).
+    ///
+    /// The message is *staged* (invisible) and a pooled per-port timer
+    /// event commits it at `at` — one copyable kernel event per message
+    /// instead of the boxed closure the engine used historically. The
+    /// timer commit hashes and counts exactly like the closure did, and
+    /// each firing makes exactly one staged message visible, so receiver
+    /// visibility between commits is unchanged.
     pub fn deliver_at(&self, kernel: &mut Kernel, at: Time, msg: T) {
-        let state = Arc::clone(&self.state);
-        kernel.call_at(at, move |k| {
-            let mut s = state.lock();
-            s.queue.push_back((k.now(), msg));
-            for w in s.waiters.drain(..) {
-                k.wake(w);
+        // Clamp before staging with the same rule the kernel applies on
+        // push, so the staged heap and the kernel queue agree on order.
+        let at = at.max(kernel.now());
+        let timer = {
+            let mut s = self.state.lock();
+            let seq = s.stage_seq;
+            s.stage_seq += 1;
+            s.staged.push(Staged { at, seq, msg });
+            s.timer
+        };
+        let id = match timer {
+            Some(id) => id,
+            None => {
+                let state = Arc::clone(&self.state);
+                let id = kernel.register_timer(Box::new(move |k: &mut Kernel| {
+                    let mut s = state.lock();
+                    if let Some(staged) = s.staged.pop() {
+                        let arrived = k.now();
+                        s.queue.push_back((arrived, staged.msg));
+                        for w in s.waiters.drain(..) {
+                            k.wake(w);
+                        }
+                    }
+                }));
+                self.state.lock().timer = Some(id);
+                id
             }
-        });
+        };
+        kernel.timer_at(at, id);
     }
 
     /// Deliver `msg` after `delay`, from process context.

@@ -1,0 +1,26 @@
+//! Deprecated constructor shims for the pre-`SimSpec` VIC API.
+//!
+//! New code should use [`Vic::from_spec`] (or [`Vic::from_parts`] when
+//! the parameters have been adjusted away from a spec, as `DvWorld` does).
+//! dv-lint rule DV-W014 flags any call site of these names outside this
+//! file.
+
+use dv_core::config::DvParams;
+use dv_core::fault::FaultPlan;
+use dv_core::NodeId;
+
+use crate::vic::Vic;
+
+impl Vic {
+    /// A VIC for `node` with the given hardware parameters.
+    #[deprecated(since = "0.1.0", note = "use Vic::from_spec or Vic::from_parts")]
+    pub fn new(node: NodeId, dv: &DvParams) -> Self {
+        Self::from_parts(node, dv, None)
+    }
+
+    /// A VIC with a deterministic fault plan attached.
+    #[deprecated(since = "0.1.0", note = "use Vic::from_spec or Vic::from_parts")]
+    pub fn with_faults(node: NodeId, dv: &DvParams, faults: Option<FaultPlan>) -> Self {
+        Self::from_parts(node, dv, faults)
+    }
+}

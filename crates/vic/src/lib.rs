@@ -29,6 +29,7 @@ pub mod counters;
 pub mod fifo;
 pub mod memory;
 pub mod pcie;
+mod compat;
 mod vic;
 
 pub use counters::GroupCounter;

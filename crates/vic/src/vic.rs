@@ -70,15 +70,18 @@ pub struct Vic {
 }
 
 impl Vic {
-    /// A VIC for `node` with the given hardware parameters.
-    pub fn new(node: NodeId, dv: &DvParams) -> Self {
-        Self::with_faults(node, dv, None)
+    /// A VIC for `node` built from a [`SimSpec`](dv_core::spec::SimSpec):
+    /// hardware parameters come from `spec.machine.dv`, fault injection
+    /// from `spec.machine.faults`.
+    pub fn from_spec(node: NodeId, spec: &dv_core::spec::SimSpec) -> Self {
+        Self::from_parts(node, &spec.machine.dv, spec.machine.faults.clone())
     }
 
-    /// [`Vic::new`] with a deterministic fault plan attached: each FIFO
-    /// arrival consumes one sequence number of the plan's FIFO stream and
-    /// may be rejected as if the queue were full.
-    pub fn with_faults(node: NodeId, dv: &DvParams, faults: Option<FaultPlan>) -> Self {
+    /// A VIC from explicit parts; with a fault plan, each FIFO arrival
+    /// consumes one sequence number of the plan's FIFO stream and may be
+    /// rejected as if the queue were full. (`DvWorld` uses this directly
+    /// because it grows the switch parameters before building VICs.)
+    pub fn from_parts(node: NodeId, dv: &DvParams, faults: Option<FaultPlan>) -> Self {
         Self {
             node,
             memory: DvMemory::new(),
@@ -291,7 +294,7 @@ mod tests {
     #[test]
     fn dv_memory_write_packet_lands() {
         with_kernel(|k| {
-            let mut vic = Vic::new(3, &DvParams::default());
+            let mut vic = Vic::from_parts(3, &DvParams::default(), None);
             let h = PacketHeader::dv_memory(0, 3, 500, SCRATCH_GC);
             assert!(vic.deliver(k, 0, Packet::new(h, 99)).is_none());
             assert_eq!(vic.memory.read(500), 99);
@@ -302,7 +305,7 @@ mod tests {
     #[test]
     fn fifo_packet_buffers() {
         with_kernel(|k| {
-            let mut vic = Vic::new(3, &DvParams::default());
+            let mut vic = Vic::from_parts(3, &DvParams::default(), None);
             let h = PacketHeader::fifo(1, 3, SCRATCH_GC);
             vic.deliver(k, 7, Packet::new(h, 123));
             vic.deliver(k, 9, Packet::new(h, 456));
@@ -314,7 +317,7 @@ mod tests {
     #[test]
     fn group_counter_decrements_to_zero() {
         with_kernel(|k| {
-            let mut vic = Vic::new(3, &DvParams::default());
+            let mut vic = Vic::from_parts(3, &DvParams::default(), None);
             vic.set_counter(k, 5, 2);
             let h = PacketHeader::dv_memory(0, 3, 0, 5);
             vic.deliver(k, 0, Packet::new(h, 1));
@@ -327,7 +330,7 @@ mod tests {
     #[test]
     fn scratch_counter_ignores_decrements() {
         with_kernel(|k| {
-            let mut vic = Vic::new(3, &DvParams::default());
+            let mut vic = Vic::from_parts(3, &DvParams::default(), None);
             let h = PacketHeader::dv_memory(0, 3, 0, SCRATCH_GC);
             for _ in 0..10 {
                 vic.deliver(k, 0, Packet::new(h, 0));
@@ -339,7 +342,7 @@ mod tests {
     #[test]
     fn remote_counter_set_packet_applies() {
         with_kernel(|k| {
-            let mut vic = Vic::new(3, &DvParams::default());
+            let mut vic = Vic::from_parts(3, &DvParams::default(), None);
             let h = PacketHeader::gc_set(0, 3, 9);
             vic.deliver(k, 0, Packet::new(h, 42));
             assert_eq!(vic.counter(9).value(), 42);
@@ -349,7 +352,7 @@ mod tests {
     #[test]
     fn query_produces_return_header_reply() {
         with_kernel(|k| {
-            let mut vic = Vic::new(3, &DvParams::default());
+            let mut vic = Vic::from_parts(3, &DvParams::default(), None);
             vic.memory.write(1000, 0xCAFE);
             // Reply should go to node 7 (not the querying node 0!) at
             // address 55 — the paper: "The reply destination VIC does not
@@ -365,7 +368,7 @@ mod tests {
     #[test]
     fn set_after_decrement_race_reproduced_end_to_end() {
         with_kernel(|k| {
-            let mut vic = Vic::new(3, &DvParams::default());
+            let mut vic = Vic::from_parts(3, &DvParams::default(), None);
             let data = PacketHeader::dv_memory(0, 3, 0, 7);
             // One data packet outruns the remote set...
             vic.deliver(k, 0, Packet::new(data, 0));
@@ -382,7 +385,7 @@ mod tests {
     #[test]
     fn stats_count_deliveries_and_detect_set_races() {
         with_kernel(|k| {
-            let mut vic = Vic::new(3, &DvParams::default());
+            let mut vic = Vic::from_parts(3, &DvParams::default(), None);
             // A clean set-then-decrement sequence: no race.
             vic.set_counter(k, 5, 1);
             vic.deliver(k, 0, Packet::new(PacketHeader::dv_memory(0, 3, 10, 5), 1));
@@ -414,7 +417,7 @@ mod tests {
     fn overflowed_fifo_packet_is_not_delivered_at_all() {
         with_kernel(|k| {
             let dv = DvParams { fifo_capacity: 2, ..Default::default() };
-            let mut vic = Vic::new(3, &dv);
+            let mut vic = Vic::from_parts(3, &dv, None);
             vic.set_counter(k, 7, 3);
             let h = PacketHeader::fifo(1, 3, 7);
             for t in 0..3 {
@@ -438,7 +441,7 @@ mod tests {
     fn forced_drops_follow_the_fault_plan() {
         with_kernel(|k| {
             let plan = FaultPlan { fifo_drop: 1.0, ..Default::default() };
-            let mut vic = Vic::with_faults(3, &DvParams::default(), Some(plan));
+            let mut vic = Vic::from_parts(3, &DvParams::default(), Some(plan));
             let h = PacketHeader::fifo(1, 3, SCRATCH_GC);
             for t in 0..5 {
                 assert!(vic.deliver(k, t, Packet::new(h, t as Word)).is_none());
@@ -456,7 +459,7 @@ mod tests {
     fn hardware_recv_counts_track_accepted_pushes_per_source() {
         with_kernel(|k| {
             let dv = DvParams { fifo_capacity: 3, ..Default::default() };
-            let mut vic = Vic::new(3, &dv);
+            let mut vic = Vic::from_parts(3, &dv, None);
             for _ in 0..2 {
                 vic.deliver(k, 0, Packet::new(PacketHeader::fifo(1, 3, SCRATCH_GC), 9));
             }
@@ -473,7 +476,7 @@ mod tests {
     #[test]
     fn barrier_counters_are_reserved_but_functional() {
         with_kernel(|k| {
-            let mut vic = Vic::new(0, &DvParams::default());
+            let mut vic = Vic::from_parts(0, &DvParams::default(), None);
             for &gc in &BARRIER_GC {
                 vic.set_counter(k, gc, 1);
                 assert_eq!(vic.counter(gc).value(), 1);

@@ -9,6 +9,7 @@
 
 use datavortex::api::{DvCluster, GlobalArray};
 use datavortex::core::packet::SCRATCH_GC;
+use datavortex::core::spec::SimSpec;
 use datavortex::core::rng::SplitMix64;
 use datavortex::core::time::{as_us_f64, us};
 
@@ -17,7 +18,7 @@ fn main() {
     let bins_per_node = 32;
     let samples_per_node = 1000u64;
 
-    let (elapsed, results) = DvCluster::new(nodes).run(move |dv, ctx| {
+    let report = DvCluster::from_spec(SimSpec::new(nodes)).run(move |dv, ctx| {
         let ga = GlobalArray::new(16384, bins_per_node, dv.nodes());
         let me = dv.node();
         let bins = ga.len();
@@ -77,6 +78,7 @@ fn main() {
         }
     });
 
+    let (elapsed, results) = (report.elapsed, report.result);
     let total: u64 = results.iter().map(|(m, _)| m.iter().sum::<u64>()).sum();
     assert_eq!(total, nodes as u64 * samples_per_node, "histogram must conserve samples");
     println!(

@@ -9,11 +9,12 @@
 
 use datavortex::api::{DvCluster, SendMode};
 use datavortex::core::packet::SCRATCH_GC;
+use datavortex::core::spec::SimSpec;
 use datavortex::core::time::as_us_f64;
 
 fn main() {
-    let cluster = DvCluster::new(4);
-    let (elapsed, results) = cluster.run(|dv, ctx| {
+    let cluster = DvCluster::from_spec(SimSpec::new(4));
+    let report = cluster.run(|dv, ctx| {
         let me = dv.node();
         let right = (me + 1) % dv.nodes();
 
@@ -46,6 +47,7 @@ fn main() {
 
         (got, tally, peeked)
     });
+    let (elapsed, results) = (report.elapsed, report.result);
 
     println!("simulated virtual time: {:.2} µs", as_us_f64(elapsed));
     for (node, (got, tally, peeked)) in results.iter().enumerate() {

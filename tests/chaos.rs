@@ -14,8 +14,8 @@ use datavortex::core::config::MachineConfig;
 use datavortex::core::fault::FaultPlan;
 use datavortex::core::metrics::MetricsRegistry;
 use datavortex::core::packet::SCRATCH_GC;
+use datavortex::core::spec::SimSpec;
 use datavortex::core::time::us;
-use datavortex::core::trace::Tracer;
 use datavortex::kernels::graph::{
     kronecker_edges, partition_csr, pick_roots, validate_bfs, Csr, GraphConfig, VertexPart,
 };
@@ -37,12 +37,9 @@ const GUPS: GupsConfig =
 
 fn gups_chaos_run(nodes: usize, spec: &str) -> (u64, Arc<MetricsRegistry>) {
     let metrics = Arc::new(MetricsRegistry::enabled());
-    let r = gups_dv::run_instrumented(
+    let r = gups_dv::run_spec(
         GUPS,
-        nodes,
-        chaos_machine(spec),
-        Arc::new(Tracer::disabled()),
-        Arc::clone(&metrics),
+        SimSpec::new(nodes).machine(chaos_machine(spec)).metrics(Arc::clone(&metrics)),
     );
     assert_eq!(
         r.total_updates,
@@ -118,13 +115,8 @@ fn gups_recovers_from_genuine_overflow_without_a_plan() {
     let mut machine = MachineConfig::paper_cluster();
     machine.dv.fifo_capacity = 128;
     let metrics = Arc::new(MetricsRegistry::enabled());
-    let r = gups_dv::run_instrumented(
-        GUPS,
-        4,
-        machine,
-        Arc::new(Tracer::disabled()),
-        Arc::clone(&metrics),
-    );
+    let r =
+        gups_dv::run_spec(GUPS, SimSpec::new(4).machine(machine).metrics(Arc::clone(&metrics)));
     let (_, expect) = serial_reference(&GUPS, 4);
     assert_eq!(r.checksum, expect);
     let snap = metrics.snapshot();
@@ -162,9 +154,7 @@ fn link_faults_obey_conservation() {
     let offered = 2000u64;
     let metrics = Arc::new(MetricsRegistry::enabled());
     let machine = chaos_machine("seed=5,drop=0.1,dup=0.1");
-    let (_, results) = DvCluster::new(2)
-        .with_config(machine)
-        .with_metrics(Arc::clone(&metrics))
+    let results = DvCluster::from_spec(SimSpec::new(2).machine(machine).metrics(Arc::clone(&metrics)))
         .run(move |dv, ctx| {
             if dv.node() == 0 {
                 let words: Vec<u64> = (0..offered).collect();
@@ -175,7 +165,8 @@ fn link_faults_obey_conservation() {
                 ctx.delay(us(1000));
                 dv.fifo_drain(ctx, usize::MAX).len() as u64
             }
-        });
+        })
+        .result;
     let snap = metrics.snapshot();
     let drops = snap.counter_total("fault.link.drops");
     let dups = snap.counter_total("fault.link.dups");
@@ -188,9 +179,7 @@ fn ejection_stalls_delay_but_do_not_lose() {
     let offered = 512u64;
     let metrics = Arc::new(MetricsRegistry::enabled());
     let machine = chaos_machine("seed=9,stall=1.0:5000");
-    let (_, results) = DvCluster::new(2)
-        .with_config(machine)
-        .with_metrics(Arc::clone(&metrics))
+    let results = DvCluster::from_spec(SimSpec::new(2).machine(machine).metrics(Arc::clone(&metrics)))
         .run(move |dv, ctx| {
             if dv.node() == 0 {
                 let words: Vec<u64> = (0..offered).collect();
@@ -201,7 +190,8 @@ fn ejection_stalls_delay_but_do_not_lose() {
                 ctx.delay(us(1000));
                 dv.fifo_drain(ctx, usize::MAX).len() as u64
             }
-        });
+        })
+        .result;
     assert_eq!(results[1], offered, "stalls reorder time, not data");
     let snap = metrics.snapshot();
     assert!(snap.counter_total("fault.eject.stalls") > 0);
@@ -216,9 +206,7 @@ fn delayed_group_counter_set_reproduces_the_section_iii_race() {
     // warns about, forced on demand.
     let metrics = Arc::new(MetricsRegistry::enabled());
     let machine = chaos_machine("seed=17,gcrace=1.0:100000");
-    let (_, results) = DvCluster::new(2)
-        .with_config(machine)
-        .with_metrics(Arc::clone(&metrics))
+    let results = DvCluster::from_spec(SimSpec::new(2).machine(machine).metrics(Arc::clone(&metrics)))
         .run(|dv, ctx| {
             if dv.node() == 0 {
                 dv.gc_set_remote(ctx, 1, 11, 3, SendMode::DirectWrite { cached_headers: true });
@@ -241,7 +229,8 @@ fn delayed_group_counter_set_reproduces_the_section_iii_race() {
                 let done = dv.gc_wait_zero(ctx, 11, Some(ctx.now() + us(100)));
                 (done, mid, dv.gc_value(11))
             }
-        });
+        })
+        .result;
     let (done, mid, fin) = results[1];
     assert_eq!(mid, -3, "decrements must arrive before the delayed set");
     assert_eq!(fin, 3, "the late set must overwrite the negative counter");
@@ -256,9 +245,7 @@ fn fifo_try_send_applies_backpressure_at_zero_credit() {
     let mut machine = MachineConfig::paper_cluster();
     machine.dv.fifo_capacity = 16;
     let metrics = Arc::new(MetricsRegistry::enabled());
-    let (_, results) = DvCluster::new(2)
-        .with_config(machine)
-        .with_metrics(Arc::clone(&metrics))
+    let results = DvCluster::from_spec(SimSpec::new(2).machine(machine).metrics(Arc::clone(&metrics)))
         .run(|dv, ctx| {
             if dv.node() == 0 {
                 let mut accepted = 0u64;
@@ -278,7 +265,8 @@ fn fifo_try_send_applies_backpressure_at_zero_credit() {
                 ctx.delay(us(500));
                 0
             }
-        });
+        })
+        .result;
     assert_eq!(results[0], 16, "credit admits exactly the FIFO capacity");
     assert!(metrics.snapshot().counter_total("api.fifo.backpressure_rejects") >= 1);
     }

@@ -8,6 +8,7 @@ use datavortex::api::{DvCluster, SendMode};
 use datavortex::core::config::MachineConfig;
 use datavortex::core::metrics::MetricsRegistry;
 use datavortex::core::packet::SCRATCH_GC;
+use datavortex::core::spec::SimSpec;
 use datavortex::core::sync::lock_order_conflicts;
 use datavortex::core::time::Time;
 use datavortex::core::trace::Tracer;
@@ -70,7 +71,7 @@ fn barrier_measurements_reproduce_exactly() {
 /// A Data Vortex workload with plenty of interleaving opportunity:
 /// barriers, FIFO ring traffic, and DMA sends across 8 nodes.
 fn dv_workload(nodes: usize) -> (Time, u64) {
-    let (elapsed, hash, results) = DvCluster::new(nodes).run_hashed(move |dv, ctx| {
+    let report = DvCluster::from_spec(SimSpec::new(nodes)).run(move |dv, ctx| {
         for round in 0..3u64 {
             dv.fast_barrier(ctx);
             dv.send_fifo(
@@ -84,21 +85,21 @@ fn dv_workload(nodes: usize) -> (Time, u64) {
         }
         ctx.now()
     });
-    assert_eq!(results.len(), nodes);
-    (elapsed, hash)
+    assert_eq!(report.result.len(), nodes);
+    (report.elapsed, report.trace_hash)
 }
 
 /// An MPI workload mixing point-to-point and collectives.
 fn mpi_workload(nodes: usize) -> (Time, u64) {
-    let (elapsed, hash, results) = MpiCluster::new(nodes).run_hashed(|comm, ctx| {
+    let report = MpiCluster::from_spec(SimSpec::new(nodes)).run(|comm, ctx| {
         let mine = Payload::U64(vec![comm.rank() as u64]);
         let sum = comm.allreduce(ctx, ReduceOp::Sum, mine).into_u64()[0];
         comm.barrier(ctx);
         sum
     });
     let expect: u64 = (0..nodes as u64).sum();
-    assert!(results.iter().all(|&r| r == expect));
-    (elapsed, hash)
+    assert!(report.result.iter().all(|&r| r == expect));
+    (report.elapsed, report.trace_hash)
 }
 
 #[test]
@@ -146,13 +147,10 @@ fn instrumented_gups(nodes: usize) -> (String, u64) {
     let cfg =
         GupsConfig { table_per_node: 1 << 9, updates_per_node: 1 << 10, bucket: 512, stream_offset: 0 };
     let metrics = Arc::new(MetricsRegistry::enabled());
-    let _ = gups::dv::run_instrumented(
-        cfg,
-        nodes,
-        MachineConfig::paper_cluster(),
-        Arc::new(Tracer::enabled()),
-        Arc::clone(&metrics),
-    );
+    let spec = SimSpec::new(nodes)
+        .metrics(Arc::clone(&metrics))
+        .tracer(Arc::new(Tracer::enabled()));
+    let _ = gups::dv::run_spec(cfg, spec);
     let snap = metrics.snapshot();
     (snap.render(), snap.fnv_hash())
 }
@@ -189,13 +187,10 @@ fn instrumented_runs_count_what_the_run_did() {
     let cfg =
         GupsConfig { table_per_node: 1 << 9, updates_per_node: 1 << 10, bucket: 512, stream_offset: 0 };
     let metrics = Arc::new(MetricsRegistry::enabled());
-    let r = gups::dv::run_instrumented(
-        cfg,
-        4,
-        MachineConfig::paper_cluster(),
-        Arc::new(Tracer::enabled()),
-        Arc::clone(&metrics),
-    );
+    let spec = SimSpec::new(4)
+        .metrics(Arc::clone(&metrics))
+        .tracer(Arc::new(Tracer::enabled()));
+    let r = gups::dv::run_spec(cfg, spec);
     let snap = metrics.snapshot();
     // Every simulated process was registered with the scheduler.
     assert_eq!(snap.counter("sim.sched.processes", &[]), Some(4));
@@ -224,15 +219,11 @@ fn streamed_gups(nodes: usize, faults: Option<datavortex::core::fault::FaultPlan
         out.push_str(&s.to_json().render());
         out.push('\n');
     });
-    let mut machine = MachineConfig::paper_cluster();
-    machine.faults = faults;
-    let r = gups::dv::run_instrumented(
-        cfg,
-        nodes,
-        machine,
-        Arc::new(Tracer::enabled()),
-        Arc::clone(&metrics),
-    );
+    let spec = SimSpec::new(nodes)
+        .faults_opt(faults)
+        .metrics(Arc::clone(&metrics))
+        .tracer(Arc::new(Tracer::enabled()));
+    let r = gups::dv::run_spec(cfg, spec);
     metrics.finish_series(r.elapsed);
     let out = lines.lock().unwrap().clone();
     out

@@ -4,6 +4,7 @@
 use datavortex::api::{DvCluster, SendMode};
 use datavortex::apps::{heat, snap, vorticity};
 use datavortex::core::config::MachineConfig;
+use datavortex::core::spec::SimSpec;
 use datavortex::core::time::{as_us_f64, us};
 use datavortex::kernels::barrier::{barrier_latency, BarrierKind};
 use datavortex::kernels::gups::{self, GupsConfig};
@@ -105,7 +106,7 @@ fn figure9_shape_apps_validate_and_dv_wins_where_the_paper_says() {
 fn mixed_api_usage_in_one_simulation() {
     // DV memory + counters + FIFO + queries + both barrier flavors in one
     // program, at an odd node count.
-    let (elapsed, sums) = DvCluster::new(5).run(|dv, ctx| {
+    let report = DvCluster::from_spec(SimSpec::new(5)).run(|dv, ctx| {
         let me = dv.node();
         let n = dv.nodes();
         dv.gc_set_local(ctx, 9, (n - 1) as u64);
@@ -126,15 +127,16 @@ fn mixed_api_usage_in_one_simulation() {
         slots.iter().sum::<u64>()
     });
     // Each node misses only its own contribution.
-    for (me, s) in sums.iter().enumerate() {
+    for (me, s) in report.result.iter().enumerate() {
         assert_eq!(*s, 15 - (me as u64 + 1));
     }
-    assert!(as_us_f64(elapsed) < 1e4);
+    assert!(as_us_f64(report.elapsed) < 1e4);
 }
 
 #[test]
 fn mpi_collectives_compose_across_a_full_workflow() {
-    let (_, results) = MpiCluster::new(6).run(|comm, ctx| {
+    let results = MpiCluster::from_spec(SimSpec::new(6))
+        .run(|comm, ctx| {
         let me = comm.rank() as u64;
         // Gather -> root transforms -> scatter -> allreduce -> bcast.
         let gathered = comm.gather(ctx, 2, Payload::U64(vec![me * me]));
@@ -152,7 +154,8 @@ fn mpi_collectives_compose_across_a_full_workflow() {
         let total = comm.allreduce(ctx, ReduceOp::Sum, Payload::U64(vec![mine])).into_u64()[0];
         comm.bcast(ctx, 0, (comm.rank() == 0).then(|| Payload::U64(vec![total])))
             .into_u64()[0]
-    });
+        })
+        .result;
     // sum over r of (r^2 + 1) for r in 0..6 = 55 + 6 = 61.
     for r in results {
         assert_eq!(r, 61);
@@ -162,8 +165,8 @@ fn mpi_collectives_compose_across_a_full_workflow() {
 #[test]
 fn gups_aggregation_ablation_is_faithful() {
     let cfg = GupsConfig { table_per_node: 1 << 10, updates_per_node: 1 << 11, bucket: 1024, stream_offset: 0 };
-    let on = gups::dv::run_with(cfg, 4, MachineConfig::paper_cluster(), true);
-    let off = gups::dv::run_with(cfg, 4, MachineConfig::paper_cluster(), false);
+    let on = gups::dv::run_ablate(cfg, SimSpec::new(4), true);
+    let off = gups::dv::run_ablate(cfg, SimSpec::new(4), false);
     assert_eq!(on.checksum, off.checksum);
     assert!(on.ups() > 1.5 * off.ups(), "aggregation gain missing: {} vs {}", on.ups(), off.ups());
 }
@@ -172,7 +175,7 @@ fn gups_aggregation_ablation_is_faithful() {
 fn scaled_up_switch_supports_larger_clusters() {
     // Section IX: doubling nodes adds a cylinder; the runtime grows the
     // switch automatically.
-    let (elapsed, results) = DvCluster::new(64).run(|dv, ctx| {
+    let report = DvCluster::from_spec(SimSpec::new(64)).run(|dv, ctx| {
         dv.barrier(ctx);
         dv.send_fifo(
             ctx,
@@ -183,8 +186,8 @@ fn scaled_up_switch_supports_larger_clusters() {
         );
         dv.fifo_recv(ctx)
     });
-    for (me, got) in results.iter().enumerate() {
+    for (me, got) in report.result.iter().enumerate() {
         assert_eq!(*got as usize, (me + 63) % 64);
     }
-    assert!(elapsed > 0);
+    assert!(report.elapsed > 0);
 }

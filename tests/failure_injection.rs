@@ -5,6 +5,7 @@
 use datavortex::api::{DvCluster, SendMode};
 use datavortex::core::config::MachineConfig;
 use datavortex::core::packet::SCRATCH_GC;
+use datavortex::core::spec::SimSpec;
 use datavortex::core::time::us;
 
 #[test]
@@ -13,7 +14,7 @@ fn fifo_overflow_drops_packets_and_reports_them() {
     // node that never drains.
     let mut cfg = MachineConfig::paper_cluster();
     cfg.dv.fifo_capacity = 256;
-    let (_, results) = DvCluster::new(2).with_config(cfg).run(|dv, ctx| {
+    let results = DvCluster::from_spec(SimSpec::new(2).machine(cfg)).run(|dv, ctx| {
         if dv.node() == 0 {
             let words: Vec<u64> = (0..1024).collect();
             dv.send_fifo(ctx, 1, &words, SCRATCH_GC, SendMode::Dma { cached_headers: true });
@@ -25,7 +26,8 @@ fn fifo_overflow_drops_packets_and_reports_them() {
             let got = dv.fifo_drain(ctx, usize::MAX).len();
             (got, dv.fifo_dropped())
         }
-    });
+    })
+    .result;
     let (received, dropped) = results[1];
     assert_eq!(received, 256, "exactly the FIFO capacity survives");
     assert_eq!(dropped, 1024 - 256, "overflow must be counted, not silent");
@@ -35,7 +37,7 @@ fn fifo_overflow_drops_packets_and_reports_them() {
 fn fifo_survives_at_capacity_boundary() {
     let mut cfg = MachineConfig::paper_cluster();
     cfg.dv.fifo_capacity = 128;
-    let (_, results) = DvCluster::new(2).with_config(cfg).run(|dv, ctx| {
+    let results = DvCluster::from_spec(SimSpec::new(2).machine(cfg)).run(|dv, ctx| {
         if dv.node() == 0 {
             let words: Vec<u64> = (0..128).collect();
             dv.send_fifo(ctx, 1, &words, SCRATCH_GC, SendMode::Dma { cached_headers: true });
@@ -45,7 +47,8 @@ fn fifo_survives_at_capacity_boundary() {
             assert_eq!(dv.fifo_dropped(), 0);
             dv.fifo_drain(ctx, usize::MAX).len()
         }
-    });
+    })
+    .result;
     assert_eq!(results[1], 128);
 }
 
@@ -53,7 +56,7 @@ fn fifo_survives_at_capacity_boundary() {
 fn counter_overshoot_never_reads_as_complete() {
     // More packets than the preset: the counter goes negative and a wait
     // with a deadline must time out (the hardware's exact-zero test).
-    let (_, results) = DvCluster::new(2).run(|dv, ctx| {
+    let results = DvCluster::from_spec(SimSpec::new(2)).run(|dv, ctx| {
         if dv.node() == 1 {
             dv.gc_set_local(ctx, 11, 2);
             dv.barrier(ctx);
@@ -65,7 +68,8 @@ fn counter_overshoot_never_reads_as_complete() {
             dv.write_remote(ctx, 1, 0, &[1, 2, 3], 11, SendMode::DirectWrite { cached_headers: true });
             (true, 0)
         }
-    });
+    })
+    .result;
     let (ok, value) = results[1];
     assert!(!ok, "overshoot must not satisfy the zero test");
     assert_eq!(value, -1);
@@ -77,7 +81,7 @@ fn interleaved_batches_from_many_senders_preserve_every_packet() {
     // origin; all must arrive exactly once regardless of interleaving.
     let n = 6;
     let per = 200u64;
-    let (_, results) = DvCluster::new(n).run(move |dv, ctx| {
+    let results = DvCluster::from_spec(SimSpec::new(n)).run(move |dv, ctx| {
         let me = dv.node();
         if me != 0 {
             for chunk in 0..4 {
@@ -94,7 +98,8 @@ fn interleaved_batches_from_many_senders_preserve_every_packet() {
             }
             got
         }
-    });
+    })
+    .result;
     let mut got = results[0].clone();
     got.sort_unstable();
     got.dedup();
@@ -106,7 +111,7 @@ fn deadlocked_programs_are_diagnosed_not_hung() {
     // A receive that can never be satisfied must panic with a named
     // process, not hang the host test suite.
     let result = std::panic::catch_unwind(|| {
-        DvCluster::new(2).run(|dv, ctx| {
+        DvCluster::from_spec(SimSpec::new(2)).run(|dv, ctx| {
             if dv.node() == 0 {
                 let _ = dv.fifo_recv(ctx); // nobody ever sends
             }

@@ -205,7 +205,7 @@ fn alltoallv_reassembles_ragged_blocks() {
     for case in 0..8 {
         let seed = r.next_u64();
         let nodes = 2 + r.next_below(4) as usize;
-        let (_, results) = MpiCluster::new(nodes).run(move |comm, ctx| {
+        let results = MpiCluster::from_spec(datavortex::core::spec::SimSpec::new(nodes)).run(move |comm, ctx| {
             let me = comm.rank() as u64;
             let mut rng = SplitMix64::new(seed ^ me);
             let blocks: Vec<Payload> = (0..comm.size())
@@ -219,7 +219,8 @@ fn alltoallv_reassembles_ragged_blocks() {
             let sizes: Vec<usize> = blocks.iter().map(|b| b.len()).collect();
             let got = comm.alltoall(ctx, blocks);
             (sizes, got.into_iter().map(|p| p.into_u64()).collect::<Vec<_>>())
-        });
+        })
+        .result;
         // Every received word identifies its (src, dst, index) triple.
         for (dst, (_, got)) in results.iter().enumerate() {
             for (src, block) in got.iter().enumerate() {
