@@ -6,8 +6,10 @@
 //!   `dv-report <file.json> [more.json ...]`
 //!   `dv-report --gate <current.json> <previous.json> [--max-regress PCT]`
 //!   `dv-report --gate <BENCH_sim.json> [--min-speedup X]`
+//!   `dv-report --gate <BENCH_switch.json> [--min-speedup X]`
 //!
-//! `--gate` is the CI perf check, in two modes keyed on what it is given:
+//! `--gate` is the CI perf check, in three modes keyed on what it is
+//! given:
 //!
 //! * **Two artifacts** — the perf-trajectory check: it extracts the
 //!   `arena+worklist` cycles/sec figure from two `perf_smoke` artifacts
@@ -18,6 +20,11 @@
 //!   sharded engine's 1024-node pump (dispatch-throughput) speedup over
 //!   the frozen pre-sharding reference engine must be at least `X`
 //!   (default 4).
+//! * **One `perf_smoke` artifact** — the absolute wide-path floor: the
+//!   batched wide movement kernel's movement-phase speedup over the
+//!   frozen scalar wide kernel at H=2048 must be at least `X` (default
+//!   3). The single-artifact modes dispatch on the artifact's `bench`
+//!   field.
 
 use dv_bench::report::render_report;
 use dv_core::json::Json;
@@ -82,6 +89,34 @@ fn sched_speedup_at(doc: &Json, nodes: usize) -> Result<f64, String> {
     Err(format!("no section with a pump@{nodes} speedup row"))
 }
 
+/// The `wide cycles/sec speedup` figure in a `perf_smoke` artifact
+/// (`dv-bench-v1` schema): the batched wide movement kernel's
+/// movement-phase speedup over the frozen scalar wide kernel at H=2048
+/// (see `perf_smoke.rs`).
+fn wide_speedup_figure(doc: &Json) -> Result<f64, String> {
+    if doc.get("schema").and_then(Json::as_str) != Some("dv-bench-v1") {
+        return Err("not a dv-bench-v1 artifact".into());
+    }
+    let results = doc.get("results").and_then(Json::as_arr).unwrap_or_default();
+    for section in results {
+        let headers = section.get("headers").and_then(Json::as_arr).unwrap_or_default();
+        let Some(col) = headers.iter().position(|h| h.as_str() == Some("value")) else {
+            continue;
+        };
+        for row in section.get("rows").and_then(Json::as_arr).unwrap_or_default() {
+            let cells = row.as_arr().unwrap_or_default();
+            if cells.first().and_then(Json::as_str) == Some("wide cycles/sec speedup") {
+                return cells
+                    .get(col)
+                    .and_then(Json::as_str)
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .ok_or_else(|| "wide speedup row has no numeric value".into());
+            }
+        }
+    }
+    Err("no section with a wide cycles/sec speedup row".into())
+}
+
 /// Load and parse one artifact, mapping errors to readable messages.
 fn load(path: &str) -> Result<Json, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -91,14 +126,14 @@ fn load(path: &str) -> Result<Json, String> {
 /// Run the perf-trajectory gate; returns the process exit code.
 fn run_gate(args: &[String]) -> i32 {
     let mut max_regress_pct = 10.0;
-    let mut min_speedup = 4.0;
+    let mut min_speedup: Option<f64> = None;
     let mut files: Vec<&String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--max-regress" || a == "--min-speedup" {
             match it.next().and_then(|v| v.parse::<f64>().ok()) {
                 Some(v) if a == "--max-regress" => max_regress_pct = v,
-                Some(v) => min_speedup = v,
+                Some(v) => min_speedup = Some(v),
                 None => {
                     eprintln!("{a} needs a numeric value");
                     return 2;
@@ -109,19 +144,39 @@ fn run_gate(args: &[String]) -> i32 {
         }
     }
     if let [single_path] = files[..] {
-        let speedup = match load(single_path).and_then(|doc| sched_speedup_at(&doc, 1024)) {
+        let doc = match load(single_path) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("gate: {e}");
+                return 2;
+            }
+        };
+        // Dispatch on the artifact: perf_smoke gates the wide movement
+        // kernel, anything else is the scheduler floor.
+        let (name, figure, floor) = if doc.get("bench").and_then(Json::as_str)
+            == Some("perf_smoke")
+        {
+            let figure = wide_speedup_figure(&doc)
+                .map(|x| (x, "batched wide-kernel movement speedup at H=2048"));
+            ("wide", figure, min_speedup.unwrap_or(3.0))
+        } else {
+            let figure =
+                sched_speedup_at(&doc, 1024).map(|x| (x, "sharded speedup at 1024 nodes"));
+            ("sched", figure, min_speedup.unwrap_or(4.0))
+        };
+        let (speedup, what) = match figure {
             Ok(x) => x,
             Err(e) => {
                 eprintln!("gate: {e}");
                 return 2;
             }
         };
-        println!("sched gate: sharded speedup at 1024 nodes = {speedup:.2}x");
-        if speedup < min_speedup {
-            eprintln!("sched gate FAILED: below the {min_speedup:.2}x floor");
+        println!("{name} gate: {what} = {speedup:.2}x");
+        if speedup < floor {
+            eprintln!("{name} gate FAILED: below the {floor:.2}x floor");
             return 1;
         }
-        println!("sched gate passed (floor: {min_speedup:.2}x)");
+        println!("{name} gate passed (floor: {floor:.2}x)");
         return 0;
     }
     let [current_path, previous_path] = files[..] else {

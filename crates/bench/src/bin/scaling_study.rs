@@ -13,6 +13,15 @@
 //! paper prescribes (H doubles, C = log₂H + 1 cylinders) and measures
 //! barrier latency, per-node GUPS, and cycle-accurate switch behavior at
 //! 32 → 256 ports, testing the paper's scaling conjecture.
+//!
+//! `--topo <kind>` selects the network for the rival-topology sweep:
+//! `dv` (default, which also runs the legacy Data Vortex study),
+//! `fattree`, or `minpath` (the Deng et al. minimal-mean-path-length
+//! random-regular graph). The rival sweep drives every traffic
+//! [`Pattern`] at 64 → 4096 ports through the same `LoadSweep` driver,
+//! so a `--topo fattree` artifact is row-for-row comparable with the
+//! Data Vortex one; CI runs each rival twice and `cmp`s the artifacts
+//! byte-for-byte.
 
 use std::sync::Arc;
 
@@ -21,12 +30,100 @@ use dv_core::metrics::MetricsRegistry;
 use dv_core::time::as_us_f64;
 use dv_kernels::barrier::{barrier_latency, BarrierKind};
 use dv_kernels::gups::{self, GupsConfig};
-use dv_switch::traffic::LoadSweep;
-use dv_switch::Topology;
+use dv_switch::traffic::{LoadSweep, Pattern, SweepPoint};
+use dv_switch::{AnyTopology, NetworkTopology, TopoKind, Topology};
+
+/// One rival-sweep point: an independent seeded simulation of `pattern`
+/// on `net` at 0.7 offered load (deterministic in its inputs, so points
+/// can fan out across threads and join in input order).
+fn rival_point(net: &AnyTopology, pattern: Pattern) -> SweepPoint {
+    let mut sweep = LoadSweep::for_net(net.clone());
+    sweep.pattern = pattern;
+    sweep.measure = if quick() { 1_000 } else { 3_000 };
+    sweep.run(0.7)
+}
+
+/// The rival-topology sweep: structure and every traffic pattern for one
+/// topology kind at 64 → 4096 ports (the kilo-port scale the batched
+/// wide kernel unlocks; `--quick` stops at 256).
+fn rival_sweep(report: &mut Report, kind: TopoKind) {
+    let sizes: &[usize] = if quick() { &[64, 128, 256] } else { &[64, 256, 1024, 4096] };
+    let nets: Vec<AnyTopology> =
+        sizes.iter().map(|&ports| AnyTopology::for_ports(kind, ports)).collect();
+
+    // Structure at scale: router count and the contention-free path
+    // profile (mean path length is the Deng et al. figure of merit).
+    let mut rows = Vec::new();
+    for net in &nets {
+        let (mean, max) = net.path_stats();
+        rows.push(vec![
+            net.ports().to_string(),
+            net.node_count().to_string(),
+            f2(mean),
+            max.to_string(),
+        ]);
+    }
+    report.section(
+        &format!("[{}] structure at scale", kind.name()),
+        &["ports", "switch nodes", "mean path", "max path"],
+        rows,
+    );
+
+    // Every pattern × every size at 0.7 offered load. The parallel fan
+    // joins in input order, byte-identical to the serial path (`--serial`
+    // forces it for CI's cmp; repeat runs cmp byte-identical either way).
+    let combos: Vec<(Pattern, usize)> = Pattern::ALL
+        .iter()
+        .flat_map(|&p| (0..nets.len()).map(move |i| (p, i)))
+        .collect();
+    let points: Vec<SweepPoint> = if serial() {
+        combos.iter().map(|&(p, i)| rival_point(&nets[i], p)).collect()
+    } else {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = combos
+                .iter()
+                .map(|&(p, i)| {
+                    let net = &nets[i];
+                    s.spawn(move || rival_point(net, p))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("rival sweep thread panicked")).collect()
+        })
+    };
+    let rows = combos
+        .iter()
+        .zip(&points)
+        .map(|(&(pattern, i), p)| {
+            vec![
+                format!("{pattern:?}"),
+                nets[i].ports().to_string(),
+                f3(p.accepted),
+                f2(p.total_latency_mean),
+                format!("<2^{}", p.total_latency_p99_log2.saturating_add(1)),
+                f3(p.deflections_mean),
+            ]
+        })
+        .collect();
+    report.section(
+        &format!("[{}] every pattern at 0.7 offered load", kind.name()),
+        &["pattern", "ports", "accepted/port", "total lat (cyc)", "p99 lat", "deflections"],
+        rows,
+    );
+}
 
 fn main() {
     let mut report = Report::new("scaling_study");
+    let kind = dv_bench::topo().unwrap_or(TopoKind::Vortex);
     let sizes: &[usize] = if quick() { &[32, 64] } else { &[32, 64, 128, 256] };
+
+    // A rival-only run (`--topo fattree|minpath`) skips the Data Vortex
+    // legacy study: barriers and GUPS run on the DV cluster runtime and
+    // have no rival-topology counterpart.
+    if kind != TopoKind::Vortex {
+        rival_sweep(&mut report, kind);
+        report.finish();
+        return;
+    }
 
     // `--stream`: a dedicated serial run on the largest projected switch
     // streams cycle-level telemetry (virtual time = cycle × hop time).
@@ -45,16 +142,17 @@ fn main() {
         streamer.finish(end_cycles * hop_ps);
     }
 
-    // 1. Switch structure growth.
+    // 1. Switch structure growth. `for_ports` is exact-or-panic, so the
+    //    reported port count is the topology's own, never the request.
     let mut rows = Vec::new();
     for &ports in sizes {
         let topo = Topology::for_ports(ports, 4);
         rows.push(vec![
-            ports.to_string(),
+            topo.ports().to_string(),
             topo.height.to_string(),
             topo.cylinders().to_string(),
             topo.nodes().to_string(),
-            topo.min_hops(0, ports - 1).to_string(),
+            topo.min_hops(0, topo.ports() - 1).to_string(),
         ]);
     }
     report.section(
@@ -70,11 +168,13 @@ fn main() {
     //    identical to the serial path; `--serial` forces it for CI's cmp).
     let sweep_at = |ports: usize| {
         let metrics = Arc::new(MetricsRegistry::enabled());
-        let mut sweep = LoadSweep::new(Topology::for_ports(ports, 4));
+        let topo = Topology::for_ports(ports, 4);
+        let actual_ports = topo.ports();
+        let mut sweep = LoadSweep::new(topo);
         sweep.measure = if quick() { 1_000 } else { 3_000 };
         sweep.metrics = Some(Arc::clone(&metrics));
         let p = sweep.run(0.7);
-        (metrics, p)
+        (metrics, p, actual_ports)
     };
     let results: Vec<_> = if serial() {
         sizes.iter().map(|&ports| sweep_at(ports)).collect()
@@ -86,10 +186,10 @@ fn main() {
         })
     };
     let mut rows = Vec::new();
-    for (&ports, (metrics, p)) in sizes.iter().zip(results) {
-        report.add_run(&format!("sweep.p{ports}"), &metrics);
+    for (metrics, p, actual_ports) in results {
+        report.add_run(&format!("sweep.p{actual_ports}"), &metrics);
         rows.push(vec![
-            ports.to_string(),
+            actual_ports.to_string(),
             f3(p.accepted),
             f2(p.latency_mean),
             f3(p.deflections_mean),
@@ -145,6 +245,11 @@ fn main() {
         &["nodes", "Data Vortex", "Infiniband", "DV/MPI"],
         rows,
     );
+
+    // 5. The Data Vortex's own rival-format sweep: row-for-row comparable
+    //    with the `--topo fattree` / `--topo minpath` artifacts.
+    rival_sweep(&mut report, TopoKind::Vortex);
+
     println!(
         "Conjecture check: DV per-node GUPS and barrier latency should stay ~flat while\n\
          MPI keeps degrading — the additional cylinders only add a few hops of latency."

@@ -11,7 +11,7 @@ use dv_bench::{f2, f3, faults, quick, serial, Report};
 use dv_core::config::DvParams;
 use dv_core::metrics::MetricsRegistry;
 use dv_switch::traffic::{Arrival, LoadSweep, Pattern};
-use dv_switch::{SwitchModel, Topology};
+use dv_switch::{AnyTopology, SwitchModel, TopoKind, Topology};
 
 fn main() {
     let mut report = Report::new("switch_study");
@@ -94,6 +94,37 @@ fn main() {
         rows,
     );
     report.add_run("sweep.bursty", &metrics);
+
+    // Rival topologies at the same port count: the k-ary fat tree and the
+    // Deng et al. min-path random-regular graph under the patterns where
+    // deflection routing claims its irregular-traffic advantage. Same
+    // LoadSweep driver, same accounting, one point per (kind, pattern);
+    // `scaling_study --topo <kind>` extends this cross-section to 4096
+    // ports. Rival rows run fault-free so the comparison isolates the
+    // topology, not the fault plan.
+    let mut rows = Vec::new();
+    for kind in TopoKind::ALL {
+        let net = AnyTopology::for_ports(kind, topo.ports());
+        for pattern in [Pattern::Uniform, Pattern::Hotspot, Pattern::Tornado, Pattern::BitReverse]
+        {
+            let mut sweep = LoadSweep::for_net(net.clone());
+            sweep.pattern = pattern;
+            sweep.measure = measure;
+            let p = sweep.run(0.7);
+            rows.push(vec![
+                kind.name().into(),
+                format!("{pattern:?}"),
+                f3(p.accepted),
+                f2(p.total_latency_mean),
+                f3(p.deflections_mean),
+            ]);
+        }
+    }
+    report.section(
+        &format!("Rival topologies at {} ports, 0.7 offered load", topo.ports()),
+        &["topology", "pattern", "accepted/port", "total lat (cyc)", "deflections"],
+        rows,
+    );
 
     // Analytic model calibration against the cycle simulator.
     let mut model = SwitchModel::from_params(&DvParams::default());

@@ -62,6 +62,52 @@ pub fn quick() -> bool {
     std::env::args().any(|a| a == "--quick")
 }
 
+/// The value of `--flag <value>` / `--flag=<value>` on the command line,
+/// if the flag is present. A flag with no trailing value exits with a
+/// diagnostic — every value-carrying bench flag shares this behavior.
+pub fn arg_value(flag: &str) -> Option<String> {
+    match arg_value_in(std::env::args(), flag) {
+        Ok(v) => v,
+        Err(()) => {
+            eprintln!("{flag} requires a value");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Testable core of [`arg_value`]: `Err(())` means the flag was present
+/// with no value.
+fn arg_value_in(
+    mut args: impl Iterator<Item = String>,
+    flag: &str,
+) -> Result<Option<String>, ()> {
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next().map(Some).ok_or(());
+        }
+        if let Some(v) = a.strip_prefix(flag).and_then(|rest| rest.strip_prefix('=')) {
+            return Ok(Some(v.to_string()));
+        }
+    }
+    Ok(None)
+}
+
+/// Parse `--topo <kind>` into the sweep bins' rival-topology selection
+/// (`dv`, `fattree`, `minpath` — see `dv_switch::TopoKind::parse` for
+/// the accepted spellings). Returns `None` when the flag is absent (bins
+/// default to the Data Vortex); exits with a diagnostic on an unknown
+/// kind.
+pub fn topo() -> Option<dv_switch::TopoKind> {
+    let spec = arg_value("--topo")?;
+    match dv_switch::TopoKind::parse(&spec) {
+        Some(kind) => Some(kind),
+        None => {
+            eprintln!("unknown --topo {spec:?} (expected dv, fattree, or minpath)");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// True when `--serial` was passed: run sweeps on the serial driver
 /// instead of the (byte-identical) parallel one. CI uses this to `cmp`
 /// the two paths' JSON artifacts.
@@ -74,19 +120,7 @@ pub fn serial() -> bool {
 /// `seed=7,fifodrop=0.02`). Returns `None` when the flag is absent; exits
 /// with a diagnostic on a malformed spec.
 pub fn faults() -> Option<dv_core::fault::FaultPlan> {
-    let mut args = std::env::args();
-    let spec = loop {
-        let a = args.next()?;
-        if a == "--faults" {
-            break args.next().unwrap_or_else(|| {
-                eprintln!("--faults requires a spec (e.g. --faults seed=7,fifodrop=0.02)");
-                std::process::exit(2);
-            });
-        }
-        if let Some(s) = a.strip_prefix("--faults=") {
-            break s.to_string();
-        }
-    };
+    let spec = arg_value("--faults")?;
     match dv_core::fault::FaultPlan::parse(&spec) {
         Ok(plan) => Some(plan),
         Err(e) => {
@@ -109,6 +143,26 @@ pub fn f3(x: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn args(list: &[&str]) -> impl Iterator<Item = String> {
+        list.iter().map(|s| s.to_string()).collect::<Vec<_>>().into_iter()
+    }
+
+    #[test]
+    fn arg_value_accepts_both_flag_forms() {
+        assert_eq!(
+            arg_value_in(args(&["bin", "--topo", "fattree"]), "--topo"),
+            Ok(Some("fattree".into()))
+        );
+        assert_eq!(
+            arg_value_in(args(&["bin", "--quick", "--topo=minpath"]), "--topo"),
+            Ok(Some("minpath".into()))
+        );
+        assert_eq!(arg_value_in(args(&["bin", "--quick"]), "--topo"), Ok(None));
+        // `--topology x` must not satisfy a `--topo` lookup.
+        assert_eq!(arg_value_in(args(&["bin", "--topology", "x"]), "--topo"), Ok(None));
+        assert_eq!(arg_value_in(args(&["bin", "--topo"]), "--topo"), Err(()));
+    }
 
     #[test]
     fn table_renders_aligned() {

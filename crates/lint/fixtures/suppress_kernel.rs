@@ -1,0 +1,22 @@
+//! Fixture: the inline-suppression shapes the batched wide kernel relies
+//! on (see `crates/switch/src/cycle.rs`). Every shape must match its
+//! finding exactly — a suppression that matches nothing becomes DV-S002
+//! rot, and a finding left over fails `--deny-warnings`.
+
+fn inject(src_port: u64, dst_port: u64) -> (u16, u16) {
+    // Same-line form: two casts on consecutive lines each carry their own
+    // suppression. A standalone comment above the pair would cover only
+    // the first code line (see the stacked-standalone test).
+    (
+        src_port as u16, // dv-lint: allow(DV-W011, reason = "src_port < ports <= 2^16 by construction")
+        dst_port as u16, // dv-lint: allow(DV-W011, reason = "dst_port < ports <= 2^16 by construction")
+    )
+}
+
+fn movement_phase() -> u128 {
+    // Standalone form: the justification sits on its own line above the
+    // wall-clock read it silences.
+    // dv-lint: allow(DV-W002, reason = "host-side profiling accumulator; never reaches virtual time")
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos()
+}

@@ -167,6 +167,57 @@ mod tests {
     }
 
     #[test]
+    fn kernel_suppression_shapes_cover_their_findings_exactly() {
+        // The shapes the batched wide kernel uses (crates/switch/src/
+        // cycle.rs): same-line DV-W011 allows on back-to-back cast lines,
+        // and a standalone DV-W002 allow above the movement-phase
+        // wall-clock read. Each must pair 1:1 with a finding — leftovers
+        // on either side fail `--deny-warnings` (DV-S002 or the finding).
+        let src = include_str!("../fixtures/suppress_kernel.rs");
+        let path = "crates/switch/src/fixture.rs";
+        let (sups, bad) = collect(&SourceFile::parse(path, src));
+        assert!(bad.is_empty(), "{bad:?}");
+        let findings = crate::rules::scan_source("switch", path, src);
+        for f in &findings {
+            assert_eq!(
+                sups.iter().filter(|s| s.rule == f.rule && s.target_line == f.line).count(),
+                1,
+                "{} at line {} must have exactly one suppression",
+                f.rule,
+                f.line
+            );
+        }
+        for s in &sups {
+            assert!(
+                findings.iter().any(|f| f.rule == s.rule && f.line == s.target_line),
+                "suppression of {} targeting line {} matches nothing",
+                s.rule,
+                s.target_line
+            );
+        }
+        assert_eq!(sups.len(), 3);
+        assert_eq!(findings.len(), 3);
+    }
+
+    #[test]
+    fn stacked_standalone_suppressions_collapse_onto_one_line() {
+        // The sharp edge the kernel's same-line form avoids: two
+        // standalone comments above a two-cast block both target the
+        // same next code line, leaving the second cast unsilenced and
+        // one comment as DV-S002 rot.
+        let (s, bad) = run(
+            "// dv-lint: allow(DV-W011, reason = \"first\")\n\
+             // dv-lint: allow(DV-W011, reason = \"second\")\n\
+             let a = src_port as u16;\n\
+             let b = dst_port as u16;\n",
+        );
+        assert!(bad.is_empty());
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].target_line, 3);
+        assert_eq!(s[1].target_line, 3, "both standalone comments land on the first code line");
+    }
+
+    #[test]
     fn ordinary_comments_are_ignored() {
         let (s, bad) = run("// mentions dv-lint in prose, not a directive\nlet x = 1;\n");
         assert!(s.is_empty());

@@ -67,19 +67,30 @@ struct Queued {
 /// A packet's routing-invariant payload: written into the pool once at
 /// injection, read back once at ejection. Nothing here changes while the
 /// packet is in flight, so hops never copy it.
+/// Port indices are `u16` (ports are bounded far below 2^16 by the
+/// cylinder construction) so the record is exactly 32 bytes: a random
+/// ejection-time pool read then touches one cache line, never two.
 #[derive(Debug, Clone, Copy)]
 struct Flit {
-    src_port: u32,
-    dst_port: u32,
+    src_port: u16,
+    dst_port: u16,
     tag: u64,
     inject_cycle: u64,
     enqueue_cycle: u64,
+    /// Contention deflections suffered so far. The narrow and scalar-wide
+    /// paths keep this count in the moving [`Slot`] instead (a slot write
+    /// is cheaper there than a pool write); the batched wide path keeps
+    /// the low 8 bits in the cache-resident `defl_counts` side array and
+    /// spills only `u8` wrap-arounds here, so this field holds the count
+    /// rounded down to a multiple of 256 until ejection reassembles the
+    /// exact value.
+    deflections: u32,
 }
 
 /// Placeholder payload for free pool entries (never read: a pool entry is
 /// only consulted through a live slot's handle).
 const EMPTY_FLIT: Flit =
-    Flit { src_port: 0, dst_port: 0, tag: 0, inject_cycle: 0, enqueue_cycle: 0 };
+    Flit { src_port: 0, dst_port: 0, tag: 0, inject_cycle: 0, enqueue_cycle: 0, deflections: 0 };
 
 /// One arena cell: meaningful only while the cell's occupancy bit is set
 /// (see the module docs — the bitmap is the single source of occupancy
@@ -138,6 +149,478 @@ impl Delivered {
     }
 }
 
+/// Which movement kernel serves switches wider than 64 ports.
+///
+/// The two kernels make identical routing decisions and produce
+/// bit-identical [`Delivered`] streams (`tests/equivalence.rs`); they
+/// differ only in throughput. [`SwitchSim::new`] picks
+/// [`WideKernel::Batched`]; [`WideKernel::Scalar`] exists as the frozen
+/// pre-batching baseline for the perf gate and as the fallback for wide
+/// switches whose height is under 64 (where a bitmap word spans several
+/// angles and the word-parallel pass does not apply).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WideKernel {
+    /// Word-parallel movement: one descend/deflect decision per 64-cell
+    /// occupancy word (FastLanes-style bit-plane arithmetic).
+    Batched,
+    /// The original flit-at-a-time wide loop.
+    Scalar,
+}
+
+/// Resolved movement path (per-switch, fixed at construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// ≤ 64 ports: whole cylinder bitmap in one register.
+    Narrow,
+    /// > 64 ports, flit-at-a-time.
+    WideScalar,
+    /// > 64 ports and height ≥ 64: word-parallel bit-plane kernel.
+    WideBatched,
+}
+
+/// `PLANE_PAT[b]`: bit `i` set iff `i & (1 << b) != 0` — the value of
+/// height bit `b` across the 64 cells of one occupancy word (heights run
+/// LSB-first along a word when `height >= 64`).
+const PLANE_PAT: [u64; 6] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
+
+/// Masked plane *blend* for a later writer: lanes under `mask` take the
+/// source, every other lane keeps what the first writer stored. Used by
+/// the descend path, which lands on words the same-cylinder pass may
+/// already have written this cycle.
+#[inline(always)]
+fn move_planes(dst: &mut [u64], src: &[u64], mask: u64) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = (*d & !mask) | (*s & mask);
+    }
+}
+
+/// Masked 64-lane handle blend (the handle analogue of [`move_planes`]):
+/// dense masks take the if-converted select (vectorizes to masked
+/// blends), sparse masks walk set bits.
+#[inline(never)]
+fn move_handles<T: Copy>(dst: &mut [T], src: &[T], mask: u64) {
+    let dst: &mut [T; 64] = dst.try_into().expect("a word group is 64 handles");
+    let src: &[T; 64] = src.try_into().expect("a word group is 64 handles");
+    for i in 0..64 {
+        if mask & 1 << i != 0 {
+            dst[i] = src[i];
+        }
+    }
+}
+
+/// Pool-handle storage width for the batched kernel. The per-cell handle
+/// arrays are the kernel's largest memory stream (three masked 64-lane
+/// blends per occupancy word and cycle), so switches whose cell count
+/// fits 16 bits — everything through kilo-port scale — store them as
+/// `u16`, halving that traffic. The kernel core is generic over the
+/// width; the simulation picks the storage at construction.
+trait PoolHandle: Copy {
+    /// The handle as a pool index.
+    fn idx(self) -> usize;
+    /// A freshly allocated handle, narrowed into this storage width.
+    fn of(handle: u32) -> Self;
+    /// Back to the `u32` free-list representation.
+    fn widen(self) -> u32;
+}
+
+impl PoolHandle for u16 {
+    #[inline(always)]
+    fn idx(self) -> usize {
+        self as usize
+    }
+    #[inline(always)]
+    fn of(handle: u32) -> Self {
+        // u16 handle storage is only constructed when the pool size fits
+        // 2^16 (see `SwitchSim::new`), so every allocated handle fits.
+        handle as u16
+    }
+    #[inline(always)]
+    fn widen(self) -> u32 {
+        self as u32
+    }
+}
+
+impl PoolHandle for u32 {
+    #[inline(always)]
+    fn idx(self) -> usize {
+        self as usize
+    }
+    #[inline(always)]
+    fn of(handle: u32) -> Self {
+        handle
+    }
+    #[inline(always)]
+    fn widen(self) -> u32 {
+        self
+    }
+}
+
+/// Field borrows of [`SwitchSim`] threaded to [`batched_move`], which is
+/// generic over the pool-handle width.
+struct BatchedCtx<'a> {
+    cylinders: usize,
+    words: usize,
+    wpa: usize,
+    h_bits: usize,
+    a_bits: usize,
+    angles: usize,
+    ports: usize,
+    cycle: u64,
+    rot: usize,
+    plane_base: &'a [usize],
+    occ: &'a mut [u64],
+    planes: &'a mut [u64],
+    pool: &'a mut [Flit],
+    free_list: &'a mut Vec<u32>,
+    defl_counts: &'a mut [u8],
+    hop_hist: &'a mut Log2Histogram,
+    deflection_hist: &'a mut Log2Histogram,
+}
+
+/// The batched word-parallel movement pass (see
+/// [`SwitchSim::move_flits_wide_batched`] for the dispatch and the
+/// module docs for the data layout). Returns `(ejected, contended)`.
+///
+/// ## The rotating origin: movement without an angle advance
+///
+/// Every Data Vortex hop advances the angle by exactly one — descend goes
+/// `(c, a, h) -> (c+1, a+1, h)`, deflect `(c, a, h) -> (c, a+1, h ^ bit)`,
+/// and the innermost circle `(a, h) -> (a+1, h)`. A uniform coordinate
+/// shift applied to *everything* is not data movement, so this kernel
+/// virtualizes it: physical angle column `p` holds logical angle
+/// `(p + rot) % angles`, and `rot` advances by one per cycle instead of
+/// any flit changing columns. Under the rotated frame the per-cycle data
+/// movement collapses to:
+///
+/// * **circle** (innermost): the flit stays in the *same word* — zero
+///   bytes move; only ejected lanes leave the occupancy word.
+/// * **descend**: straight down — same word index, one cylinder in
+///   (dropping the just-resolved dst_h plane), a masked blend.
+/// * **deflect, `b < 6`**: an in-word swap of the `1 << b`-strided lane
+///   halves — the word is rewritten in place.
+/// * **deflect, `b >= 6`**: a full swap with the partner word
+///   `hw ^ (1 << (b - 6))` in the same angle column — the two words
+///   exchange their deflected populations at identical lanes.
+///
+/// That removes the double buffer entirely: the pass mutates the single
+/// occupancy/plane/handle state in place. Write hazards are resolved
+/// structurally — cylinders are processed innermost-first, so an outer
+/// cylinder's descend blends into a word whose own pass is already
+/// final; within a word, descents and blocked-count reads consume the
+/// source *before* the deflection swap rewrites it; and `b >= 6` partner
+/// words are processed jointly as a pair. Lanes a swap drags along that
+/// hold no flit carry garbage, which the occupancy contract allows.
+///
+/// Decision parity with the scalar kernels is unchanged: same
+/// innermost-first cylinder order, same descend/deflect predicate against
+/// the inner cylinder's post-move occupancy, and ejections walk the
+/// innermost cylinder in *logical* angle order (the rotation maps each
+/// logical angle back to its physical column), so the `Delivered` stream
+/// stays bit-identical to [`crate::reference::ReferenceSwitchSim`].
+/// (Earlier shapes measured on the way here: a double-buffered
+/// first-writer/pure-store pass peaked ~2.8x over the scalar wide loop,
+/// and a two-pass decide/gather split that assembled each target word
+/// exactly once was ~35% slower than that — at these state sizes the
+/// planes are cache-resident, so extra sweeps cost more than the
+/// destination re-reads they save. Keeping the flits still is what
+/// breaks past 3x.)
+#[inline(never)]
+fn batched_move<H: PoolHandle>(
+    ctx: BatchedCtx<'_>,
+    handles: &mut [H],
+    out: &mut Vec<Delivered>,
+) -> (u64, u64) {
+    let BatchedCtx {
+        cylinders,
+        words,
+        wpa,
+        h_bits,
+        a_bits,
+        angles,
+        ports,
+        cycle,
+        rot,
+        plane_base,
+        occ,
+        planes,
+        pool,
+        free_list,
+        defl_counts,
+        hop_hist,
+        deflection_hist,
+    } = ctx;
+    let mut ejected = 0u64;
+    let mut contended = 0u64;
+
+    // Innermost cylinder first, exactly as in the scalar kernels: by the
+    // time an outer cylinder claims its descent, the inner occupancy is
+    // final, and ejections complete before any outer word is touched.
+    {
+        let c = cylinders - 1;
+        let cbase = c * ports;
+        let wbase = c * words;
+        let npl = a_bits; // only the dst_a planes remain here
+        // Walk logical angles ascending (mapping each back to its
+        // physical column) so ejections pop in the reference's (a, h)
+        // order.
+        for la in 0..angles {
+            let pa = la + angles - rot;
+            let pa = if pa >= angles { pa - angles } else { pa };
+            for hw in 0..wpa {
+                let w = pa * wpa + hw;
+                let occ_w = occ[wbase + w];
+                if occ_w == 0 {
+                    continue;
+                }
+                // Eject where every dst_a plane bit agrees with this
+                // word's *logical* angle; everyone else circles on —
+                // which under the rotating origin means: stays put.
+                let spl = plane_base[c] + w * npl;
+                let mut diff = 0u64;
+                for q in 0..a_bits {
+                    let want = if la >> q & 1 == 1 { !0u64 } else { 0 };
+                    diff |= planes[spl + q] ^ want;
+                }
+                let eject = occ_w & !diff;
+                occ[wbase + w] = occ_w & diff;
+                if eject == 0 {
+                    continue;
+                }
+                let src_cells = cbase + (w << 6);
+                let mut bits = eject;
+                while bits != 0 {
+                    let i = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let handle = handles[src_cells + i];
+                    let p = pool[handle.idx()];
+                    // dv-lint: allow(DV-W011, reason = "flight time is bounded by the run's cycle count, far below 2^32; Delivered.hops is u32 and this is the per-ejection hot loop")
+                    let hops = (cycle - p.inject_cycle - 1) as u32;
+                    // Reassemble the exact deflection count: pool
+                    // spills (multiples of 256) plus the low byte from
+                    // the counts side array, cleared here so the handle
+                    // re-enters the free list with a zero count.
+                    let deflections = p.deflections | defl_counts[handle.idx()] as u32;
+                    defl_counts[handle.idx()] = 0;
+                    ejected += 1;
+                    free_list.push(handle.widen());
+                    hop_hist.push(hops as u64);
+                    deflection_hist.push(deflections as u64);
+                    out.push(Delivered {
+                        src_port: p.src_port as usize,
+                        dst_port: p.dst_port as usize,
+                        tag: p.tag,
+                        enqueue_cycle: p.enqueue_cycle,
+                        inject_cycle: p.inject_cycle,
+                        eject_cycle: cycle,
+                        hops,
+                        deflections,
+                    });
+                }
+            }
+        }
+    }
+
+    for c in (0..cylinders - 1).rev() {
+        let b = h_bits - 1 - c; // height bit under scrutiny
+        let cbase = c * ports;
+        let wbase = c * words;
+        // Pruned plane count for this cylinder: dst_h bits `0..=b` plus
+        // the dst_a planes.
+        let npl = h_bits - c + a_bits;
+        let pbase = plane_base[c];
+        // Split the flat state at the inner cylinder's boundary so the
+        // descend blend can borrow source (this cylinder, `lo`) and
+        // destination (the next one in, `hi`) simultaneously.
+        let (pl_lo, pl_hi) = planes.split_at_mut(plane_base[c + 1]);
+        let (hn_lo, hn_hi) = handles.split_at_mut((c + 1) * ports);
+        if b < 6 {
+            let s = 1usize << b;
+            let pat = PLANE_PAT[b];
+            for w in 0..words {
+                let occ_w = occ[wbase + w];
+                if occ_w == 0 {
+                    continue;
+                }
+                let spl = pbase + w * npl;
+                // The current heights' bit `b` across this word is the
+                // constant pattern; XOR against the destinations' plane
+                // splits the word into matched and mismatched lanes.
+                let mism = (pat ^ pl_lo[spl + b]) & occ_w;
+                let matched = occ_w & !mism;
+                let t_in = wbase + words + w; // (c+1, same column)
+                let inner = occ[t_in];
+                let desc = matched & !inner;
+                let blocked = matched & inner;
+                let defl = blocked | mism;
+                contended += blocked.count_ones() as u64;
+                occ[t_in] = inner | desc;
+                let src_cells = cbase + (w << 6);
+                if desc != 0 {
+                    // Straight down: same word index one cylinder in,
+                    // dropping the just-resolved plane `b` — a masked
+                    // blend (the inner word's own pass already wrote it).
+                    let dpl = w * (npl - 1);
+                    move_planes(&mut pl_hi[dpl..dpl + b], &pl_lo[spl..spl + b], desc);
+                    move_planes(
+                        &mut pl_hi[dpl + b..dpl + npl - 1],
+                        &pl_lo[spl + b + 1..spl + npl],
+                        desc,
+                    );
+                    move_handles(
+                        &mut hn_hi[w << 6..(w << 6) + 64],
+                        &hn_lo[src_cells..src_cells + 64],
+                        desc,
+                    );
+                }
+                if blocked != 0 {
+                    // Blocked descents charge a contention deflection in
+                    // `defl_counts` — a handle-indexed `u8` array the
+                    // size of the cell count, small enough to stay
+                    // cache-resident, so the counts never touch the
+                    // plane streams (the kernel is bandwidth-bound;
+                    // count planes would cost ~25% extra plane traffic).
+                    // A wrap past 255 — vanishingly rare even at
+                    // saturation — spills 256 into the pool. Read before
+                    // the deflection swap below rewrites the handles.
+                    let mut bits = blocked;
+                    while bits != 0 {
+                        let i = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let h = hn_lo[src_cells + i].idx();
+                        defl_counts[h] = defl_counts[h].wrapping_add(1);
+                        if defl_counts[h] == 0 {
+                            pool[h].deflections += 256;
+                        }
+                    }
+                }
+                // Deflection toggles the in-word height bit `b`: swap the
+                // `1 << b`-strided lane halves in place. Lanes without a
+                // deflected flit come along as garbage (occupancy
+                // contract); the descend blend above already consumed
+                // the source, so the rewrite is safe.
+                occ[wbase + w] = ((defl & pat) >> s) | ((defl & !pat) << s);
+                if defl != 0 {
+                    for p in &mut pl_lo[spl..spl + npl] {
+                        let x = *p;
+                        *p = ((x & pat) >> s) | ((x & !pat) << s);
+                    }
+                    // In-place block swap of the `s`-strided lane halves
+                    // (`out[i] = in[i ^ s]`), no gathers and no temporary.
+                    for blk in hn_lo[src_cells..src_cells + 64].chunks_exact_mut(2 * s) {
+                        let (lo, hi) = blk.split_at_mut(s);
+                        lo.swap_with_slice(hi);
+                    }
+                }
+            }
+        } else {
+            // `b >= 6` toggles an inter-word height bit: deflections from
+            // word `w` land at identical lanes of the partner word
+            // `hw ^ (1 << (b - 6))` in the same angle column, and vice
+            // versa. Process each pair jointly so the exchange is one
+            // full swap after both sides' descents have consumed their
+            // sources.
+            let m = 1usize << (b - 6);
+            for w0 in 0..words {
+                if w0 & m != 0 {
+                    continue; // the low sibling drives the pair
+                }
+                let w1 = w0 | m;
+                let occ0 = occ[wbase + w0];
+                let occ1 = occ[wbase + w1];
+                if occ0 | occ1 == 0 {
+                    continue;
+                }
+                let spl0 = pbase + w0 * npl;
+                let spl1 = pbase + w1 * npl;
+                // Height bit `b` is 0 across the low sibling and 1 across
+                // the high one.
+                let mism0 = pl_lo[spl0 + b] & occ0;
+                let mism1 = !pl_lo[spl1 + b] & occ1;
+                let matched0 = occ0 & !mism0;
+                let matched1 = occ1 & !mism1;
+                let t0 = wbase + words + w0;
+                let t1 = wbase + words + w1;
+                let inner0 = occ[t0];
+                let inner1 = occ[t1];
+                let desc0 = matched0 & !inner0;
+                let desc1 = matched1 & !inner1;
+                let blocked0 = matched0 & inner0;
+                let blocked1 = matched1 & inner1;
+                let defl0 = blocked0 | mism0;
+                let defl1 = blocked1 | mism1;
+                contended += (blocked0.count_ones() + blocked1.count_ones()) as u64;
+                occ[t0] = inner0 | desc0;
+                occ[t1] = inner1 | desc1;
+                let cells0 = cbase + (w0 << 6);
+                let cells1 = cbase + (w1 << 6);
+                if desc0 != 0 {
+                    let dpl = w0 * (npl - 1);
+                    move_planes(&mut pl_hi[dpl..dpl + b], &pl_lo[spl0..spl0 + b], desc0);
+                    move_planes(
+                        &mut pl_hi[dpl + b..dpl + npl - 1],
+                        &pl_lo[spl0 + b + 1..spl0 + npl],
+                        desc0,
+                    );
+                    move_handles(
+                        &mut hn_hi[w0 << 6..(w0 << 6) + 64],
+                        &hn_lo[cells0..cells0 + 64],
+                        desc0,
+                    );
+                }
+                if desc1 != 0 {
+                    let dpl = w1 * (npl - 1);
+                    move_planes(&mut pl_hi[dpl..dpl + b], &pl_lo[spl1..spl1 + b], desc1);
+                    move_planes(
+                        &mut pl_hi[dpl + b..dpl + npl - 1],
+                        &pl_lo[spl1 + b + 1..spl1 + npl],
+                        desc1,
+                    );
+                    move_handles(
+                        &mut hn_hi[w1 << 6..(w1 << 6) + 64],
+                        &hn_lo[cells1..cells1 + 64],
+                        desc1,
+                    );
+                }
+                // Contention counts, read before the exchange moves the
+                // handles (see the `b < 6` arm for the side-array story).
+                for (blocked, cells) in [(blocked0, cells0), (blocked1, cells1)] {
+                    let mut bits = blocked;
+                    while bits != 0 {
+                        let i = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let h = hn_lo[cells + i].idx();
+                        defl_counts[h] = defl_counts[h].wrapping_add(1);
+                        if defl_counts[h] == 0 {
+                            pool[h].deflections += 256;
+                        }
+                    }
+                }
+                // The exchange: each side's deflected lanes land at the
+                // same lane of the partner, so a full swap of the plane
+                // runs and handle groups is exact on live lanes and
+                // garbage elsewhere (allowed).
+                occ[wbase + w0] = defl1;
+                occ[wbase + w1] = defl0;
+                if defl0 | defl1 != 0 {
+                    let (pa0, pa1) = pl_lo[spl0..spl1 + npl].split_at_mut(spl1 - spl0);
+                    pa0[..npl].swap_with_slice(&mut pa1[..npl]);
+                    let (ha0, ha1) = hn_lo[cells0..cells1 + 64].split_at_mut(cells1 - cells0);
+                    ha0[..64].swap_with_slice(&mut ha1[..64]);
+                }
+            }
+        }
+    }
+
+    (ejected, contended)
+}
+
 /// The cycle-accurate switch.
 ///
 /// ```
@@ -163,10 +646,60 @@ pub struct SwitchSim {
     h_shift: u32,
     /// `topo.height_mask(c)` for every routing cylinder.
     bit_masks: Vec<usize>,
-    /// Current-cycle arena, `[c * ports + a * H + h]`.
+    /// Resolved movement path (see [`Mode`]).
+    mode: Mode,
+    /// Bitmap words per angle, `height / 64` (batched mode only; heights
+    /// are word-aligned there because `height >= 64` is a power of two).
+    wpa: usize,
+    /// Bits needed for an angle index (`0` when `angles == 1`).
+    a_bits: u32,
+    /// Current-cycle arena, `[c * ports + a * H + h]` (unused — empty —
+    /// in batched mode, which moves handles and bit planes instead).
     cur: Vec<Slot>,
     /// Next-cycle arena (swapped with `cur` at the end of each step).
     nxt: Vec<Slot>,
+    /// Batched mode: per-cell pool handles (same indexing as `cur`;
+    /// meaningful only under a set occupancy bit). A single buffer: the
+    /// rotating-origin kernel moves flits in place (see
+    /// [`batched_move`]). Empty when the cell count fits `u16` —
+    /// `handles16_cur` is used instead, halving the kernel's largest
+    /// memory stream (see [`PoolHandle`]).
+    handles_cur: Vec<u32>,
+    /// Batched mode, narrow-handle variant (cell count ≤ 2^16).
+    handles16_cur: Vec<u16>,
+    /// Batched mode: the rotating angle origin. Physical angle column `p`
+    /// of every cylinder holds logical angle `(p + rot) % angles`; the
+    /// movement pass advances `rot` instead of moving every flit one
+    /// angle forward (see [`batched_move`]). Always 0 in the other modes.
+    rot: usize,
+    /// Batched mode: per-packet contention-deflection counts (low byte),
+    /// indexed by pool handle. One `u8` per cell keeps the whole array
+    /// cache-resident at kilo-port scale, so blocked descents charge
+    /// their deflection with a cheap increment instead of widening every
+    /// word's plane run (the movement pass is memory-bandwidth-bound).
+    /// Wraps past 255 spill `256` into the pool's `deflections`;
+    /// ejection reassembles `pool | low byte` and clears the entry, so
+    /// free handles always re-enter with a zero count.
+    defl_counts: Vec<u8>,
+    /// Batched mode: destination coordinates transposed into bit planes,
+    /// laid out word-major with *pruned* per-cylinder plane sets. A flit
+    /// in cylinder `c` has height bits `b+1..` already matched (`b =
+    /// height_bits - 1 - c` is the bit under scrutiny), so cylinder `c`
+    /// carries only `height_bits - c` dst_h planes (bits `0..=b`,
+    /// LSB-first) followed by the `a_bits` dst_a planes — descending
+    /// drops the just-matched plane, and the innermost cylinder carries
+    /// only the angle planes. Cylinder `c`'s region starts at
+    /// `plane_base[c]`; word `w`'s planes are the contiguous run
+    /// `plane_base[c] + w * npl(c) ..` of length `npl(c) = height_bits -
+    /// c + a_bits`. Word-major keeps one word's planes in 1–2 cache
+    /// lines and lets the per-word move loops auto-vectorize. Like the
+    /// arenas, plane bits are meaningful only under a set occupancy bit —
+    /// the in-place swaps and blends leave garbage on unoccupied lanes,
+    /// which therefore never leaks.
+    planes_cur: Vec<u64>,
+    /// Batched mode: start of cylinder `c`'s plane region (see
+    /// `planes_cur`); `cylinders + 1` entries, the last the total length.
+    plane_base: Vec<usize>,
     /// `u64` words per cylinder in the occupancy bitmaps.
     words: usize,
     /// Occupancy bitmap (and active worklist) for `cur`: bit `cell % 64`
@@ -176,6 +709,8 @@ pub struct SwitchSim {
     /// end-of-step swap the scratch side is already clear.
     occ_cur: Vec<u64>,
     /// Occupancy bitmap under construction for `nxt` (same layout).
+    /// Narrow and scalar-wide modes only — the batched kernel mutates
+    /// `occ_cur` in place (empty then).
     occ_nxt: Vec<u64>,
     /// Ports with a non-empty injection queue, as a bitmap (`words` words).
     /// Injection scans `!occ_nxt & q_bits` — the ports that both hold a
@@ -196,6 +731,10 @@ pub struct SwitchSim {
     injected: u64,
     ejected: u64,
     in_flight: usize,
+    /// Cumulative wall-clock nanoseconds spent in the movement phase.
+    /// Wide modes only (narrow steps are too short to clock without
+    /// skewing them); see [`SwitchSim::move_nanos`].
+    move_nanos: u64,
     // Instrumentation kept as plain accumulators (no registry calls in the
     // per-cycle loop); [`SwitchSim::publish_metrics`] folds them into a
     // `MetricsRegistry` once at the end of a run.
@@ -223,11 +762,48 @@ struct Flushed {
 }
 
 impl SwitchSim {
-    /// A switch with the given topology, empty.
+    /// A switch with the given topology, empty. Wide switches (over 64
+    /// ports) with `height >= 64` get the batched movement kernel; see
+    /// [`SwitchSim::with_wide_kernel`] to force the scalar baseline.
     pub fn new(topo: Topology) -> Self {
+        Self::with_wide_kernel(topo, WideKernel::Batched)
+    }
+
+    /// A switch with the given topology and an explicit wide-path kernel
+    /// choice (narrow switches ignore it). Both kernels produce
+    /// bit-identical `Delivered` streams; `Scalar` is the frozen
+    /// pre-batching baseline the perf gate measures against.
+    pub fn with_wide_kernel(topo: Topology, kernel: WideKernel) -> Self {
         let ports = topo.ports();
         let cylinders = topo.cylinders();
         let cells = ports * cylinders;
+        let words = ports.div_ceil(64);
+        let mode = if words == 1 {
+            Mode::Narrow
+        } else if topo.height >= 64 && kernel == WideKernel::Batched {
+            Mode::WideBatched
+        } else {
+            Mode::WideScalar
+        };
+        let batched = mode == Mode::WideBatched;
+        // Narrow (u16) pool handles whenever every cell index fits: the
+        // handle arrays are the batched kernel's largest memory stream.
+        let h16 = cells <= (u16::MAX as usize) + 1;
+        let a_bits = if topo.angles <= 1 { 0 } else { (topo.angles - 1).ilog2() + 1 };
+        let slot_cells = if batched { 0 } else { cells };
+        // Pruned plane regions: cylinder `c` carries `height_bits - c`
+        // dst_h planes plus the dst_a planes (see the `planes_cur` doc).
+        let h_bits = topo.height_bits() as usize;
+        let mut plane_base = Vec::new();
+        let mut plane_words = 0;
+        if batched {
+            for c in 0..=cylinders {
+                plane_base.push(plane_words);
+                if c < cylinders {
+                    plane_words += words * (h_bits - c + a_bits as usize);
+                }
+            }
+        }
         let empty = Slot { handle: 0, deflections: 0, dst_h: 0, dst_a: 0 };
         Self {
             angles: topo.angles,
@@ -236,11 +812,20 @@ impl SwitchSim {
             h_mask: topo.height - 1,
             h_shift: topo.height_bits(),
             bit_masks: (0..cylinders - 1).map(|c| topo.height_mask(c)).collect(),
-            cur: vec![empty; cells],
-            nxt: vec![empty; cells],
-            words: ports.div_ceil(64),
+            mode,
+            wpa: topo.height / 64,
+            a_bits,
+            cur: vec![empty; slot_cells],
+            nxt: vec![empty; slot_cells],
+            handles_cur: vec![0; if batched && !h16 { cells } else { 0 }],
+            handles16_cur: vec![0; if batched && h16 { cells } else { 0 }],
+            rot: 0,
+            defl_counts: vec![0; if batched { cells } else { 0 }],
+            planes_cur: vec![0; plane_words],
+            plane_base,
+            words,
             occ_cur: vec![0; ports.div_ceil(64) * cylinders],
-            occ_nxt: vec![0; ports.div_ceil(64) * cylinders],
+            occ_nxt: vec![0; if batched { 0 } else { ports.div_ceil(64) * cylinders }],
             q_bits: vec![0; ports.div_ceil(64)],
             pool: vec![EMPTY_FLIT; cells],
             free: (0..cells as u32).collect(),
@@ -251,6 +836,7 @@ impl SwitchSim {
             injected: 0,
             ejected: 0,
             in_flight: 0,
+            move_nanos: 0,
             hop_hist: Log2Histogram::new(12),
             deflection_hist: Log2Histogram::new(12),
             contention_deflections: 0,
@@ -285,6 +871,17 @@ impl SwitchSim {
         self.ejected
     }
 
+    /// Cumulative wall-clock nanoseconds this switch has spent in its
+    /// movement phase (the wide-kernel hot pass), excluding injection and
+    /// input queueing. `perf_smoke` rates the wide kernels on movement
+    /// cycles/sec with this — the phase the batched rebuild targets —
+    /// without the enqueue-side driver diluting the comparison. Always 0
+    /// for narrow switches (≤ 64 ports): their sub-microsecond steps
+    /// would be skewed by the clock reads, so they are not timed.
+    pub fn move_nanos(&self) -> u64 {
+        self.move_nanos
+    }
+
     /// Queue a packet at `src_port` bound for `dst_port`.
     pub fn enqueue(&mut self, src_port: usize, dst_port: usize, tag: u64) {
         assert!(src_port < self.ports && dst_port < self.ports);
@@ -304,47 +901,121 @@ impl SwitchSim {
     /// performs no heap allocation at all.
     pub fn step_into(&mut self, out: &mut Vec<Delivered>) {
         let words = self.words;
-        self.move_flits(out);
+        if self.mode == Mode::Narrow {
+            self.move_flits(out);
+        } else {
+            // Wide switches accumulate the movement phase's wall clock
+            // (see [`SwitchSim::move_nanos`]): a wide movement pass runs
+            // for microseconds, so the two clock reads are noise here,
+            // while a narrow switch's sub-microsecond step would be
+            // visibly skewed by them.
+            // dv-lint: allow(DV-W002, reason = "host-side profiling accumulator: the wall-clock total feeds perf_smoke's movement-phase rate and never reaches virtual time, the Delivered stream, or any simulated result")
+            let t0 = std::time::Instant::now();
+            self.move_flits(out);
+            self.move_nanos += t0.elapsed().as_nanos() as u64;
+        }
 
         // Injection last: an input port only fires into an empty cell of
         // the outermost cylinder (backpressure otherwise). Port index ==
         // cell index in cylinder 0 (`position_port(h, a) = a*H + h`), so
-        // `!occ_nxt & q_bits` is exactly the set of ports that can fire.
+        // the free-port scan is `!occ & q_bits` over the post-movement
+        // occupancy of cylinder 0.
         if self.queued > 0 {
-            for w in 0..self.words {
-                let mut bits = !self.occ_nxt[w] & self.q_bits[w];
+            let batched = self.mode == Mode::WideBatched;
+            let h16 = !self.handles16_cur.is_empty();
+            let n_planes = self.h_shift as usize + self.a_bits as usize;
+            // Batched mode's `wpa` is a power of two (see the field doc).
+            let wpa_shift = if batched { self.wpa.trailing_zeros() } else { 0 };
+            for lw in 0..self.words {
+                // Port indices are logical coordinates. Under the batched
+                // kernel's rotating origin the backing word of cylinder 0
+                // is the physical column of the port's angle; identity in
+                // the other modes (where `occ_nxt` holds the built state).
+                let pw = if batched {
+                    let la = lw >> wpa_shift;
+                    let hw = lw & (self.wpa - 1);
+                    let pa = la + self.angles - self.rot;
+                    let pa = if pa >= self.angles { pa - self.angles } else { pa };
+                    pa * self.wpa + hw
+                } else {
+                    lw
+                };
+                let occ_w = if batched { self.occ_cur[pw] } else { self.occ_nxt[lw] };
+                let mut bits = !occ_w & self.q_bits[lw];
+                if bits == 0 {
+                    continue;
+                }
+                // Batched mode transposes destinations into per-word
+                // register accumulators and commits each plane once per
+                // word — saturated kilo-port injection admits dozens of
+                // flits per word, so per-flit plane read-modify-writes
+                // would dominate the phase.
+                let mut wmask = 0u64;
+                let mut set = [0u64; 16];
                 while bits != 0 {
-                    let port = (w << 6) | bits.trailing_zeros() as usize;
+                    let lane = bits.trailing_zeros() as usize;
                     bits &= bits - 1;
+                    let port = (lw << 6) | lane;
                     let q = self.queues[port].pop_front().unwrap();
                     if self.queues[port].is_empty() {
-                        self.q_bits[w] &= !(1u64 << (port & 63));
+                        self.q_bits[lw] &= !(1u64 << lane);
                     }
                     self.queued -= 1;
                     self.injected += 1;
                     self.in_flight += 1;
                     let dst = q.dst_port as usize;
                     let handle = self.free.pop().expect("pool is sized to the cell count");
-                    let slot = Slot {
-                        handle,
-                        deflections: 0,
-                        // `port_position` via the hoisted mask/shift:
-                        // height is a power of two, but a runtime `%`/`/`
-                        // would still compile to real divisions.
-                        // dv-lint: allow(DV-W011, reason = "masked to h_mask, and height <= ports <= 2^16 by construction; checked conversion would put a branch in the per-cycle inject loop")
-                        dst_h: (dst & self.h_mask) as u16,
-                        // dv-lint: allow(DV-W011, reason = "dst >> h_shift is an angle index < angles <= ports <= 2^16; checked conversion would put a branch in the per-cycle inject loop")
-                        dst_a: (dst >> self.h_shift) as u16,
-                    };
                     self.pool[handle as usize] = Flit {
-                        src_port: q.src_port,
-                        dst_port: q.dst_port,
+                        // Port indices are < ports <= 2^16 by construction;
+                        // checked conversions would put branches in the
+                        // per-flit inject loop.
+                        src_port: q.src_port as u16, // dv-lint: allow(DV-W011, reason = "src_port < ports <= 2^16 by construction (Topology::new rejects more)")
+                        dst_port: q.dst_port as u16, // dv-lint: allow(DV-W011, reason = "dst_port < ports <= 2^16 by construction (Topology::new rejects more)")
                         tag: q.tag,
                         inject_cycle: self.cycle,
                         enqueue_cycle: q.enqueue_cycle,
+                        deflections: 0,
                     };
-                    self.nxt[port] = slot;
-                    self.occ_nxt[w] |= 1 << (port & 63);
+                    let bit = 1u64 << lane;
+                    wmask |= bit;
+                    if batched {
+                        // Plane `p` is exactly bit `p` of the destination
+                        // port index (`dst = dst_a << h_shift | dst_h`).
+                        for (b, m) in set[..n_planes].iter_mut().enumerate() {
+                            *m |= bit * (dst >> b & 1) as u64;
+                        }
+                        if h16 {
+                            self.handles16_cur[(pw << 6) | lane] = PoolHandle::of(handle);
+                        } else {
+                            self.handles_cur[(pw << 6) | lane] = handle;
+                        }
+                    } else {
+                        self.nxt[port] = Slot {
+                            handle,
+                            deflections: 0,
+                            // `port_position` via the hoisted mask/shift:
+                            // height is a power of two, but a runtime `%`/`/`
+                            // would still compile to real divisions.
+                            // dv-lint: allow(DV-W011, reason = "masked to h_mask, and height <= ports <= 2^16 by construction; checked conversion would put a branch in the per-cycle inject loop")
+                            dst_h: (dst & self.h_mask) as u16,
+                            // dv-lint: allow(DV-W011, reason = "dst >> h_shift is an angle index < angles <= ports <= 2^16; checked conversion would put a branch in the per-cycle inject loop")
+                            dst_a: (dst >> self.h_shift) as u16,
+                        };
+                    }
+                }
+                if batched {
+                    self.occ_cur[pw] |= wmask;
+                    // Commit the word's transposed destinations (one
+                    // read-modify-write per plane — a blend, preserving
+                    // the in-place survivors). Deflection counts need no
+                    // reset: ejection zeroed the handle's `defl_counts`
+                    // entry before freeing it.
+                    let base = pw * n_planes;
+                    for (b, pl) in self.planes_cur[base..base + n_planes].iter_mut().enumerate() {
+                        *pl = (*pl & !wmask) | set[b];
+                    }
+                } else {
+                    self.occ_nxt[lw] |= wmask;
                 }
             }
         }
@@ -354,9 +1025,12 @@ impl SwitchSim {
         // cycle's scratch; occupancy is popcounted off the bitmaps instead
         // of rescanning the arena. The narrow movement path already
         // accumulated cylinders 1.. while their words were in registers,
-        // leaving only cylinder 0 (injection just changed it).
-        std::mem::swap(&mut self.cur, &mut self.nxt);
-        std::mem::swap(&mut self.occ_cur, &mut self.occ_nxt);
+        // leaving only cylinder 0 (injection just changed it). The batched
+        // kernel has nothing to commit — it moved everything in place.
+        if self.mode != Mode::WideBatched {
+            std::mem::swap(&mut self.cur, &mut self.nxt);
+            std::mem::swap(&mut self.occ_cur, &mut self.occ_nxt);
+        }
         if words == 1 {
             self.occupancy_sum[0] += self.occ_cur[0].count_ones() as u64;
         } else {
@@ -373,10 +1047,10 @@ impl SwitchSim {
     /// The movement phase of one cycle: walk every cylinder's occupancy
     /// bitmap innermost-first, moving (or ejecting) each live flit.
     fn move_flits(&mut self, out: &mut Vec<Delivered>) {
-        if self.words == 1 {
-            self.move_flits_narrow(out);
-        } else {
-            self.move_flits_wide(out);
+        match self.mode {
+            Mode::Narrow => self.move_flits_narrow(out),
+            Mode::WideScalar => self.move_flits_wide_scalar(out),
+            Mode::WideBatched => self.move_flits_wide_batched(out),
         }
     }
 
@@ -501,13 +1175,18 @@ impl SwitchSim {
         self.contention_deflections += contended;
     }
 
-    /// Movement phase for switches wider than 64 ports (multi-word
-    /// occupancy bitmaps); same algorithm as
+    /// Flit-at-a-time movement phase for switches wider than 64 ports
+    /// (multi-word occupancy bitmaps); same algorithm as
     /// [`SwitchSim::move_flits_narrow`] with the occupancy words read and
     /// written in memory. See that method for the layout and codegen
     /// commentary.
+    ///
+    /// Frozen as the [`WideKernel::Scalar`] baseline: `perf_smoke`'s
+    /// "wide" figure and `dv-report --gate --min-speedup` measure the
+    /// batched kernel against this loop, and it still serves wide
+    /// switches with `height < 64` (see [`Mode`]).
     #[inline(never)]
-    fn move_flits_wide(&mut self, out: &mut Vec<Delivered>) {
+    fn move_flits_wide_scalar(&mut self, out: &mut Vec<Delivered>) {
         let words = self.words;
         let h_mask = self.h_mask;
         let h_shift = self.h_shift;
@@ -612,6 +1291,72 @@ impl SwitchSim {
                     }
                 }
             }
+        }
+        self.ejected += ejected;
+        self.in_flight -= ejected as usize;
+        self.contention_deflections += contended;
+    }
+
+    /// Word-parallel movement phase for wide switches with `height >= 64`
+    /// ([`WideKernel::Batched`]): one descend/deflect decision per
+    /// 64-cell occupancy word instead of per flit.
+    ///
+    /// With `height >= 64` every occupancy word lies inside a single
+    /// angle, heights ascending LSB-first along it, so a cylinder's
+    /// routing question — "does height bit `b` match the destination
+    /// bit?" — is answered for all 64 cells at once: the current heights'
+    /// bit `b` across a word is a constant pattern ([`PLANE_PAT`] for
+    /// `b < 6`, all-zeros/all-ones by the word's height base otherwise),
+    /// and the destinations' bit `b` is exactly the transposed plane
+    /// word. One XOR yields the mismatch mask, one probe of the inner
+    /// cylinder's occupancy word splits the matched bits into descents
+    /// and blocked deflections, and all claims commit with word-wide
+    /// ORs. Plane payloads move under the same masks — a deflection is
+    /// an in-word swap of the `1 << b`-strided halves for `b < 6`, or a
+    /// straight retarget to the partner word for `b >= 6`. Only
+    /// pool-handle copies, ejections, and blocked-flit deflection counts
+    /// fall back to per-set-bit scalar work.
+    ///
+    /// Decision parity with [`SwitchSim::move_flits_wide_scalar`] is
+    /// structural: same innermost-first cylinder order, same ascending
+    /// cell order within a cylinder (words ascending, ejections
+    /// LSB-first), same descend/deflect predicate, and same-cylinder
+    /// claims are injective, so word-batching cannot reorder contention.
+    /// `tests/equivalence.rs` pins the `Delivered` stream bit-identical
+    /// against the frozen reference at H = 128/256.
+    fn move_flits_wide_batched(&mut self, out: &mut Vec<Delivered>) {
+        // Disjoint field borrows for the generic core, as in the scalar
+        // kernels; the handle width (see [`PoolHandle`]) picks the
+        // instantiation.
+        let ctx = BatchedCtx {
+            cylinders: self.cylinders,
+            words: self.words,
+            wpa: self.wpa,
+            h_bits: self.h_shift as usize,
+            a_bits: self.a_bits as usize,
+            angles: self.angles,
+            ports: self.ports,
+            cycle: self.cycle,
+            rot: self.rot,
+            plane_base: &self.plane_base,
+            occ: &mut self.occ_cur,
+            planes: &mut self.planes_cur,
+            pool: &mut self.pool,
+            free_list: &mut self.free,
+            defl_counts: &mut self.defl_counts,
+            hop_hist: &mut self.hop_hist,
+            deflection_hist: &mut self.deflection_hist,
+        };
+        let (ejected, contended) = if self.handles16_cur.is_empty() {
+            batched_move(ctx, &mut self.handles_cur, out)
+        } else {
+            batched_move(ctx, &mut self.handles16_cur, out)
+        };
+        // Every move just advanced its flit's logical angle by one; the
+        // rotating origin absorbs all of them at once.
+        self.rot += 1;
+        if self.rot == self.angles {
+            self.rot = 0;
         }
         self.ejected += ejected;
         self.in_flight -= ejected as usize;

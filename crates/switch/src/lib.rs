@@ -27,11 +27,13 @@
 pub mod cycle;
 pub mod faults;
 pub mod model;
+pub mod net;
 pub mod reference;
 pub mod topology;
 pub mod traffic;
 
-pub use cycle::{Delivered, SwitchSim};
+pub use cycle::{Delivered, SwitchSim, WideKernel};
+pub use net::{AnyTopology, FatTree, MinPathGraph, NetworkTopology, RoutedNetSim, TopoKind};
 pub use reference::ReferenceSwitchSim;
 pub use faults::{LinkFaultInjector, PacketFault};
 pub use model::SwitchModel;

@@ -16,13 +16,19 @@
 use dv_core::config::DvParams;
 use dv_core::time::Time;
 
+use crate::net::{AnyTopology, NetworkTopology};
 use crate::topology::Topology;
 use crate::traffic::{Arrival, LoadSweep, Pattern};
 
-/// Closed-form latency model of a Data Vortex switch.
+/// Closed-form latency model of a switch/network.
+///
+/// Defaults to the Data Vortex cylinder graph; [`SwitchModel::for_net`]
+/// swaps in a rival topology so the same charging scheme (min hops plus a
+/// load-dependent contention penalty) prices a fat tree or min-path
+/// random-regular graph for comparison studies.
 #[derive(Debug, Clone)]
 pub struct SwitchModel {
-    topo: Topology,
+    net: AnyTopology,
     hop_time: Time,
     inject: Time,
     eject: Time,
@@ -34,7 +40,7 @@ impl SwitchModel {
     /// Model with the parameters of a [`DvParams`] machine description.
     pub fn from_params(dv: &DvParams) -> Self {
         Self {
-            topo: Topology::new(dv.height, dv.angles),
+            net: AnyTopology::Vortex(Topology::new(dv.height, dv.angles)),
             hop_time: dv.hop_time,
             inject: dv.inject_time,
             eject: dv.eject_time,
@@ -42,9 +48,20 @@ impl SwitchModel {
         }
     }
 
-    /// The modeled topology.
-    pub fn topology(&self) -> &Topology {
-        &self.topo
+    /// The same timing parameters over a different network graph.
+    pub fn for_net(net: AnyTopology, dv: &DvParams) -> Self {
+        Self {
+            net,
+            hop_time: dv.hop_time,
+            inject: dv.inject_time,
+            eject: dv.eject_time,
+            deflect_hops_at_saturation: dv.deflect_hops_at_saturation,
+        }
+    }
+
+    /// The modeled network.
+    pub fn net(&self) -> &AnyTopology {
+        &self.net
     }
 
     /// Expected extra hops at a given instantaneous load (0..=1).
@@ -58,7 +75,8 @@ impl SwitchModel {
     /// One-way VIC-to-VIC latency of a single packet between two ports at
     /// the given instantaneous switch load.
     pub fn traversal(&self, src_port: usize, dst_port: usize, load: f64) -> Time {
-        let hops = self.topo.min_hops(src_port % self.topo.ports(), dst_port % self.topo.ports());
+        let p = self.net.ports();
+        let hops = self.net.min_hops(src_port % p, dst_port % p);
         let extra = self.deflection_hops(load);
         self.inject
             + ((hops as f64 + extra) * self.hop_time as f64).round() as Time
@@ -68,7 +86,7 @@ impl SwitchModel {
     /// Average one-way latency over all port pairs (used where per-pair
     /// resolution doesn't matter, e.g. barrier cost composition).
     pub fn mean_traversal(&self, load: f64) -> Time {
-        let p = self.topo.ports();
+        let p = self.net.ports();
         let mut total = 0u128;
         for s in 0..p {
             for d in 0..p {
@@ -82,7 +100,7 @@ impl SwitchModel {
     /// simulator under uniform traffic: measures mean deflections at high
     /// load and stores them. Returns the calibrated value.
     pub fn calibrate(&mut self, seed: u64) -> f64 {
-        let mut sweep = LoadSweep::new(self.topo.clone());
+        let mut sweep = LoadSweep::for_net(self.net.clone());
         sweep.pattern = Pattern::Uniform;
         sweep.arrival = Arrival::Bernoulli;
         sweep.warmup = 300;
@@ -108,7 +126,7 @@ mod tests {
     fn light_load_equals_min_hops() {
         let m = model();
         let t = m.traversal(0, 17, 0.0);
-        let hops = m.topology().min_hops(0, 17) as u64;
+        let hops = m.net().min_hops(0, 17) as u64;
         assert_eq!(t, m.inject + hops * m.hop_time + m.eject);
     }
 

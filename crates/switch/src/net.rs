@@ -1,0 +1,1084 @@
+//! Pluggable rival network topologies.
+//!
+//! The paper's Section IX conjecture (throughput per node holds as the
+//! switch grows; only latency rises) is only interesting *relative to the
+//! alternatives* a procurement would actually weigh. This module makes
+//! "the network" a first-class trait so the same load sweeps, benchmark
+//! bins, and analytic model can be pointed at:
+//!
+//! * [`Topology`] — the Data Vortex cylinder graph itself (the trait is
+//!   implemented directly on the existing type);
+//! * [`FatTree`] — a k-ary fat tree (three-tier Clos), the canonical
+//!   cluster fabric the paper's Infiniband baseline runs on;
+//! * [`MinPathGraph`] — a seeded random-regular graph in the spirit of
+//!   Deng et al., "Optimal Low-Latency Network Topologies for Cluster
+//!   Performance Enhancement" (PAPERS.md): among d-regular graphs,
+//!   randomized constructions sit close to the Moore bound on mean path
+//!   length, beating both fat trees and tori.
+//!
+//! [`AnyTopology`] is the closed enum the sweep driver and bench bins
+//! thread around (static dispatch, `Clone + Send + Sync`), and
+//! [`RoutedNetSim`] is a deterministic store-and-forward cycle simulator
+//! for the rival graphs, exposing the same `enqueue`/`step_into`/
+//! [`Delivered`] surface as the Data Vortex [`crate::cycle::SwitchSim`]
+//! so `LoadSweep` treats the two engines uniformly.
+//!
+//! ## Determinism rules (seeded random-regular graph)
+//!
+//! `MinPathGraph` must produce byte-identical sweeps across runs and
+//! machines, so its construction is fully deterministic: a fixed-offset
+//! circulant base graph is randomized by a fixed number of double-edge
+//! swaps drawn from a [`SplitMix64`] stream seeded with
+//! [`MIN_PATH_SEED`] (swaps that would create self-loops or parallel
+//! edges are skipped, not redrawn differently per platform), and the
+//! result is rejected-and-reswapped in bounded rounds until connected.
+//! Routing state (BFS distance tables, sorted adjacency) is derived
+//! purely from that edge set; tie-breaks always pick the lowest node id.
+
+use std::collections::VecDeque;
+
+use dv_core::metrics::MetricsRegistry;
+use dv_core::rng::SplitMix64;
+use dv_core::stats::Log2Histogram;
+
+use crate::cycle::Delivered;
+use crate::topology::Topology;
+
+/// Seed for the [`MinPathGraph`] edge-swap stream. Fixed so every build
+/// of a given port count is the same graph everywhere.
+pub const MIN_PATH_SEED: u64 = 0xD0_5EED_0009;
+
+/// Per-node queue bound (packets) in [`RoutedNetSim`]: models finite
+/// switch buffers and provides the backpressure that keeps hotspot
+/// sweeps lossless-but-serialized, like the Data Vortex injection FIFOs.
+const NODE_QUEUE_CAP: usize = 64;
+
+/// A network seen as a routed graph: ports attach to nodes, packets move
+/// one link per cycle along deterministic routes.
+///
+/// Implementations must be fully deterministic: the same construction
+/// parameters yield the same graph and the same routes on every platform
+/// (sweeps are `cmp`-checked byte-identical in CI).
+pub trait NetworkTopology {
+    /// Short stable name for reports and artifact labels.
+    fn kind_name(&self) -> &'static str;
+    /// Number of attachable end-point ports.
+    fn ports(&self) -> usize;
+    /// Number of switching nodes (graph vertices).
+    fn node_count(&self) -> usize;
+    /// Node a packet from `port` enters the network at.
+    fn inject_node(&self, port: usize) -> usize;
+    /// Node a packet bound for `port` leaves the network from.
+    fn eject_node(&self, port: usize) -> usize;
+    /// The deterministic contention-free next hop from `node` toward
+    /// `dst_port`. Returns `node` itself once the packet is at
+    /// [`NetworkTopology::eject_node`]`(dst_port)`.
+    fn route_one_hop(&self, node: usize, dst_port: usize) -> usize;
+    /// Link traversals of the contention-free route `src_port` →
+    /// `dst_port`.
+    fn min_hops(&self, src_port: usize, dst_port: usize) -> usize;
+
+    /// Exact mean and maximum contention-free path length over all
+    /// ordered port pairs (the Deng et al. figure of merit). O(ports²)
+    /// `min_hops` calls; every implementation's `min_hops` is cheap.
+    fn path_stats(&self) -> (f64, usize) {
+        let p = self.ports();
+        let mut total = 0u64;
+        let mut max = 0usize;
+        for s in 0..p {
+            for d in 0..p {
+                let h = self.min_hops(s, d);
+                total += h as u64;
+                max = max.max(h);
+            }
+        }
+        (total as f64 / (p * p) as f64, max)
+    }
+}
+
+impl NetworkTopology for Topology {
+    fn kind_name(&self) -> &'static str {
+        "dv"
+    }
+
+    fn ports(&self) -> usize {
+        Topology::ports(self)
+    }
+
+    fn node_count(&self) -> usize {
+        self.nodes()
+    }
+
+    /// Injection lands in the outermost cylinder at the port's fixed
+    /// `(h, a)`; node ids are `c * ports + a * H + h`.
+    fn inject_node(&self, port: usize) -> usize {
+        debug_assert!(port < Topology::ports(self));
+        port
+    }
+
+    /// Ejection leaves from the innermost cylinder at the port's `(h, a)`.
+    fn eject_node(&self, port: usize) -> usize {
+        (self.cylinders() - 1) * Topology::ports(self) + port
+    }
+
+    fn route_one_hop(&self, node: usize, dst_port: usize) -> usize {
+        let ports = Topology::ports(self);
+        let c = node / ports;
+        let cell = node % ports;
+        let h = cell % self.height;
+        let a = cell / self.height;
+        let (dst_h, dst_a) = self.port_position(dst_port);
+        let a1 = if a + 1 == self.angles { 0 } else { a + 1 };
+        if c + 1 < self.cylinders() {
+            if self.bit_matches(c, h, dst_h) {
+                (c + 1) * ports + self.position_port(h, a1)
+            } else {
+                c * ports + self.position_port(self.deflect_height(c, h), a1)
+            }
+        } else if a == dst_a {
+            node // arrived: the innermost height always equals dst_h here
+        } else {
+            c * ports + self.position_port(h, a1)
+        }
+    }
+
+    fn min_hops(&self, src_port: usize, dst_port: usize) -> usize {
+        Topology::min_hops(self, src_port, dst_port)
+    }
+}
+
+/// A k-ary fat tree (three-tier Clos): `k` pods of `k/2` edge and `k/2`
+/// aggregation switches plus `(k/2)²` cores, hosting up to `k³/4` ports
+/// (`k/2` per edge switch). Routes are deterministic ECMP: the core for
+/// a cross-pod flow is picked by the destination index, so a (src, dst)
+/// pair always takes the same path.
+#[derive(Debug, Clone)]
+pub struct FatTree {
+    /// Switch radix (even, ≥ 2).
+    k: usize,
+    /// Attached ports (≤ k³/4; ports fill edge switches in index order).
+    ports: usize,
+}
+
+impl FatTree {
+    /// The smallest k-ary fat tree with at least `ports` host ports.
+    pub fn for_ports(ports: usize) -> Self {
+        assert!(ports >= 1, "a fat tree needs at least one port");
+        let mut k = 2;
+        while k * k * k / 4 < ports {
+            k += 2;
+        }
+        Self { k, ports }
+    }
+
+    /// Switch radix.
+    pub fn radix(&self) -> usize {
+        self.k
+    }
+
+    fn half(&self) -> usize {
+        self.k / 2
+    }
+
+    /// Edge switches (also aggregation switches) in total.
+    fn edges_total(&self) -> usize {
+        self.k * self.half()
+    }
+
+    fn edge_of(&self, port: usize) -> usize {
+        debug_assert!(port < self.ports);
+        port / self.half()
+    }
+}
+
+impl NetworkTopology for FatTree {
+    fn kind_name(&self) -> &'static str {
+        "fattree"
+    }
+
+    fn ports(&self) -> usize {
+        self.ports
+    }
+
+    fn node_count(&self) -> usize {
+        2 * self.edges_total() + self.half() * self.half()
+    }
+
+    fn inject_node(&self, port: usize) -> usize {
+        self.edge_of(port)
+    }
+
+    fn eject_node(&self, port: usize) -> usize {
+        self.edge_of(port)
+    }
+
+    fn route_one_hop(&self, node: usize, dst_port: usize) -> usize {
+        let half = self.half();
+        let et = self.edges_total();
+        let de = self.edge_of(dst_port);
+        let dpod = de / half;
+        if node < et {
+            // Edge switch: up toward an aggregation switch (same pod) or
+            // commit to the destination-chosen core's aggregation column.
+            let pod = node / half;
+            if node == de {
+                node
+            } else if pod == dpod {
+                et + pod * half + dst_port % half
+            } else {
+                let core = dst_port % (half * half);
+                et + pod * half + core / half
+            }
+        } else if node < 2 * et {
+            // Aggregation switch: down to the edge if already in the
+            // destination pod, else up to this column's ECMP core.
+            let pod = (node - et) / half;
+            let column = (node - et) % half;
+            if pod == dpod {
+                de
+            } else {
+                2 * et + column * half + dst_port % half
+            }
+        } else {
+            // Core: down into the destination pod's matching column.
+            let core = node - 2 * et;
+            et + dpod * half + core / half
+        }
+    }
+
+    fn min_hops(&self, src_port: usize, dst_port: usize) -> usize {
+        let se = self.edge_of(src_port);
+        let de = self.edge_of(dst_port);
+        let half = self.half();
+        if se == de {
+            0
+        } else if se / half == de / half {
+            2
+        } else {
+            4
+        }
+    }
+}
+
+/// A seeded random-regular graph tuned for minimal mean path length
+/// (Deng et al., PAPERS.md): `switches` d-regular vertices with `conc`
+/// ports concentrated on each, built deterministically as a circulant
+/// base graph randomized by double-edge swaps (see the module docs for
+/// the determinism rules). Routing is shortest-path by precomputed BFS
+/// distance tables, tie-broken toward the lowest neighbor id.
+#[derive(Debug, Clone)]
+pub struct MinPathGraph {
+    switches: usize,
+    degree: usize,
+    conc: usize,
+    ports: usize,
+    /// Sorted neighbor lists, `switches × degree`.
+    adj: Vec<u32>,
+    /// All-pairs BFS distances, `switches × switches`.
+    dist: Vec<u16>,
+}
+
+impl MinPathGraph {
+    /// Port concentration per switch (hosts per router, Deng et al. use
+    /// small fixed concentrations).
+    pub const CONCENTRATION: usize = 4;
+
+    /// A graph with at least `ports` attachable ports at the default
+    /// concentration and a radix-8 router budget.
+    pub fn for_ports(ports: usize) -> Self {
+        assert!(ports >= 1, "a min-path graph needs at least one port");
+        let mut switches = ports.div_ceil(Self::CONCENTRATION).max(2);
+        if switches % 2 == 1 {
+            switches += 1; // an odd vertex count cannot be odd-regular
+        }
+        let degree = 8.min(switches - 1);
+        Self::new(switches, degree, Self::CONCENTRATION, ports)
+    }
+
+    /// Build the seeded graph. `switches × degree` must be even and
+    /// `degree < switches`.
+    pub fn new(switches: usize, degree: usize, conc: usize, ports: usize) -> Self {
+        assert!(degree >= 1 && degree < switches, "degree must be in 1..switches");
+        assert!((switches * degree).is_multiple_of(2), "sum of degrees must be even");
+        assert!(ports <= switches * conc, "ports exceed the graph's concentration");
+        let mut edges = circulant_edges(switches, degree);
+        let mut rng = SplitMix64::new(MIN_PATH_SEED);
+        // Randomize: double-edge swaps preserve every vertex degree while
+        // driving the graph toward the random-regular ensemble Deng et
+        // al. show sits near the Moore bound. Bounded extra rounds
+        // restore connectivity in the (rare) event a swap cut the graph.
+        for round in 0..50 {
+            double_edge_swaps(&mut edges, &mut rng, 10 * switches * degree);
+            if is_connected(switches, &edges) {
+                break;
+            }
+            assert!(round < 49, "min-path graph failed to connect after bounded reswaps");
+        }
+        let adj = sorted_adjacency(switches, degree, &edges);
+        let dist = bfs_all_pairs(switches, degree, &adj);
+        Self { switches, degree, conc, ports, adj, dist }
+    }
+
+    /// Router degree.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    fn switch_of(&self, port: usize) -> usize {
+        debug_assert!(port < self.ports);
+        port / self.conc
+    }
+
+    fn dist_between(&self, a: usize, b: usize) -> usize {
+        self.dist[a * self.switches + b] as usize
+    }
+}
+
+impl NetworkTopology for MinPathGraph {
+    fn kind_name(&self) -> &'static str {
+        "minpath"
+    }
+
+    fn ports(&self) -> usize {
+        self.ports
+    }
+
+    fn node_count(&self) -> usize {
+        self.switches
+    }
+
+    fn inject_node(&self, port: usize) -> usize {
+        self.switch_of(port)
+    }
+
+    fn eject_node(&self, port: usize) -> usize {
+        self.switch_of(port)
+    }
+
+    fn route_one_hop(&self, node: usize, dst_port: usize) -> usize {
+        let target = self.switch_of(dst_port);
+        if node == target {
+            return node;
+        }
+        // Greedy shortest-path step: the sorted neighbor list makes the
+        // lowest-id minimizer the deterministic choice.
+        let mut best = node;
+        let mut best_d = usize::MAX;
+        for &nb in &self.adj[node * self.degree..(node + 1) * self.degree] {
+            let d = self.dist_between(nb as usize, target);
+            if d < best_d {
+                best_d = d;
+                best = nb as usize;
+            }
+        }
+        best
+    }
+
+    fn min_hops(&self, src_port: usize, dst_port: usize) -> usize {
+        self.dist_between(self.switch_of(src_port), self.switch_of(dst_port))
+    }
+}
+
+/// Circulant base graph on `n` vertices: offsets `1..=d/2` (each worth
+/// two edges per vertex) plus the `n/2` diameter chord when `d` is odd.
+/// Connected by construction (offset 1 is a Hamiltonian cycle; `d == 1`
+/// degenerates to the perfect matching `i ↔ i + n/2`).
+fn circulant_edges(n: usize, d: usize) -> Vec<(u32, u32)> {
+    let mut edges = Vec::with_capacity(n * d / 2);
+    for off in 1..=d / 2 {
+        for i in 0..n {
+            edges.push((i as u32, ((i + off) % n) as u32));
+        }
+    }
+    if d % 2 == 1 {
+        for i in 0..n / 2 {
+            edges.push((i as u32, (i + n / 2) as u32));
+        }
+    }
+    edges
+}
+
+/// Degree-preserving randomization: pick two edges, re-pair their
+/// endpoints, skip the swap if it would create a self-loop or a parallel
+/// edge. Membership is tracked in a sorted edge set for O(log m) checks.
+fn double_edge_swaps(edges: &mut [(u32, u32)], rng: &mut SplitMix64, swaps: usize) {
+    let norm = |a: u32, b: u32| if a < b { (a, b) } else { (b, a) };
+    let mut present: std::collections::BTreeSet<(u32, u32)> =
+        edges.iter().map(|&(a, b)| norm(a, b)).collect();
+    let m = edges.len();
+    for _ in 0..swaps {
+        let i = rng.next_below(m as u64) as usize;
+        let j = rng.next_below(m as u64) as usize;
+        if i == j {
+            continue;
+        }
+        let (a, b) = edges[i];
+        let (mut c, mut d) = edges[j];
+        if rng.next_below(2) == 1 {
+            std::mem::swap(&mut c, &mut d);
+        }
+        // Candidate re-pairing: (a, d) and (c, b).
+        if a == d || c == b {
+            continue;
+        }
+        let (e1, e2) = (norm(a, d), norm(c, b));
+        if e1 == e2 || present.contains(&e1) || present.contains(&e2) {
+            continue;
+        }
+        present.remove(&norm(a, b));
+        present.remove(&norm(c, d));
+        present.insert(e1);
+        present.insert(e2);
+        edges[i] = (a, d);
+        edges[j] = (c, b);
+    }
+}
+
+fn is_connected(n: usize, edges: &[(u32, u32)]) -> bool {
+    let mut nbrs = vec![Vec::new(); n];
+    for &(a, b) in edges {
+        nbrs[a as usize].push(b as usize);
+        nbrs[b as usize].push(a as usize);
+    }
+    let mut seen = vec![false; n];
+    let mut stack = vec![0usize];
+    seen[0] = true;
+    let mut count = 1;
+    while let Some(v) = stack.pop() {
+        for &w in &nbrs[v] {
+            if !seen[w] {
+                seen[w] = true;
+                count += 1;
+                stack.push(w);
+            }
+        }
+    }
+    count == n
+}
+
+/// Flatten the edge list into per-vertex sorted neighbor arrays.
+fn sorted_adjacency(n: usize, d: usize, edges: &[(u32, u32)]) -> Vec<u32> {
+    let mut lists = vec![Vec::with_capacity(d); n];
+    for &(a, b) in edges {
+        lists[a as usize].push(b);
+        lists[b as usize].push(a);
+    }
+    let mut flat = Vec::with_capacity(n * d);
+    for mut list in lists {
+        debug_assert_eq!(list.len(), d, "edge swaps must preserve regularity");
+        list.sort_unstable();
+        flat.extend_from_slice(&list);
+    }
+    flat
+}
+
+fn bfs_all_pairs(n: usize, d: usize, adj: &[u32]) -> Vec<u16> {
+    let mut dist = vec![u16::MAX; n * n];
+    let mut queue = VecDeque::with_capacity(n);
+    for src in 0..n {
+        let row = &mut dist[src * n..(src + 1) * n];
+        row[src] = 0;
+        queue.push_back(src);
+        while let Some(v) = queue.pop_front() {
+            let dv = row[v];
+            for &nb in &adj[v * d..(v + 1) * d] {
+                let nb = nb as usize;
+                if row[nb] == u16::MAX {
+                    row[nb] = dv + 1;
+                    queue.push_back(nb);
+                }
+            }
+        }
+        debug_assert!(row.iter().all(|&x| x != u16::MAX), "graph must be connected");
+    }
+    dist
+}
+
+/// Which rival topology to build — the flag vocabulary of the bench bins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopoKind {
+    /// The Data Vortex cylinder graph.
+    Vortex,
+    /// k-ary fat tree.
+    FatTree,
+    /// Seeded minimal-mean-path-length random-regular graph.
+    MinPath,
+}
+
+impl TopoKind {
+    /// All kinds, Data Vortex first (sweep harness order).
+    pub const ALL: [TopoKind; 3] = [TopoKind::Vortex, TopoKind::FatTree, TopoKind::MinPath];
+
+    /// Parse a `--topo` flag value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "dv" | "vortex" => Some(TopoKind::Vortex),
+            "fattree" | "fat-tree" => Some(TopoKind::FatTree),
+            "minpath" | "min-path" => Some(TopoKind::MinPath),
+            _ => None,
+        }
+    }
+
+    /// The stable flag/label spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            TopoKind::Vortex => "dv",
+            TopoKind::FatTree => "fattree",
+            TopoKind::MinPath => "minpath",
+        }
+    }
+}
+
+/// A closed sum over the supported topologies: what [`LoadSweep`] and the
+/// bench bins actually carry (static dispatch, cheap to clone, `Send`).
+///
+/// [`LoadSweep`]: crate::traffic::LoadSweep
+#[derive(Debug, Clone)]
+pub enum AnyTopology {
+    /// Data Vortex cylinders (simulated by the cycle-accurate
+    /// [`crate::cycle::SwitchSim`]).
+    Vortex(Topology),
+    /// k-ary fat tree (simulated by [`RoutedNetSim`]).
+    FatTree(FatTree),
+    /// Min-path random-regular graph (simulated by [`RoutedNetSim`]).
+    MinPath(MinPathGraph),
+}
+
+impl AnyTopology {
+    /// Build `kind` with at least `ports` ports. The Data Vortex build is
+    /// exact-or-panic ([`Topology::for_ports`] at 4 angles); the rivals
+    /// round their switch counts up and attach exactly `ports` ports.
+    pub fn for_ports(kind: TopoKind, ports: usize) -> Self {
+        match kind {
+            TopoKind::Vortex => AnyTopology::Vortex(Topology::for_ports(ports, 4)),
+            TopoKind::FatTree => AnyTopology::FatTree(FatTree::for_ports(ports)),
+            TopoKind::MinPath => AnyTopology::MinPath(MinPathGraph::for_ports(ports)),
+        }
+    }
+
+    /// Which kind this is.
+    pub fn kind(&self) -> TopoKind {
+        match self {
+            AnyTopology::Vortex(_) => TopoKind::Vortex,
+            AnyTopology::FatTree(_) => TopoKind::FatTree,
+            AnyTopology::MinPath(_) => TopoKind::MinPath,
+        }
+    }
+
+    /// The Data Vortex topology, if this is one.
+    pub fn as_vortex(&self) -> Option<&Topology> {
+        match self {
+            AnyTopology::Vortex(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl NetworkTopology for AnyTopology {
+    fn kind_name(&self) -> &'static str {
+        match self {
+            AnyTopology::Vortex(t) => t.kind_name(),
+            AnyTopology::FatTree(t) => t.kind_name(),
+            AnyTopology::MinPath(t) => t.kind_name(),
+        }
+    }
+
+    fn ports(&self) -> usize {
+        match self {
+            AnyTopology::Vortex(t) => NetworkTopology::ports(t),
+            AnyTopology::FatTree(t) => t.ports(),
+            AnyTopology::MinPath(t) => t.ports(),
+        }
+    }
+
+    fn node_count(&self) -> usize {
+        match self {
+            AnyTopology::Vortex(t) => t.node_count(),
+            AnyTopology::FatTree(t) => t.node_count(),
+            AnyTopology::MinPath(t) => t.node_count(),
+        }
+    }
+
+    fn inject_node(&self, port: usize) -> usize {
+        match self {
+            AnyTopology::Vortex(t) => t.inject_node(port),
+            AnyTopology::FatTree(t) => t.inject_node(port),
+            AnyTopology::MinPath(t) => t.inject_node(port),
+        }
+    }
+
+    fn eject_node(&self, port: usize) -> usize {
+        match self {
+            AnyTopology::Vortex(t) => t.eject_node(port),
+            AnyTopology::FatTree(t) => t.eject_node(port),
+            AnyTopology::MinPath(t) => t.eject_node(port),
+        }
+    }
+
+    fn route_one_hop(&self, node: usize, dst_port: usize) -> usize {
+        match self {
+            AnyTopology::Vortex(t) => t.route_one_hop(node, dst_port),
+            AnyTopology::FatTree(t) => t.route_one_hop(node, dst_port),
+            AnyTopology::MinPath(t) => t.route_one_hop(node, dst_port),
+        }
+    }
+
+    fn min_hops(&self, src_port: usize, dst_port: usize) -> usize {
+        match self {
+            AnyTopology::Vortex(t) => Topology::min_hops(t, src_port, dst_port),
+            AnyTopology::FatTree(t) => t.min_hops(src_port, dst_port),
+            AnyTopology::MinPath(t) => t.min_hops(src_port, dst_port),
+        }
+    }
+}
+
+/// A queued arrival at an input port (rival engine).
+#[derive(Debug, Clone, Copy)]
+struct RoutedQueued {
+    src_port: u32,
+    dst_port: u32,
+    tag: u64,
+    enqueue_cycle: u64,
+}
+
+/// An in-flight packet in a node queue.
+#[derive(Debug, Clone, Copy)]
+struct RoutedPkt {
+    src_port: u32,
+    dst_port: u32,
+    tag: u64,
+    enqueue_cycle: u64,
+    inject_cycle: u64,
+    hops: u32,
+    /// Cycle of the last movement (or injection): a packet moves at most
+    /// one link per cycle, so same-cycle arrivals wait at the tail.
+    moved_cycle: u64,
+}
+
+/// Counter snapshot at the previous incremental flush (see
+/// [`RoutedNetSim::flush_metrics`]).
+struct RoutedFlushed {
+    cycle: u64,
+    injected: u64,
+    ejected: u64,
+    hop_hist: Log2Histogram,
+}
+
+/// Deterministic store-and-forward cycle simulator for the rival graphs.
+///
+/// Semantics, chosen to mirror the Data Vortex simulator's accounting so
+/// a [`crate::traffic::LoadSweep`] point is comparable across engines:
+///
+/// * Every packet moves at most one link per cycle along the
+///   deterministic [`NetworkTopology::route_one_hop`] route.
+/// * Each node forwards from its FIFO in order; at most one packet per
+///   outgoing link per cycle; a full receiver queue
+///   ([`NODE_QUEUE_CAP`]) blocks the packet in place (backpressure, no
+///   loss).
+/// * Each output port ejects at most one packet per cycle.
+/// * Injection (after movement, one packet per port per cycle) enters
+///   the port's [`NetworkTopology::inject_node`] queue if there is room.
+///
+/// Nodes are processed in ascending id order and queues front-to-back,
+/// so the [`Delivered`] stream is deterministic; `hops` counts link
+/// traversals and `deflections` is always 0 (buffered fabrics queue
+/// instead of deflecting).
+pub struct RoutedNetSim {
+    net: AnyTopology,
+    ports: usize,
+    /// Per-node FIFO of in-flight packets.
+    node_q: Vec<VecDeque<RoutedPkt>>,
+    /// Per-port injection FIFOs (unbounded; sweeps bound them via
+    /// [`RoutedNetSim::outstanding`], as with the DV engine).
+    queues: Vec<VecDeque<RoutedQueued>>,
+    queued: usize,
+    in_flight: usize,
+    /// `cycle + 1` of each output port's last ejection (0 = never): the
+    /// one-ejection-per-port-per-cycle bound.
+    last_eject: Vec<u64>,
+    /// Scratch: packets blocked this cycle, re-queued in order.
+    keep: Vec<RoutedPkt>,
+    /// Scratch: outgoing links already used by the node under scan.
+    used_links: Vec<u32>,
+    cycle: u64,
+    injected: u64,
+    ejected: u64,
+    hop_hist: Log2Histogram,
+    flushed: Option<Box<RoutedFlushed>>,
+}
+
+impl RoutedNetSim {
+    /// An empty simulator for `net`.
+    pub fn new(net: AnyTopology) -> Self {
+        let ports = net.ports();
+        let nodes = net.node_count();
+        Self {
+            ports,
+            node_q: vec![VecDeque::new(); nodes],
+            queues: vec![VecDeque::new(); ports],
+            queued: 0,
+            in_flight: 0,
+            last_eject: vec![0; ports],
+            keep: Vec::new(),
+            used_links: Vec::new(),
+            cycle: 0,
+            injected: 0,
+            ejected: 0,
+            hop_hist: Log2Histogram::new(12),
+            flushed: None,
+            net,
+        }
+    }
+
+    /// The network being simulated.
+    pub fn net(&self) -> &AnyTopology {
+        &self.net
+    }
+
+    /// Current cycle number.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Packets queued at input ports plus in flight (O(1)).
+    pub fn outstanding(&self) -> usize {
+        self.queued + self.in_flight
+    }
+
+    /// Packets accepted into the network so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Packets delivered so far.
+    pub fn ejected(&self) -> u64 {
+        self.ejected
+    }
+
+    /// Queue a packet at `src_port` bound for `dst_port`.
+    pub fn enqueue(&mut self, src_port: usize, dst_port: usize, tag: u64) {
+        assert!(src_port < self.ports && dst_port < self.ports);
+        self.queues[src_port].push_back(RoutedQueued {
+            src_port: u32::try_from(src_port).expect("port index fits in u32"),
+            dst_port: u32::try_from(dst_port).expect("port index fits in u32"),
+            tag,
+            enqueue_cycle: self.cycle,
+        });
+        self.queued += 1;
+    }
+
+    /// Advance one cycle, appending the packets ejected during it.
+    pub fn step_into(&mut self, out: &mut Vec<Delivered>) {
+        let cycle = self.cycle;
+        for node in 0..self.node_q.len() {
+            if self.node_q[node].is_empty() {
+                continue;
+            }
+            self.used_links.clear();
+            let len = self.node_q[node].len();
+            for _ in 0..len {
+                let Some(mut pkt) = self.node_q[node].pop_front() else { break };
+                if pkt.moved_cycle == cycle {
+                    // Arrived this cycle; everything behind it did too.
+                    self.node_q[node].push_front(pkt);
+                    break;
+                }
+                let dst = pkt.dst_port as usize;
+                if node == self.net.eject_node(dst) {
+                    if self.last_eject[dst] != cycle + 1 {
+                        self.last_eject[dst] = cycle + 1;
+                        self.ejected += 1;
+                        self.in_flight -= 1;
+                        self.hop_hist.push(pkt.hops as u64);
+                        out.push(Delivered {
+                            src_port: pkt.src_port as usize,
+                            dst_port: dst,
+                            tag: pkt.tag,
+                            enqueue_cycle: pkt.enqueue_cycle,
+                            inject_cycle: pkt.inject_cycle,
+                            eject_cycle: cycle,
+                            hops: pkt.hops,
+                            deflections: 0,
+                        });
+                    } else {
+                        self.keep.push(pkt); // output port busy this cycle
+                    }
+                    continue;
+                }
+                let nxt = self.net.route_one_hop(node, dst);
+                debug_assert_ne!(nxt, node, "route must progress until the eject node");
+                let nxt32 = nxt as u32;
+                if self.used_links.contains(&nxt32)
+                    || self.node_q[nxt].len() >= NODE_QUEUE_CAP
+                {
+                    self.keep.push(pkt); // link busy or receiver full
+                    continue;
+                }
+                self.used_links.push(nxt32);
+                pkt.hops += 1;
+                pkt.moved_cycle = cycle;
+                self.node_q[nxt].push_back(pkt);
+            }
+            // Blocked packets return to the front in their original order.
+            for pkt in self.keep.drain(..).rev() {
+                self.node_q[node].push_front(pkt);
+            }
+        }
+
+        // Injection after movement: one packet per port per cycle, if the
+        // entry node has room.
+        if self.queued > 0 {
+            for port in 0..self.ports {
+                if self.queues[port].is_empty() {
+                    continue;
+                }
+                let entry = self.net.inject_node(port);
+                if self.node_q[entry].len() >= NODE_QUEUE_CAP {
+                    continue;
+                }
+                let q = self.queues[port].pop_front().expect("queue checked non-empty");
+                self.queued -= 1;
+                self.injected += 1;
+                self.in_flight += 1;
+                self.node_q[entry].push_back(RoutedPkt {
+                    src_port: q.src_port,
+                    dst_port: q.dst_port,
+                    tag: q.tag,
+                    enqueue_cycle: q.enqueue_cycle,
+                    inject_cycle: cycle,
+                    hops: 0,
+                    moved_cycle: cycle,
+                });
+            }
+        }
+        self.cycle += 1;
+    }
+
+    /// Advance one cycle; returns the packets ejected during it.
+    pub fn step(&mut self) -> Vec<Delivered> {
+        let mut out = Vec::new();
+        self.step_into(&mut out);
+        out
+    }
+
+    /// Step until everything queued and in flight is delivered, or until
+    /// `max_cycles` elapse.
+    pub fn drain(&mut self, max_cycles: u64) -> Vec<Delivered> {
+        let mut all = Vec::new();
+        let deadline = self.cycle + max_cycles;
+        while self.outstanding() > 0 && self.cycle < deadline {
+            self.step_into(&mut all);
+        }
+        all
+    }
+
+    /// Fold accumulated statistics into a registry under `rival.cycle.*`.
+    pub fn publish_metrics(&self, metrics: &MetricsRegistry) {
+        if !metrics.is_enabled() {
+            return;
+        }
+        metrics.incr("rival.cycle.cycles", self.cycle);
+        metrics.incr("rival.cycle.injected", self.injected);
+        metrics.incr("rival.cycle.ejected", self.ejected);
+        metrics.observe_histogram("rival.cycle.hops", &[], &self.hop_hist);
+    }
+
+    /// Incremental counterpart of [`RoutedNetSim::publish_metrics`] for
+    /// streaming runs: publishes only what accumulated since the previous
+    /// flush, so interval flushes sum to the run totals.
+    pub fn flush_metrics(&mut self, metrics: &MetricsRegistry) {
+        if !metrics.is_enabled() {
+            return;
+        }
+        let was = self.flushed.get_or_insert_with(|| {
+            Box::new(RoutedFlushed {
+                cycle: 0,
+                injected: 0,
+                ejected: 0,
+                hop_hist: Log2Histogram::new(12),
+            })
+        });
+        metrics.incr("rival.cycle.cycles", self.cycle - was.cycle);
+        metrics.incr("rival.cycle.injected", self.injected - was.injected);
+        metrics.incr("rival.cycle.ejected", self.ejected - was.ejected);
+        metrics.observe_histogram("rival.cycle.hops", &[], &self.hop_hist.delta(&was.hop_hist));
+        **was = RoutedFlushed {
+            cycle: self.cycle,
+            injected: self.injected,
+            ejected: self.ejected,
+            hop_hist: self.hop_hist.clone(),
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dv_route_walk_matches_min_hops() {
+        let t = Topology::new(8, 4);
+        for src in 0..NetworkTopology::ports(&t) {
+            for dst in 0..NetworkTopology::ports(&t) {
+                let mut node = t.inject_node(src);
+                let goal = t.eject_node(dst);
+                let mut hops = 0;
+                while node != goal {
+                    node = t.route_one_hop(node, dst);
+                    hops += 1;
+                    assert!(hops <= 64, "{src}->{dst} did not converge");
+                }
+                assert_eq!(hops, Topology::min_hops(&t, src, dst), "{src}->{dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn fat_tree_picks_the_smallest_radix() {
+        assert_eq!(FatTree::for_ports(2).radix(), 2);
+        assert_eq!(FatTree::for_ports(16).radix(), 4);
+        assert_eq!(FatTree::for_ports(64).radix(), 8);
+        assert_eq!(FatTree::for_ports(1024).radix(), 16);
+        assert_eq!(FatTree::for_ports(4096).radix(), 26);
+    }
+
+    #[test]
+    fn fat_tree_route_walk_matches_min_hops() {
+        let t = FatTree::for_ports(64);
+        for src in 0..t.ports() {
+            for dst in 0..t.ports() {
+                let mut node = t.inject_node(src);
+                let goal = t.eject_node(dst);
+                let mut hops = 0;
+                while node != goal {
+                    let nxt = t.route_one_hop(node, dst);
+                    assert!(nxt < t.node_count());
+                    node = nxt;
+                    hops += 1;
+                    assert!(hops <= 8, "{src}->{dst} did not converge");
+                }
+                assert_eq!(hops, t.min_hops(src, dst), "{src}->{dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn min_path_graph_is_regular_deterministic_and_shortest_routed() {
+        let a = MinPathGraph::for_ports(64);
+        let b = MinPathGraph::for_ports(64);
+        assert_eq!(a.adj, b.adj, "seeded construction must be reproducible");
+        assert_eq!(a.degree(), 8);
+        for src in 0..a.ports() {
+            for dst in 0..a.ports() {
+                let mut node = a.inject_node(src);
+                let goal = a.eject_node(dst);
+                let mut hops = 0;
+                while node != goal {
+                    node = a.route_one_hop(node, dst);
+                    hops += 1;
+                    assert!(hops <= a.node_count(), "{src}->{dst} did not converge");
+                }
+                assert_eq!(hops, a.min_hops(src, dst), "{src}->{dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn min_path_mean_path_beats_the_fat_tree() {
+        // The Deng et al. claim this rival exists to represent: at equal
+        // port counts the random-regular graph's mean contention-free
+        // path is shorter than the fat tree's switch-to-switch path.
+        let ports = 256;
+        let (mpl_mean, _) = MinPathGraph::for_ports(ports).path_stats();
+        let (ft_mean, _) = FatTree::for_ports(ports).path_stats();
+        assert!(
+            mpl_mean < ft_mean,
+            "min-path mean {mpl_mean:.3} should beat fat tree mean {ft_mean:.3}"
+        );
+    }
+
+    #[test]
+    fn tiny_graphs_build() {
+        for ports in [1usize, 2, 3, 5, 8, 48] {
+            let ft = FatTree::for_ports(ports);
+            assert!(ft.ports() == ports);
+            let mp = MinPathGraph::for_ports(ports);
+            assert!(mp.ports() == ports);
+            let _ = ft.path_stats();
+            let _ = mp.path_stats();
+        }
+    }
+
+    #[test]
+    fn routed_sim_delivers_single_packet_in_min_hops() {
+        for kind in [TopoKind::FatTree, TopoKind::MinPath] {
+            let net = AnyTopology::for_ports(kind, 64);
+            for (src, dst) in [(0usize, 63usize), (5, 5), (17, 40)] {
+                let min = net.min_hops(src, dst);
+                let mut sim = RoutedNetSim::new(net.clone());
+                sim.enqueue(src, dst, 7);
+                let d = sim.drain(10_000);
+                assert_eq!(d.len(), 1, "{kind:?} {src}->{dst}");
+                assert_eq!(d[0].dst_port, dst);
+                assert_eq!(d[0].hops as usize, min, "{kind:?} {src}->{dst}");
+                assert_eq!(d[0].deflections, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn routed_sim_permutation_is_lossless_and_deterministic() {
+        let run = |kind| {
+            let net = AnyTopology::for_ports(kind, 64);
+            let n = net.ports();
+            let mut sim = RoutedNetSim::new(net);
+            for round in 0..10u64 {
+                for p in 0..n {
+                    sim.enqueue(p, (p * 7 + 3) % n, round * n as u64 + p as u64);
+                }
+            }
+            let delivered = sim.drain(1_000_000);
+            assert_eq!(delivered.len(), 10 * n);
+            let mut tags: Vec<u64> = delivered.iter().map(|d| d.tag).collect();
+            tags.sort_unstable();
+            tags.dedup();
+            assert_eq!(tags.len(), 10 * n, "no packet lost or duplicated");
+            assert_eq!(sim.outstanding(), 0);
+            delivered
+        };
+        for kind in [TopoKind::FatTree, TopoKind::MinPath] {
+            let a: Vec<_> = run(kind).iter().map(|d| (d.tag, d.eject_cycle, d.hops)).collect();
+            let b: Vec<_> = run(kind).iter().map(|d| (d.tag, d.eject_cycle, d.hops)).collect();
+            assert_eq!(a, b, "{kind:?} must replay exactly");
+        }
+    }
+
+    #[test]
+    fn routed_sim_hotspot_serializes_at_the_hot_port() {
+        let net = AnyTopology::for_ports(TopoKind::FatTree, 64);
+        let mut sim = RoutedNetSim::new(net);
+        for p in 0..64usize {
+            for k in 0..4u64 {
+                sim.enqueue(p, 0, (p as u64) << 8 | k);
+            }
+        }
+        let delivered = sim.drain(1_000_000);
+        assert_eq!(delivered.len(), 64 * 4);
+        let mut eject_cycles: Vec<u64> = delivered.iter().map(|d| d.eject_cycle).collect();
+        eject_cycles.sort_unstable();
+        for w in eject_cycles.windows(2) {
+            assert!(w[1] > w[0], "two ejections in one cycle at the same port");
+        }
+    }
+
+    #[test]
+    fn topo_kind_parses_the_flag_vocabulary() {
+        assert_eq!(TopoKind::parse("dv"), Some(TopoKind::Vortex));
+        assert_eq!(TopoKind::parse("fattree"), Some(TopoKind::FatTree));
+        assert_eq!(TopoKind::parse("min-path"), Some(TopoKind::MinPath));
+        assert_eq!(TopoKind::parse("torus"), None);
+        for kind in TopoKind::ALL {
+            assert_eq!(TopoKind::parse(kind.name()), Some(kind));
+        }
+    }
+}

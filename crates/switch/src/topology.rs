@@ -43,13 +43,25 @@ impl Topology {
         Self { height, angles }
     }
 
-    /// Topology with at least `ports` ports, growing height (the scaling
+    /// Topology with exactly `ports` ports, growing height (the scaling
     /// rule of Section IX: doubling nodes adds one cylinder).
+    ///
+    /// Panics unless `ports == angles × 2^k` for some `k ≥ 1`: a Data
+    /// Vortex switch has no in-between sizes, and silently rounding up
+    /// (the old behavior) skewed every per-port figure computed against
+    /// the *requested* count — `for_ports(48, 4)` used to hand back a
+    /// 64-port switch.
     pub fn for_ports(ports: usize, angles: usize) -> Self {
-        let mut h = 2;
-        while h * angles < ports {
-            h *= 2;
-        }
+        assert!(angles >= 1 && ports >= 2 * angles, "need ports >= 2 x angles");
+        let h = ports / angles;
+        assert!(
+            h * angles == ports && h.is_power_of_two(),
+            "no exact Data Vortex topology with {ports} ports at {angles} angles \
+             (ports must be angles x a power of two); nearest sizes are \
+             {} and {}",
+            angles * (h + 1).next_power_of_two() / 2,
+            angles * h.next_power_of_two().max(2),
+        );
         Self::new(h, angles)
     }
 
@@ -149,6 +161,23 @@ mod tests {
         let b = Topology::new(16, 4);
         assert_eq!(b.cylinders(), a.cylinders() + 1);
         assert_eq!(b.ports(), 2 * a.ports());
+    }
+
+    #[test]
+    fn for_ports_is_exact() {
+        for ports in [8usize, 16, 32, 64, 128, 256, 1024, 4096] {
+            let t = Topology::for_ports(ports, 4);
+            assert_eq!(t.ports(), ports, "requested {ports}");
+        }
+        assert_eq!(Topology::for_ports(64, 2).ports(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "no exact Data Vortex topology")]
+    fn for_ports_rejects_inexact_requests() {
+        // The old behavior silently built 64 ports here, skewing every
+        // per-port figure normalized by the requested 48.
+        let _ = Topology::for_ports(48, 4);
     }
 
     #[test]

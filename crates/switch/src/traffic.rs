@@ -14,6 +14,7 @@ use dv_core::rng::SplitMix64;
 use dv_core::stats::{Log2Histogram, OnlineStats};
 
 use crate::cycle::SwitchSim;
+use crate::net::{AnyTopology, NetworkTopology, RoutedNetSim};
 use crate::topology::Topology;
 
 /// Destination-selection pattern.
@@ -83,16 +84,77 @@ pub struct SweepPoint {
 /// identical to the serial path.
 struct RunArtifacts {
     point: SweepPoint,
-    sim: SwitchSim,
+    sim: Engine,
     lat_hist: Log2Histogram,
     fault_drops: u64,
+}
+
+/// The cycle engine behind one sweep point: the Data Vortex simulator
+/// for [`AnyTopology::Vortex`], the routed store-and-forward simulator
+/// for the rival graphs. Both expose the same enqueue/step/metrics
+/// surface, so the sweep loop is engine-agnostic.
+// One Engine exists per sweep point, held by value for the whole run;
+// boxing the larger variant would buy nothing but a pointer chase in
+// the per-cycle step dispatch.
+#[allow(clippy::large_enum_variant)]
+enum Engine {
+    Vortex(SwitchSim),
+    Routed(RoutedNetSim),
+}
+
+impl Engine {
+    fn for_net(net: &AnyTopology) -> Self {
+        match net {
+            AnyTopology::Vortex(topo) => Engine::Vortex(SwitchSim::new(topo.clone())),
+            other => Engine::Routed(RoutedNetSim::new(other.clone())),
+        }
+    }
+
+    fn enqueue(&mut self, src: usize, dst: usize, tag: u64) {
+        match self {
+            Engine::Vortex(s) => s.enqueue(src, dst, tag),
+            Engine::Routed(s) => s.enqueue(src, dst, tag),
+        }
+    }
+
+    fn step_into(&mut self, out: &mut Vec<crate::cycle::Delivered>) {
+        match self {
+            Engine::Vortex(s) => s.step_into(out),
+            Engine::Routed(s) => s.step_into(out),
+        }
+    }
+
+    fn outstanding(&self) -> usize {
+        match self {
+            Engine::Vortex(s) => s.outstanding(),
+            Engine::Routed(s) => s.outstanding(),
+        }
+    }
+
+    fn publish_metrics(&self, metrics: &MetricsRegistry) {
+        match self {
+            Engine::Vortex(s) => s.publish_metrics(metrics),
+            Engine::Routed(s) => s.publish_metrics(metrics),
+        }
+    }
+
+    fn flush_metrics(&mut self, metrics: &MetricsRegistry) {
+        match self {
+            Engine::Vortex(s) => s.flush_metrics(metrics),
+            Engine::Routed(s) => s.flush_metrics(metrics),
+        }
+    }
 }
 
 /// Offered-load sweep driver.
 #[derive(Clone)]
 pub struct LoadSweep {
-    /// Switch topology to exercise.
-    pub topo: Topology,
+    /// Network to exercise: the Data Vortex switch or one of the rival
+    /// topologies ([`AnyTopology::FatTree`], [`AnyTopology::MinPath`]).
+    /// Rival graphs run through [`RoutedNetSim`]; the Vortex runs the
+    /// cycle-accurate [`SwitchSim`], byte-identical to the pre-trait
+    /// driver.
+    pub net: AnyTopology,
     /// Destination pattern.
     pub pattern: Pattern,
     /// Arrival process.
@@ -122,10 +184,15 @@ pub struct LoadSweep {
 }
 
 impl LoadSweep {
-    /// Reasonable defaults for a given topology.
+    /// Reasonable defaults for a given Data Vortex topology.
     pub fn new(topo: Topology) -> Self {
+        Self::for_net(AnyTopology::Vortex(topo))
+    }
+
+    /// Reasonable defaults for any network (Data Vortex or rival).
+    pub fn for_net(net: AnyTopology) -> Self {
         Self {
-            topo,
+            net,
             pattern: Pattern::Uniform,
             arrival: Arrival::Bernoulli,
             warmup: 500,
@@ -204,10 +271,10 @@ impl LoadSweep {
     fn run_core_with(
         &self,
         offered: f64,
-        mut on_cycle: impl FnMut(&mut SwitchSim, u64),
+        mut on_cycle: impl FnMut(&mut Engine, u64),
     ) -> RunArtifacts {
-        let ports = self.topo.ports();
-        let mut sw = SwitchSim::new(self.topo.clone());
+        let ports = self.net.ports();
+        let mut sw = Engine::for_net(&self.net);
         let mut rng = SplitMix64::new(self.seed);
         let mut perm: Vec<usize> = (0..ports).collect();
         // Fisher–Yates with the seeded generator (used by Permutation).

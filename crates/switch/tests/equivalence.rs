@@ -6,7 +6,7 @@
 
 use dv_core::fault::FaultPlan;
 use dv_core::rng::SplitMix64;
-use dv_switch::{LinkFaultInjector, ReferenceSwitchSim, SwitchSim, Topology};
+use dv_switch::{LinkFaultInjector, ReferenceSwitchSim, SwitchSim, Topology, WideKernel};
 
 /// How one cycle's arrivals pick destinations.
 #[derive(Clone, Copy)]
@@ -37,9 +37,23 @@ impl Workload {
 /// exactly. Fault decisions (when `faults` is set) are made once per
 /// arrival through a [`LinkFaultInjector`] and applied to both sims.
 fn assert_equivalent(topo: Topology, workload: Workload, load: f64, cycles: u64, faults: Option<FaultPlan>) {
+    // `SwitchSim::new` resolves the kernel itself (narrow, or batched on
+    // wide switches with H >= 64); the explicit-scalar tests below pin
+    // the frozen baseline separately.
+    assert_equivalent_kernel(topo, WideKernel::Batched, workload, load, cycles, faults);
+}
+
+fn assert_equivalent_kernel(
+    topo: Topology,
+    kernel: WideKernel,
+    workload: Workload,
+    load: f64,
+    cycles: u64,
+    faults: Option<FaultPlan>,
+) {
     let ports = topo.ports();
     let injector = faults.map(|plan| LinkFaultInjector::new(plan, ports));
-    let mut new_sim = SwitchSim::new(topo.clone());
+    let mut new_sim = SwitchSim::with_wide_kernel(topo.clone(), kernel);
     let mut ref_sim = ReferenceSwitchSim::new(topo);
     let mut rng = SplitMix64::new(0x51CA_FFE5);
     let mut out = Vec::with_capacity(ports);
@@ -89,11 +103,64 @@ fn topologies() -> [Topology; 2] {
 
 #[test]
 fn wide_switch_is_bit_equivalent() {
-    // More than 64 ports: multi-word occupancy bitmaps, exercising the
-    // wide movement path (the narrow single-word path covers the
-    // topologies above).
+    // More than 64 ports but H < 64: multi-word occupancy bitmaps served
+    // by the scalar wide path (a word spans two angles here, so the
+    // batched kernel does not apply — `with_wide_kernel` ignores the
+    // request and both spellings must agree with the reference).
     assert_equivalent(Topology::new(32, 4), Workload::Uniform, 0.7, 400, None);
     assert_equivalent(Topology::new(32, 4), Workload::Tornado, 0.9, 400, None);
+}
+
+#[test]
+fn batched_wide_h128_is_bit_equivalent() {
+    // H = 128 (512 ports, A = 4): the batched word-parallel kernel, all
+    // three workloads, including the drain tail in assert_equivalent.
+    let topo = || Topology::new(128, 4);
+    assert_equivalent(topo(), Workload::Uniform, 0.7, 200, None);
+    assert_equivalent(topo(), Workload::Hotspot, 0.5, 200, None);
+    assert_equivalent(topo(), Workload::Tornado, 0.9, 150, None);
+}
+
+#[test]
+fn batched_wide_h256_is_bit_equivalent() {
+    // H = 256 (1024 ports): the scale the perf gate measures at.
+    let topo = || Topology::new(256, 4);
+    assert_equivalent(topo(), Workload::Uniform, 0.7, 150, None);
+    assert_equivalent(topo(), Workload::Tornado, 0.9, 120, None);
+}
+
+#[test]
+fn batched_wide_u32_handles_is_bit_equivalent() {
+    // H = 2048, A = 4: 8192 ports and 98304 cells — past the 2^16 pool
+    // bound, so the batched kernel runs its u32 handle instantiation
+    // (every other wide test here fits the u16 path). Short runs: the
+    // reference is the per-flit scalar baseline and this is the largest
+    // topology in the suite.
+    let topo = || Topology::new(2048, 4);
+    assert_equivalent(topo(), Workload::Uniform, 0.4, 60, None);
+    assert_equivalent(topo(), Workload::Tornado, 0.6, 50, None);
+}
+
+#[test]
+fn batched_wide_faulted_is_bit_equivalent() {
+    // Seeded fault drops thin the batched kernel's words irregularly.
+    let plan = FaultPlan { seed: 17, link_drop: 0.1, ..Default::default() };
+    assert_equivalent(Topology::new(128, 4), Workload::Uniform, 0.7, 250, Some(plan.clone()));
+    assert_equivalent(Topology::new(256, 4), Workload::Hotspot, 0.5, 150, Some(plan));
+}
+
+#[test]
+fn scalar_wide_kernel_is_bit_equivalent_at_h128() {
+    // The frozen pre-batching baseline must also still match the
+    // reference at the new heights (it is the perf gate's denominator).
+    assert_equivalent_kernel(
+        Topology::new(128, 4),
+        WideKernel::Scalar,
+        Workload::Uniform,
+        0.7,
+        150,
+        None,
+    );
 }
 
 #[test]
