@@ -8,23 +8,23 @@
 //!   `dv-report --gate <BENCH_sim.json> [--min-speedup X]`
 //!   `dv-report --gate <BENCH_switch.json> [--min-speedup X]`
 //!
-//! `--gate` is the CI perf check, in three modes keyed on what it is
+//! `--gate` is the CI perf check, in two shapes keyed on what it is
 //! given:
 //!
-//! * **Two artifacts** — the perf-trajectory check: it extracts the
-//!   `arena+worklist` cycles/sec figure from two `perf_smoke` artifacts
-//!   (current build vs the previous run's uploaded artifact) and exits
-//!   nonzero if the current number regressed by more than `PCT` percent
-//!   (default 10). Throughput improvements always pass.
-//! * **One `sched_smoke` artifact** — the absolute scheduler floor: the
-//!   sharded engine's 1024-node pump (dispatch-throughput) speedup over
-//!   the frozen pre-sharding reference engine must be at least `X`
-//!   (default 4).
-//! * **One `perf_smoke` artifact** — the absolute wide-path floor: the
-//!   batched wide movement kernel's movement-phase speedup over the
-//!   frozen scalar wide kernel at H=2048 must be at least `X` (default
-//!   3). The single-artifact modes dispatch on the artifact's `bench`
-//!   field.
+//! * **Two artifacts** — the perf-trajectory check (current build vs the
+//!   previous run's uploaded artifact): it extracts the artifact's
+//!   trajectory figure — the `arena+worklist` cycles/sec row for
+//!   `perf_smoke`, the `net cycles/sec speedup` summary row for
+//!   `net_smoke` — and exits nonzero if the current number regressed by
+//!   more than `PCT` percent (default 10). Improvements always pass.
+//! * **One artifact** — an absolute floor, dispatched on the artifact's
+//!   `bench` field: `perf_smoke` gates the batched wide movement
+//!   kernel's speedup over the frozen scalar kernel at H=2048 (default
+//!   floor 3); `net_smoke` gates the rebuilt rival-topology routed
+//!   engine's cycles/sec speedup over the frozen pre-rebuild reference
+//!   on sparse 4096-port traffic (default floor 3); anything else is
+//!   the scheduler floor — the sharded engine's 1024-node pump speedup
+//!   over the frozen pre-sharding reference (default floor 4).
 
 use dv_bench::report::render_report;
 use dv_core::json::Json;
@@ -89,11 +89,11 @@ fn sched_speedup_at(doc: &Json, nodes: usize) -> Result<f64, String> {
     Err(format!("no section with a pump@{nodes} speedup row"))
 }
 
-/// The `wide cycles/sec speedup` figure in a `perf_smoke` artifact
-/// (`dv-bench-v1` schema): the batched wide movement kernel's
-/// movement-phase speedup over the frozen scalar wide kernel at H=2048
-/// (see `perf_smoke.rs`).
-fn wide_speedup_figure(doc: &Json) -> Result<f64, String> {
+/// A named figure from a metric/value summary section of a `dv-bench-v1`
+/// artifact: the cell in the `value` column of the row whose first cell
+/// is `metric` (how `perf_smoke` reports `wide cycles/sec speedup` and
+/// `net_smoke` reports `net cycles/sec speedup`).
+fn summary_figure(doc: &Json, metric: &str) -> Result<f64, String> {
     if doc.get("schema").and_then(Json::as_str) != Some("dv-bench-v1") {
         return Err("not a dv-bench-v1 artifact".into());
     }
@@ -105,16 +105,28 @@ fn wide_speedup_figure(doc: &Json) -> Result<f64, String> {
         };
         for row in section.get("rows").and_then(Json::as_arr).unwrap_or_default() {
             let cells = row.as_arr().unwrap_or_default();
-            if cells.first().and_then(Json::as_str) == Some("wide cycles/sec speedup") {
+            if cells.first().and_then(Json::as_str) == Some(metric) {
                 return cells
                     .get(col)
                     .and_then(Json::as_str)
                     .and_then(|s| s.parse::<f64>().ok())
-                    .ok_or_else(|| "wide speedup row has no numeric value".into());
+                    .ok_or_else(|| format!("{metric} row has no numeric value"));
             }
         }
     }
-    Err("no section with a wide cycles/sec speedup row".into())
+    Err(format!("no section with a {metric} row"))
+}
+
+/// The perf-trajectory figure of an artifact, dispatched on its `bench`
+/// field: `perf_smoke` tracks the absolute `arena+worklist` cycles/sec,
+/// `net_smoke` tracks the routed-path speedup over its frozen in-tree
+/// reference (a ratio, so it is stable across runner hardware).
+fn trajectory_figure(doc: &Json) -> Result<(f64, &'static str), String> {
+    match doc.get("bench").and_then(Json::as_str) {
+        Some("net_smoke") => summary_figure(doc, "net cycles/sec speedup")
+            .map(|x| (x, "net cycles/sec speedup")),
+        _ => arena_cycles_per_sec(doc).map(|x| (x, "arena+worklist cycles/sec")),
+    }
 }
 
 /// Load and parse one artifact, mapping errors to readable messages.
@@ -152,17 +164,25 @@ fn run_gate(args: &[String]) -> i32 {
             }
         };
         // Dispatch on the artifact: perf_smoke gates the wide movement
-        // kernel, anything else is the scheduler floor.
-        let (name, figure, floor) = if doc.get("bench").and_then(Json::as_str)
-            == Some("perf_smoke")
-        {
-            let figure = wide_speedup_figure(&doc)
-                .map(|x| (x, "batched wide-kernel movement speedup at H=2048"));
-            ("wide", figure, min_speedup.unwrap_or(3.0))
-        } else {
-            let figure =
-                sched_speedup_at(&doc, 1024).map(|x| (x, "sharded speedup at 1024 nodes"));
-            ("sched", figure, min_speedup.unwrap_or(4.0))
+        // kernel, net_smoke the rival-topology routed engine, anything
+        // else is the scheduler floor.
+        let (name, figure, floor) = match doc.get("bench").and_then(Json::as_str) {
+            Some("perf_smoke") => {
+                let figure = summary_figure(&doc, "wide cycles/sec speedup")
+                    .map(|x| (x, "batched wide-kernel movement speedup at H=2048"));
+                ("wide", figure, min_speedup.unwrap_or(3.0))
+            }
+            Some("net_smoke") => {
+                let figure = summary_figure(&doc, "net cycles/sec speedup").map(|x| {
+                    (x, "routed-path speedup over the frozen reference at 4096 ports")
+                });
+                ("net", figure, min_speedup.unwrap_or(3.0))
+            }
+            _ => {
+                let figure = sched_speedup_at(&doc, 1024)
+                    .map(|x| (x, "sharded speedup at 1024 nodes"));
+                ("sched", figure, min_speedup.unwrap_or(4.0))
+            }
         };
         let (speedup, what) = match figure {
             Ok(x) => x,
@@ -185,22 +205,25 @@ fn run_gate(args: &[String]) -> i32 {
         );
         return 2;
     };
-    let figure = |path: &str| load(path).and_then(|doc| arena_cycles_per_sec(&doc));
-    let (current, previous) = match (figure(current_path), figure(previous_path)) {
-        (Ok(c), Ok(p)) => (c, p),
-        (c, p) => {
-            for r in [c, p] {
-                if let Err(e) = r {
-                    eprintln!("gate: {e}");
+    let figure = |path: &str| load(path).and_then(|doc| trajectory_figure(&doc));
+    let ((current, label), (previous, prev_label)) =
+        match (figure(current_path), figure(previous_path)) {
+            (Ok(c), Ok(p)) => (c, p),
+            (c, p) => {
+                for r in [c, p] {
+                    if let Err(e) = r {
+                        eprintln!("gate: {e}");
+                    }
                 }
+                return 2;
             }
-            return 2;
-        }
-    };
+        };
+    if label != prev_label {
+        eprintln!("gate: artifacts track different figures ({label} vs {prev_label})");
+        return 2;
+    }
     let change_pct = (current - previous) / previous * 100.0;
-    println!(
-        "perf gate: arena+worklist cycles/sec {previous:.2} -> {current:.2} ({change_pct:+.1}%)"
-    );
+    println!("perf gate: {label} {previous:.2} -> {current:.2} ({change_pct:+.1}%)");
     if change_pct < -max_regress_pct {
         eprintln!("perf gate FAILED: regression exceeds {max_regress_pct:.1}% budget");
         return 1;

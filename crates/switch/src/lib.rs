@@ -19,7 +19,8 @@
 //! [`faults`] applies a `dv_core::fault::FaultPlan` to the injection and
 //! ejection sides of the switch with deterministic per-link sequencing.
 //! [`reference`] freezes the pre-refactor simulator as the golden
-//! equivalence target and perf baseline for the optimized hot path.
+//! equivalence target and perf baseline for the optimized hot path;
+//! [`net_reference`] does the same for the rival-topology routed engine.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,12 +29,14 @@ pub mod cycle;
 pub mod faults;
 pub mod model;
 pub mod net;
+pub mod net_reference;
 pub mod reference;
 pub mod topology;
 pub mod traffic;
 
 pub use cycle::{Delivered, SwitchSim, WideKernel};
 pub use net::{AnyTopology, FatTree, MinPathGraph, NetworkTopology, RoutedNetSim, TopoKind};
+pub use net_reference::ReferenceNetSim;
 pub use reference::ReferenceSwitchSim;
 pub use faults::{LinkFaultInjector, PacketFault};
 pub use model::SwitchModel;

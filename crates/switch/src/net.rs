@@ -35,7 +35,7 @@
 //! Routing state (BFS distance tables, sorted adjacency) is derived
 //! purely from that edge set; tie-breaks always pick the lowest node id.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 use dv_core::metrics::MetricsRegistry;
 use dv_core::rng::SplitMix64;
@@ -51,7 +51,15 @@ pub const MIN_PATH_SEED: u64 = 0xD0_5EED_0009;
 /// Per-node queue bound (packets) in [`RoutedNetSim`]: models finite
 /// switch buffers and provides the backpressure that keeps hotspot
 /// sweeps lossless-but-serialized, like the Data Vortex injection FIFOs.
-const NODE_QUEUE_CAP: usize = 64;
+/// A power of two: the rebuilt engine's per-node ring queues index by
+/// masking (`crate::net_reference` shares the constant so the frozen
+/// oracle blocks at exactly the same depth).
+pub(crate) const NODE_QUEUE_CAP: usize = 64;
+
+/// Ring-index mask for the per-node queues.
+const QMASK: usize = NODE_QUEUE_CAP - 1;
+
+const _: () = assert!(NODE_QUEUE_CAP.is_power_of_two(), "ring queues index by mask");
 
 /// A network seen as a routed graph: ports attach to nodes, packets move
 /// one link per cycle along deterministic routes.
@@ -377,6 +385,29 @@ impl NetworkTopology for MinPathGraph {
     fn min_hops(&self, src_port: usize, dst_port: usize) -> usize {
         self.dist_between(self.switch_of(src_port), self.switch_of(dst_port))
     }
+
+    /// Reads the precomputed BFS distance table directly: ports
+    /// concentrate on switches `0..⌈ports/conc⌉` (the last used switch
+    /// may hold fewer than `conc`), so summing `dist × (ports on a) ×
+    /// (ports on b)` over used switch pairs reproduces the default
+    /// ordered-port-pair sum with O(switches²) table reads instead of
+    /// O(ports²) virtual `min_hops` calls.
+    fn path_stats(&self) -> (f64, usize) {
+        let p = self.ports;
+        let used = p.div_ceil(self.conc);
+        let mut total = 0u64;
+        let mut max = 0usize;
+        for a in 0..used {
+            let ca = (p - a * self.conc).min(self.conc) as u64;
+            for b in 0..used {
+                let cb = (p - b * self.conc).min(self.conc) as u64;
+                let d = self.dist[a * self.switches + b] as usize;
+                total += d as u64 * ca * cb;
+                max = max.max(d);
+            }
+        }
+        (total as f64 / (p * p) as f64, max)
+    }
 }
 
 /// Circulant base graph on `n` vertices: offsets `1..=d/2` (each worth
@@ -641,18 +672,18 @@ struct RoutedQueued {
     enqueue_cycle: u64,
 }
 
-/// An in-flight packet in a node queue.
+/// An in-flight packet: one fixed-width arena slot. Slots live in
+/// [`RoutedNetSim::slots`] and move between node queues as packed ring
+/// entries (see [`RoutedNetSim::ring`]) — the packet body is written once
+/// at injection and read once at ejection; the fields a hop actually
+/// needs (`dst_port`, `hops`) travel inside the ring entry, so transit
+/// never touches the arena at all.
 #[derive(Debug, Clone, Copy)]
 struct RoutedPkt {
     src_port: u32,
-    dst_port: u32,
     tag: u64,
     enqueue_cycle: u64,
     inject_cycle: u64,
-    hops: u32,
-    /// Cycle of the last movement (or injection): a packet moves at most
-    /// one link per cycle, so same-cycle arrivals wait at the tail.
-    moved_cycle: u64,
 }
 
 /// Counter snapshot at the previous incremental flush (see
@@ -683,11 +714,102 @@ struct RoutedFlushed {
 /// so the [`Delivered`] stream is deterministic; `hops` counts link
 /// traversals and `deflections` is always 0 (buffered fabrics queue
 /// instead of deflecting).
+///
+/// ## Hot-path layout (the PR 5 playbook, applied to the rival engine)
+///
+/// The step loop is proven bit-identical to the frozen
+/// [`crate::net_reference::ReferenceNetSim`] by
+/// `crates/switch/tests/net_equivalence.rs`; the data structures are
+/// rebuilt for throughput:
+///
+/// * **Next-hop LUT.** `next_idx[node × lut_cols + lut_col[dst_port]]`
+///   is built once from [`NetworkTopology::route_one_hop`], so a hop is
+///   one byte load resolved through the node's (L1-hot) `adj` palette
+///   row instead of enum dispatch into adjacency/BFS-tie-break routing
+///   (`MinPathGraph` re-scans its sorted neighbor list against the
+///   O(n²) distance table on every call). Destination ports whose
+///   entire next-hop column is identical share one column — on the
+///   min-path graph the hop depends only on the destination *switch*,
+///   so the table collapses by the concentration factor — and the
+///   palette packs entries to one byte, keeping the table L2-resident
+///   at sweep sizes. `inject_at`/`eject_at` cache the per-port entry
+///   and exit nodes the same way.
+/// * **Packet arena.** Fixed-width [`RoutedPkt`] slots in one `Vec` with
+///   a free-list; per-node fixed-capacity ring queues
+///   (`ring`/`q_head`/`q_len`, [`NODE_QUEUE_CAP`] entries each) replace
+///   `vec![VecDeque; nodes]`. A ring entry packs
+///   `slot << 32 | dst_port << 16 | hops`, so a hop reads and writes one
+///   `u64` — the arena is touched only at injection and ejection — and
+///   the steady-state loop never allocates (`tests/net_alloc.rs`).
+///   Same-cycle arrivals are held back by a lazy per-node `fresh` tail
+///   count instead of a per-packet `moved_cycle` stamp.
+/// * **Bitmap worklists.** `active` keeps one bit per node with a
+///   non-empty queue; the scan iterates set bits LSB-first (== the
+///   reference's ascending-id order), so sparse cycles skip the full
+///   `0..node_count` walk. `used_links` is a per-scan bitmap replacing
+///   the linear `used_links.contains(&nxt)` probe, cleared via the
+///   `used_set` dirty list; `port_active` does the same for the
+///   injection scan over ports.
 pub struct RoutedNetSim {
     net: AnyTopology,
     ports: usize,
-    /// Per-node FIFO of in-flight packets.
-    node_q: Vec<VecDeque<RoutedPkt>>,
+    /// Next hop per `(node, destination column)` as an index into the
+    /// node's `adj` row, flat `node_count × lut_cols`. One byte per
+    /// entry keeps the table L2-resident at sweep sizes (the resolved
+    /// node id would be 4× larger); the row a scan resolves through is
+    /// the scanning node's own `adj` row, which goes L1-hot on first
+    /// touch. The value at an eject node resolves to the node itself
+    /// and is never read (the eject check consults `eject_at` first,
+    /// like the reference).
+    next_idx: Vec<u8>,
+    /// Distinct next-hop nodes per node (first-seen palette), flat
+    /// `node_count × max_deg` rows resolved by `next_idx`.
+    adj: Vec<u32>,
+    /// Row stride of `adj`: the maximum routing out-degree.
+    max_deg: usize,
+    /// Columns in `next_idx` — destination ports with identical
+    /// next-hop columns are deduplicated (see `lut_col`), so this is
+    /// `<= ports`.
+    lut_cols: usize,
+    /// Destination port → `next_idx` column.
+    lut_col: Vec<u32>,
+    /// Entry node per port ([`NetworkTopology::inject_node`], cached).
+    inject_at: Vec<u32>,
+    /// Exit node per port ([`NetworkTopology::eject_node`], cached).
+    eject_at: Vec<u32>,
+    /// The packet arena (see [`RoutedPkt`]).
+    slots: Vec<RoutedPkt>,
+    /// Free slot handles, LIFO.
+    free: Vec<u32>,
+    /// Per-node ring queues, `node_count ×` [`NODE_QUEUE_CAP`]; positions
+    /// index by `q_head` + offset masked with [`QMASK`]. Each entry packs
+    /// `slot << 32 | dst_port << 16 | hops` so the forwarding loop never
+    /// reads the arena.
+    ring: Vec<u64>,
+    /// Ring head cursor per node (free-running, masked on use).
+    q_head: Vec<u32>,
+    /// Ring occupancy per node.
+    q_len: Vec<u32>,
+    /// Entries at the tail of each node's ring that arrived during the
+    /// cycle `fresh_cycle` records — the rebuilt form of the reference's
+    /// per-packet `moved_cycle` stamp: a packet moves at most one link
+    /// per cycle, and same-cycle arrivals are a contiguous tail suffix,
+    /// so the scan simply takes `q_len - fresh` from the front. Stale
+    /// when `fresh_cycle[node] != cycle` (lazy reset; never cleared).
+    fresh: Vec<u32>,
+    /// Cycle `fresh` counts arrivals for, per node.
+    fresh_cycle: Vec<u64>,
+    /// One bit per node with `q_len > 0`.
+    active: Vec<u64>,
+    /// Per-step snapshot of `active` (the worklist actually scanned).
+    scan: Vec<u64>,
+    /// Per-node-scan used-link bitmap, one bit per destination node.
+    used_links: Vec<u64>,
+    /// Nodes set in `used_links` this scan (dirty list for O(degree)
+    /// clearing).
+    used_set: Vec<u32>,
+    /// One bit per port with a non-empty injection FIFO.
+    port_active: Vec<u64>,
     /// Per-port injection FIFOs (unbounded; sweeps bound them via
     /// [`RoutedNetSim::outstanding`], as with the DV engine).
     queues: Vec<VecDeque<RoutedQueued>>,
@@ -696,10 +818,8 @@ pub struct RoutedNetSim {
     /// `cycle + 1` of each output port's last ejection (0 = never): the
     /// one-ejection-per-port-per-cycle bound.
     last_eject: Vec<u64>,
-    /// Scratch: packets blocked this cycle, re-queued in order.
-    keep: Vec<RoutedPkt>,
-    /// Scratch: outgoing links already used by the node under scan.
-    used_links: Vec<u32>,
+    /// Scratch: ring entries blocked this cycle, re-queued in order.
+    keep: Vec<u64>,
     cycle: u64,
     injected: u64,
     ejected: u64,
@@ -708,25 +828,111 @@ pub struct RoutedNetSim {
 }
 
 impl RoutedNetSim {
-    /// An empty simulator for `net`.
+    /// An empty simulator for `net`, with the routing LUTs built up
+    /// front (one [`NetworkTopology::route_one_hop`] call per
+    /// `(node, dst_port)` pair — paid once, not per hop).
     pub fn new(net: AnyTopology) -> Self {
         let ports = net.ports();
+        assert!(ports <= 1 << 16, "ring entries pack dst_port into 16 bits");
         let nodes = net.node_count();
+        let node_words = nodes.div_ceil(64);
+        let inject_at: Vec<u32> = (0..ports)
+            .map(|p| u32::try_from(net.inject_node(p)).expect("node index fits in u32"))
+            .collect();
+        let eject_at: Vec<u32> = (0..ports)
+            .map(|p| u32::try_from(net.eject_node(p)).expect("node index fits in u32"))
+            .collect();
+        // Build one next-hop column per destination port, then share
+        // columns that came out identical: routing on the min-path graph
+        // depends only on the destination switch, so its table collapses
+        // by the concentration factor and stays cache-resident where the
+        // full `node_count × ports` table would thrash.
+        let mut lut_col = Vec::with_capacity(ports);
+        let mut interned: BTreeMap<Vec<u32>, u32> = BTreeMap::new();
+        for (dst, &out) in eject_at.iter().enumerate() {
+            let column: Vec<u32> = (0..nodes)
+                .map(|node| {
+                    // The value at the eject node itself is a sentinel
+                    // (never read): `route_one_hop` contractually returns
+                    // `node` there, but some graphs leave it undefined on
+                    // unreachable arrival states, so it is not consulted.
+                    let hop =
+                        if node == out as usize { node } else { net.route_one_hop(node, dst) };
+                    u32::try_from(hop).expect("node index fits in u32")
+                })
+                .collect();
+            let next = u32::try_from(interned.len()).expect("column count fits in u32");
+            lut_col.push(*interned.entry(column).or_insert(next));
+        }
+        let lut_cols = interned.len();
+        // Lay out row-major (`node * lut_cols + col`) so one node's
+        // columns share cache lines during its queue scan, and palette
+        // each node's next hops down to one byte per column (the
+        // out-degree is small on every supported graph). The interner is
+        // a BTreeMap so palette layout is deterministic across
+        // processes, not just the resolved node ids.
+        let mut palette: Vec<Vec<u32>> = vec![Vec::new(); nodes];
+        let mut next_idx = vec![0u8; nodes * lut_cols];
+        for (column, &col) in &interned {
+            for (node, &hop) in column.iter().enumerate() {
+                let row = &mut palette[node];
+                let idx = row.iter().position(|&h| h == hop).unwrap_or_else(|| {
+                    row.push(hop);
+                    row.len() - 1
+                });
+                next_idx[node * lut_cols + col as usize] =
+                    u8::try_from(idx).expect("routing out-degree fits in u8");
+            }
+        }
+        let max_deg = palette.iter().map(Vec::len).max().unwrap_or(0).max(1);
+        let mut adj = vec![0u32; nodes * max_deg];
+        for (node, row) in palette.iter().enumerate() {
+            adj[node * max_deg..node * max_deg + row.len()].copy_from_slice(row);
+        }
         Self {
             ports,
-            node_q: vec![VecDeque::new(); nodes],
+            next_idx,
+            adj,
+            max_deg,
+            lut_cols,
+            lut_col,
+            inject_at,
+            eject_at,
+            slots: Vec::new(),
+            free: Vec::new(),
+            ring: vec![0; nodes * NODE_QUEUE_CAP],
+            q_head: vec![0; nodes],
+            q_len: vec![0; nodes],
+            fresh: vec![0; nodes],
+            fresh_cycle: vec![0; nodes],
+            active: vec![0; node_words],
+            scan: vec![0; node_words],
+            used_links: vec![0; node_words],
+            used_set: Vec::new(),
+            port_active: vec![0; ports.div_ceil(64)],
             queues: vec![VecDeque::new(); ports],
             queued: 0,
             in_flight: 0,
             last_eject: vec![0; ports],
             keep: Vec::new(),
-            used_links: Vec::new(),
             cycle: 0,
             injected: 0,
             ejected: 0,
             hop_hist: Log2Histogram::new(12),
             flushed: None,
             net,
+        }
+    }
+
+    /// Take a slot for `pkt`, reusing the free list before growing the
+    /// arena.
+    fn alloc_slot(&mut self, pkt: RoutedPkt) -> u32 {
+        if let Some(slot) = self.free.pop() {
+            self.slots[slot as usize] = pkt;
+            slot
+        } else {
+            self.slots.push(pkt);
+            u32::try_from(self.slots.len() - 1).expect("arena stays under 2^32 slots")
         }
     }
 
@@ -764,91 +970,174 @@ impl RoutedNetSim {
             tag,
             enqueue_cycle: self.cycle,
         });
+        self.port_active[src_port >> 6] |= 1 << (src_port & 63);
         self.queued += 1;
     }
 
     /// Advance one cycle, appending the packets ejected during it.
+    ///
+    /// Bit-identical to [`crate::net_reference::ReferenceNetSim::step_into`]
+    /// (see `tests/net_equivalence.rs`): set bits are visited LSB-first,
+    /// which is the reference's ascending node order, and the worklist is
+    /// a snapshot of `active` taken at cycle start — a node that first
+    /// becomes active mid-scan holds only packets that arrived this cycle,
+    /// which the reference scan immediately breaks on, so skipping such
+    /// nodes changes nothing. Same-cycle arrivals always form a
+    /// contiguous tail suffix (blocked packets re-queue at the *front*,
+    /// arrivals append at the tail, and a node pushes only to other
+    /// nodes), so `q_len - fresh` from the front is exactly the set the
+    /// reference walks before its `moved_cycle == cycle` break.
     pub fn step_into(&mut self, out: &mut Vec<Delivered>) {
         let cycle = self.cycle;
-        for node in 0..self.node_q.len() {
-            if self.node_q[node].is_empty() {
-                continue;
-            }
-            self.used_links.clear();
-            let len = self.node_q[node].len();
-            for _ in 0..len {
-                let Some(mut pkt) = self.node_q[node].pop_front() else { break };
-                if pkt.moved_cycle == cycle {
-                    // Arrived this cycle; everything behind it did too.
-                    self.node_q[node].push_front(pkt);
-                    break;
-                }
-                let dst = pkt.dst_port as usize;
-                if node == self.net.eject_node(dst) {
-                    if self.last_eject[dst] != cycle + 1 {
-                        self.last_eject[dst] = cycle + 1;
-                        self.ejected += 1;
-                        self.in_flight -= 1;
-                        self.hop_hist.push(pkt.hops as u64);
-                        out.push(Delivered {
-                            src_port: pkt.src_port as usize,
-                            dst_port: dst,
-                            tag: pkt.tag,
-                            enqueue_cycle: pkt.enqueue_cycle,
-                            inject_cycle: pkt.inject_cycle,
-                            eject_cycle: cycle,
-                            hops: pkt.hops,
-                            deflections: 0,
-                        });
-                    } else {
-                        self.keep.push(pkt); // output port busy this cycle
+        let lut_cols = self.lut_cols;
+        let max_deg = self.max_deg;
+        // Split borrows once: indexing through `self` makes every write
+        // a potential alias of every read, forcing reloads around the
+        // queue updates.
+        let Self {
+            next_idx,
+            adj,
+            lut_col,
+            eject_at,
+            slots,
+            free,
+            ring,
+            q_head,
+            q_len,
+            fresh,
+            fresh_cycle,
+            active,
+            scan,
+            used_links,
+            used_set,
+            last_eject,
+            keep,
+            ejected,
+            in_flight,
+            hop_hist,
+            ..
+        } = self;
+        scan.copy_from_slice(active);
+        for (word_idx, word) in scan.iter_mut().enumerate() {
+            while *word != 0 {
+                let node = (word_idx << 6) | word.trailing_zeros() as usize;
+                *word &= *word - 1;
+                let held = if fresh_cycle[node] == cycle { fresh[node] } else { 0 };
+                let mut head = q_head[node];
+                let mut len = q_len[node];
+                let take = (len - held) as usize;
+                let base = node * NODE_QUEUE_CAP;
+                for _ in 0..take {
+                    let entry = ring[base + (head as usize & QMASK)];
+                    head = head.wrapping_add(1);
+                    len -= 1;
+                    let dst = (entry >> 16) as usize & 0xFFFF;
+                    if node == eject_at[dst] as usize {
+                        if last_eject[dst] != cycle + 1 {
+                            last_eject[dst] = cycle + 1;
+                            *ejected += 1;
+                            *in_flight -= 1;
+                            let hops = (entry & 0xFFFF) as u32;
+                            hop_hist.push(hops as u64);
+                            let slot = (entry >> 32) as u32;
+                            let pkt = &slots[slot as usize];
+                            out.push(Delivered {
+                                src_port: pkt.src_port as usize,
+                                dst_port: dst,
+                                tag: pkt.tag,
+                                enqueue_cycle: pkt.enqueue_cycle,
+                                inject_cycle: pkt.inject_cycle,
+                                eject_cycle: cycle,
+                                hops,
+                                deflections: 0,
+                            });
+                            free.push(slot);
+                        } else {
+                            keep.push(entry); // output port busy this cycle
+                        }
+                        continue;
                     }
-                    continue;
+                    let idx = next_idx[node * lut_cols + lut_col[dst] as usize];
+                    let nxt = adj[node * max_deg + idx as usize] as usize;
+                    debug_assert_ne!(nxt, node, "route must progress until the eject node");
+                    if used_links[nxt >> 6] & (1 << (nxt & 63)) != 0
+                        || q_len[nxt] as usize >= NODE_QUEUE_CAP
+                    {
+                        keep.push(entry); // link busy or receiver full
+                        continue;
+                    }
+                    used_links[nxt >> 6] |= 1 << (nxt & 63);
+                    used_set.push(u32::try_from(nxt).expect("node index fits in u32"));
+                    debug_assert_ne!(entry & 0xFFFF, 0xFFFF, "hop count fits in 16 bits");
+                    let tail = q_head[nxt].wrapping_add(q_len[nxt]) as usize & QMASK;
+                    ring[nxt * NODE_QUEUE_CAP + tail] = entry + 1;
+                    if fresh_cycle[nxt] == cycle {
+                        fresh[nxt] += 1;
+                    } else {
+                        fresh_cycle[nxt] = cycle;
+                        fresh[nxt] = 1;
+                    }
+                    if q_len[nxt] == 0 {
+                        active[nxt >> 6] |= 1 << (nxt & 63);
+                    }
+                    q_len[nxt] += 1;
                 }
-                let nxt = self.net.route_one_hop(node, dst);
-                debug_assert_ne!(nxt, node, "route must progress until the eject node");
-                let nxt32 = nxt as u32;
-                if self.used_links.contains(&nxt32)
-                    || self.node_q[nxt].len() >= NODE_QUEUE_CAP
-                {
-                    self.keep.push(pkt); // link busy or receiver full
-                    continue;
+                // Blocked packets return to the front in their original order.
+                for &entry in keep.iter().rev() {
+                    head = head.wrapping_sub(1);
+                    ring[base + (head as usize & QMASK)] = entry;
                 }
-                self.used_links.push(nxt32);
-                pkt.hops += 1;
-                pkt.moved_cycle = cycle;
-                self.node_q[nxt].push_back(pkt);
-            }
-            // Blocked packets return to the front in their original order.
-            for pkt in self.keep.drain(..).rev() {
-                self.node_q[node].push_front(pkt);
+                len += u32::try_from(keep.len()).expect("keep fits the ring");
+                keep.clear();
+                q_head[node] = head;
+                q_len[node] = len;
+                if len == 0 {
+                    active[node >> 6] &= !(1 << (node & 63));
+                }
+                for nxt in used_set.drain(..) {
+                    used_links[nxt as usize >> 6] &= !(1 << (nxt & 63));
+                }
             }
         }
 
         // Injection after movement: one packet per port per cycle, if the
         // entry node has room.
         if self.queued > 0 {
-            for port in 0..self.ports {
-                if self.queues[port].is_empty() {
-                    continue;
+            for word_idx in 0..self.port_active.len() {
+                let mut word = self.port_active[word_idx];
+                while word != 0 {
+                    let port = (word_idx << 6) | word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    let entry = self.inject_at[port] as usize;
+                    if self.q_len[entry] as usize >= NODE_QUEUE_CAP {
+                        continue;
+                    }
+                    let q = self.queues[port].pop_front().expect("active port is non-empty");
+                    if self.queues[port].is_empty() {
+                        self.port_active[word_idx] &= !(1 << (port & 63));
+                    }
+                    self.queued -= 1;
+                    self.injected += 1;
+                    self.in_flight += 1;
+                    let slot = self.alloc_slot(RoutedPkt {
+                        src_port: q.src_port,
+                        tag: q.tag,
+                        enqueue_cycle: q.enqueue_cycle,
+                        inject_cycle: cycle,
+                    });
+                    let tail =
+                        self.q_head[entry].wrapping_add(self.q_len[entry]) as usize & QMASK;
+                    // Injection happens after every node scan, so the new
+                    // entry needs no `fresh` bump: by the next cycle's
+                    // scan `fresh_cycle` is stale and it moves, exactly
+                    // like the reference's `moved_cycle = cycle` stamp.
+                    self.ring[entry * NODE_QUEUE_CAP + tail] =
+                        (slot as u64) << 32 | (q.dst_port as u64) << 16;
+                    if self.q_len[entry] == 0 {
+                        self.active[entry >> 6] |= 1 << (entry & 63);
+                    }
+                    self.q_len[entry] += 1;
                 }
-                let entry = self.net.inject_node(port);
-                if self.node_q[entry].len() >= NODE_QUEUE_CAP {
-                    continue;
-                }
-                let q = self.queues[port].pop_front().expect("queue checked non-empty");
-                self.queued -= 1;
-                self.injected += 1;
-                self.in_flight += 1;
-                self.node_q[entry].push_back(RoutedPkt {
-                    src_port: q.src_port,
-                    dst_port: q.dst_port,
-                    tag: q.tag,
-                    enqueue_cycle: q.enqueue_cycle,
-                    inject_cycle: cycle,
-                    hops: 0,
-                    moved_cycle: cycle,
-                });
             }
         }
         self.cycle += 1;
@@ -901,13 +1190,14 @@ impl RoutedNetSim {
         metrics.incr("rival.cycle.cycles", self.cycle - was.cycle);
         metrics.incr("rival.cycle.injected", self.injected - was.injected);
         metrics.incr("rival.cycle.ejected", self.ejected - was.ejected);
-        metrics.observe_histogram("rival.cycle.hops", &[], &self.hop_hist.delta(&was.hop_hist));
-        **was = RoutedFlushed {
-            cycle: self.cycle,
-            injected: self.injected,
-            ejected: self.ejected,
-            hop_hist: self.hop_hist.clone(),
-        };
+        let delta = self.hop_hist.delta(&was.hop_hist);
+        metrics.observe_histogram("rival.cycle.hops", &[], &delta);
+        // Fold the delta forward instead of cloning the whole histogram
+        // on every flush.
+        was.hop_hist.merge(&delta);
+        was.cycle = self.cycle;
+        was.injected = self.injected;
+        was.ejected = self.ejected;
     }
 }
 

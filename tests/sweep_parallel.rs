@@ -9,7 +9,7 @@ use std::sync::Arc;
 use datavortex::core::fault::FaultPlan;
 use datavortex::core::metrics::MetricsRegistry;
 use datavortex::switch::traffic::{Arrival, LoadSweep, Pattern};
-use datavortex::switch::Topology;
+use datavortex::switch::{AnyTopology, TopoKind, Topology};
 
 fn base_sweep(topo: Topology) -> LoadSweep {
     let mut s = LoadSweep::new(topo);
@@ -62,6 +62,24 @@ fn parallel_sweep_bytes_match_serial_with_bursty_faulted_traffic() {
     s.arrival = Arrival::Bursty { mean_burst: 8.0 };
     s.faults = Some(FaultPlan { seed: 7, link_drop: 0.05, ..Default::default() });
     assert_eq!(render(&s, &loads, false), render(&s, &loads, true));
+}
+
+#[test]
+fn parallel_sweep_bytes_match_serial_on_rival_topologies() {
+    // The `--topo` sweeps route through the rebuilt `RoutedNetSim` (LUT +
+    // arena + bitmap worklists); its parallel shards must still publish
+    // in input order with byte-identical points and metrics.
+    let loads = [0.1, 0.3, 0.5];
+    for kind in [TopoKind::FatTree, TopoKind::MinPath] {
+        let mut s = LoadSweep::for_net(AnyTopology::for_ports(kind, 64));
+        s.warmup = 100;
+        s.measure = 400;
+        assert_eq!(
+            render(&s, &loads, false),
+            render(&s, &loads, true),
+            "{kind:?}: serial and parallel rival sweeps must be byte-identical"
+        );
+    }
 }
 
 #[test]
